@@ -1,0 +1,68 @@
+"""Table I — the inference rules, as correctness + throughput benches."""
+
+import pytest
+
+from repro.core import extract_subgraph, infer
+from repro.ir import Circuit, NetIndex
+
+
+def _or_module():
+    c = Circuit("t")
+    a, b = c.input("a"), c.input("b")
+    y = c.or_(a, b)
+    c.output("y", y)
+    return c.module, a, b, y
+
+
+TABLE_I = [
+    # (facts, expected)  over (a, b, y); None = unknown input
+    ({"a": True}, {"y": True}),                    # row 1
+    ({"b": True}, {"y": True}),                    # row 2
+    ({"a": False, "b": False}, {"y": False}),      # row 3
+    ({"y": False}, {"a": False, "b": False}),      # row 4
+    ({"y": True, "a": False}, {"b": True}),        # row 5
+    ({"y": True, "b": False}, {"a": True}),        # row 6
+]
+
+
+@pytest.mark.parametrize("facts,expected", TABLE_I)
+def test_table1_rows(benchmark, facts, expected):
+    module, a, b, y = _or_module()
+    index = NetIndex(module)
+    sigmap = index.sigmap
+    bit_of = {
+        "a": sigmap.map_bit(a[0]),
+        "b": sigmap.map_bit(b[0]),
+        "y": sigmap.map_bit(y[0]),
+    }
+    initial = {bit_of[k]: v for k, v in facts.items()}
+    sub = extract_subgraph(index, bit_of["y"], initial, k=4)
+
+    result = benchmark(lambda: infer(sub, index, initial))
+    assert not result.contradiction
+    for name, value in expected.items():
+        assert result.value_of(bit_of[name]) is value, (facts, name)
+
+
+def test_inference_chain_throughput(benchmark):
+    """Worklist propagation across a 64-gate implication chain."""
+    c = Circuit("chain")
+    s = c.input("s")
+    value = s
+    signals = [value]
+    for i in range(64):
+        r = c.input(f"r{i}")
+        value = c.or_(value, r)
+        signals.append(value)
+    c.output("y", value)
+    module = c.module
+    index = NetIndex(module)
+    sigmap = index.sigmap
+    s_bit = sigmap.map_bit(s[0])
+    target = sigmap.map_bit(signals[-1][0])
+    sub = extract_subgraph(index, target, {s_bit: True}, k=100, max_gates=500)
+
+    result = benchmark(lambda: infer(sub, index, {s_bit: True}))
+    # s=1 must ripple to every or output
+    assert result.value_of(target) is True
+    assert sum(1 for v in result.values.values() if v) >= 64

@@ -1,0 +1,72 @@
+"""Table II — AIG area: Original vs Yosys vs smaRTLy on the 10 cases.
+
+Regenerates the paper's headline table on the synthetic benchmark models.
+Absolute areas are scaled (~x400 smaller, see DESIGN.md); the asserted
+*shape* is the paper's: smaRTLy never loses to Yosys, the per-case
+dominance pattern matches (rebuild-heavy ``top_cache_axi``, SAT-heavy
+``wb_conmax``, saturated ``mem_ctrl``), and the average extra reduction
+lands in the 5-15% band around the paper's 8.95%.
+"""
+
+import pytest
+
+from repro.flow import render_table2
+from repro.workloads import CASE_NAMES, PAPER_TABLE2
+
+from conftest import cached_flow, get_module
+
+
+@pytest.mark.parametrize("case", CASE_NAMES)
+def test_smartly_flow(benchmark, case):
+    """Times the full smaRTLy pipeline per case; checks Table II shape."""
+    module = get_module(case)
+
+    def run_once():
+        from repro.flow import run_flow
+
+        return run_flow(module, "smartly")
+
+    result = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    # memoise for the table/other benches
+    from conftest import _flow_cache
+
+    _flow_cache.setdefault((case, "smartly"), result)
+
+    yosys = cached_flow(case, "yosys")
+    assert result.optimized_area <= yosys.optimized_area, (
+        "smaRTLy must never lose to the Yosys baseline"
+    )
+    assert result.original_area == yosys.original_area
+
+
+def test_table2_shape_and_print(benchmark, table_report):
+    results = {
+        case: {
+            "yosys": cached_flow(case, "yosys"),
+            "smartly": cached_flow(case, "smartly"),
+        }
+        for case in CASE_NAMES
+    }
+    text = benchmark(lambda: render_table2(results))
+    table_report.add("Table II — AIG area comparison (measured vs paper)", text)
+
+    ratios = {}
+    for case, per in results.items():
+        yosys_area = per["yosys"].optimized_area
+        ratios[case] = (
+            (yosys_area - per["smartly"].optimized_area) / yosys_area
+            if yosys_area
+            else 0.0
+        )
+    average = 100 * sum(ratios.values()) / len(ratios)
+    # paper: 8.95% average extra reduction; accept a generous band
+    assert 5.0 <= average <= 15.0, f"average extra reduction {average:.2f}%"
+
+    # per-case dominance shape
+    assert ratios["top_cache_axi"] > 0.15      # paper: 24.92%
+    assert ratios["wb_conmax"] > 0.12          # paper: 27.79%
+    assert ratios["wb_dma"] > 0.05             # paper: 13.89%
+    assert ratios["mem_ctrl"] < 0.03           # paper: 0.53% (saturated)
+    # headline cases beat quiet cases
+    assert ratios["top_cache_axi"] > ratios["ethernet"]
+    assert ratios["wb_conmax"] > ratios["riscv"]

@@ -1,0 +1,59 @@
+"""Unit-economics calibration — the source of ``UNIT_MENU`` constants.
+
+Re-measures the per-unit AIG areas that ``repro.workloads.iwls`` bakes in
+and asserts the baked numbers are still accurate (within tolerance).  If a
+generator change shifts the economics, this bench fails and the menu
+constants must be re-baked from its output.
+"""
+
+import random
+
+import pytest
+
+from repro.aig import aig_map
+from repro.core import run_smartly
+from repro.ir import Circuit
+from repro.opt import run_baseline_opt
+from repro.workloads import InputPool
+from repro.workloads.iwls import UNIT_MENU
+
+
+def _measure(name, reps=3):
+    economics = UNIT_MENU[name]
+    rng = random.Random(1)
+    c = Circuit("cal")
+    pool = InputPool(c, rng, width=8)
+    for i in range(reps):
+        c.output(f"y{i}", economics.build(c, pool, **economics.kwargs))
+    module = c.module
+    orig = aig_map(module.clone()).num_ands
+    baseline = module.clone()
+    run_baseline_opt(baseline)
+    yosys_area = aig_map(baseline).num_ands
+    sat = module.clone()
+    run_smartly(sat, rebuild=False)
+    rebuild = module.clone()
+    run_smartly(rebuild, sat=False)
+    return {
+        "orig": orig // reps,
+        "yosys": (orig - yosys_area) // reps,
+        "satx": (yosys_area - aig_map(sat).num_ands) // reps,
+        "rebx": (yosys_area - aig_map(rebuild).num_ands) // reps,
+    }
+
+
+@pytest.mark.parametrize("name", sorted(UNIT_MENU))
+def test_unit_constants_fresh(benchmark, name, table_report):
+    measured = benchmark.pedantic(lambda: _measure(name), rounds=1, iterations=1)
+    baked = UNIT_MENU[name]
+    key = "Unit calibration — measured vs baked menu constants"
+    table_report.sections[key] = table_report.sections.get(key, "") + (
+        f"{name:<10} orig {measured['orig']:>5} (baked {baked.orig:>5})  "
+        f"yosys {measured['yosys']:>5}/{baked.yosys:<5} "
+        f"satx {measured['satx']:>5}/{baked.satx:<5} "
+        f"rebx {measured['rebx']:>5}/{baked.rebx:<5}\n"
+    )
+    assert measured["orig"] == pytest.approx(baked.orig, rel=0.25, abs=40)
+    assert measured["yosys"] == pytest.approx(baked.yosys, rel=0.30, abs=60)
+    assert measured["satx"] == pytest.approx(baked.satx, rel=0.30, abs=60)
+    assert measured["rebx"] == pytest.approx(baked.rebx, rel=0.35, abs=60)

@@ -1,0 +1,73 @@
+"""Shared benchmark infrastructure.
+
+``flow_cache`` memoises (case, optimizer) flow runs for the whole pytest
+session so Table II, Table III and the ablations do not re-optimize the
+same circuits; tables print at session end through the ``table_report``
+collector.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.flow import run_flow
+from repro.flow.pipeline import FlowResult
+from repro.workloads import build_case
+from repro.workloads.industrial import INDUSTRIAL_POINTS, build_point
+
+_flow_cache: Dict[Tuple[str, str], FlowResult] = {}
+_module_cache: Dict[str, object] = {}
+
+
+def get_module(name: str):
+    if name not in _module_cache:
+        if name.startswith("ind_"):
+            point = next(p for p in INDUSTRIAL_POINTS if p.name == name)
+            _module_cache[name] = build_point(point)
+        else:
+            _module_cache[name] = build_case(name)
+    return _module_cache[name]
+
+
+def cached_flow(case: str, optimizer: str) -> FlowResult:
+    key = (case, optimizer)
+    if key not in _flow_cache:
+        _flow_cache[key] = run_flow(get_module(case), optimizer)
+    return _flow_cache[key]
+
+
+@pytest.fixture(scope="session")
+def flow_cache():
+    return cached_flow
+
+
+class _Report:
+    """Collects rendered tables; prints them once at session end."""
+
+    def __init__(self):
+        self.sections: Dict[str, str] = {}
+
+    def add(self, title: str, text: str) -> None:
+        self.sections[title] = text
+
+
+_report = _Report()
+
+
+@pytest.fixture(scope="session")
+def table_report():
+    return _report
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _report.sections:
+        return
+    print("\n")
+    for title, text in _report.sections.items():
+        print("=" * 72)
+        print(title)
+        print("=" * 72)
+        print(text)
+        print()

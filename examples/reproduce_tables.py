@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's Tables II/III and the industrial summary.
+
+Equivalent to ``smartly bench table2|table3|industrial`` but in one script,
+with optional equivalence checking of every optimized netlist.
+
+Run:  python examples/reproduce_tables.py [--check] [--fast]
+"""
+
+import argparse
+import sys
+import time
+
+from repro.flow import (
+    render_industrial,
+    render_table2,
+    render_table3,
+    run_flow,
+)
+from repro.workloads import CASE_NAMES, build_case, build_industrial
+
+FAST_CASES = ("wb_conmax", "wb_dma", "ac97_ctrl", "mem_ctrl")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--check", action="store_true",
+                        help="prove equivalence of every optimized netlist")
+    parser.add_argument("--fast", action="store_true",
+                        help="only run four representative cases")
+    parser.add_argument("--skip-industrial", action="store_true")
+    args = parser.parse_args(argv)
+
+    cases = FAST_CASES if args.fast else CASE_NAMES
+    optimizers = ("yosys", "smartly-sat", "smartly-rebuild", "smartly")
+
+    results = {}
+    start = time.time()
+    for name in cases:
+        module = build_case(name)
+        results[name] = {
+            opt: run_flow(module, opt, check=args.check) for opt in optimizers
+        }
+        print(f"  {name}: done ({time.time() - start:.0f}s)", file=sys.stderr)
+
+    print()
+    print("Table II — AIG area, measured vs paper")
+    print(render_table2(results))
+    print()
+    print("Table III — per-technique reduction vs Yosys, measured | paper")
+    print(render_table3(results))
+
+    if not args.skip_industrial:
+        industrial = {}
+        for name, module in build_industrial().items():
+            industrial[name] = {
+                opt: run_flow(module, opt, check=args.check)
+                for opt in ("yosys", "smartly")
+            }
+            print(f"  {name}: done ({time.time() - start:.0f}s)",
+                  file=sys.stderr)
+        print()
+        print("Industrial benchmark (§IV-B)")
+        print(render_industrial(industrial))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment has setuptools without the ``wheel`` package, so
+PEP 517 editable installs fail with ``invalid command 'bdist_wheel'``.
+``pip install -e . --no-build-isolation --no-use-pep517`` uses this shim via
+``setup.py develop`` instead.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""smaRTLy reproduction — RTL multiplexer optimization with logic
+inferencing and structural rebuilding (DAC 2025).
+
+Subpackages
+-----------
+``repro.ir``
+    Word-level RTL netlist IR (wires, cells, modules, builder, walkers).
+``repro.frontend``
+    Verilog-subset lexer/parser/elaborator producing IR netlists.
+``repro.sim``
+    Three-valued and vector simulation.
+``repro.sat``
+    MiniSAT-style CDCL SAT solver, CNF containers, Tseitin encoding.
+``repro.aig``
+    Structurally-hashed And-Inverter Graph and the ``aigmap`` bit-blaster.
+``repro.opt``
+    Pass framework and baseline passes, including the Yosys ``opt_muxtree``
+    reimplementation.
+``repro.core``
+    The paper's contribution: SAT-based redundancy elimination and
+    ADD-based muxtree restructuring.
+``repro.equiv``
+    SAT-based combinational equivalence checking.
+``repro.workloads``
+    Synthetic benchmark circuit generators (IWLS-2005/RISC-V models and the
+    industrial benchmark).
+``repro.flow``
+    End-to-end synthesis flows and the Table II/III report renderers.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,57 @@
+"""AIG-to-CNF translation for SAT-based equivalence checking.
+
+Each AIG variable becomes one solver variable; AND nodes get the standard
+three clauses.  Much leaner than word-level Tseitin for miter solving.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..sat.solver import Solver
+from .aig import AIG
+
+
+def aig_to_solver(
+    aig: AIG, solver: Optional[Solver] = None
+) -> Tuple[Solver, List[int]]:
+    """Encode the AIG; returns ``(solver, var_map)``.
+
+    ``var_map[v]`` is the solver variable for AIG variable ``v`` (index 0
+    holds the constant-true solver variable so AIG literal translation is
+    uniform).
+    """
+    if solver is None:
+        solver = Solver()
+    const_var = solver.new_var()
+    solver.add_clause([const_var])  # AIG var 0 is constant FALSE; lit 1 TRUE
+    var_map: List[int] = [const_var]
+    for _ in range(aig.max_var):
+        var_map.append(solver.new_var())
+
+    def lit(aig_lit: int) -> int:
+        var = var_map[aig_lit >> 1]
+        # AIG literal 0 = false = NOT const_true
+        if aig_lit >> 1 == 0:
+            base = -const_var
+        else:
+            base = var
+        return -base if aig_lit & 1 else base
+
+    base_var = aig.num_inputs + 1
+    for i, (f0, f1) in enumerate(aig._ands):
+        y = var_map[base_var + i]
+        a, b = lit(f0), lit(f1)
+        solver.add_clause([-a, -b, y])
+        solver.add_clause([a, -y])
+        solver.add_clause([b, -y])
+    return solver, var_map
+
+
+def aig_lit_to_solver_lit(aig_lit: int, var_map: List[int], const_var: int) -> int:
+    """Translate one AIG literal given the map from :func:`aig_to_solver`."""
+    if aig_lit >> 1 == 0:
+        base = -const_var
+    else:
+        base = var_map[aig_lit >> 1]
+    return -base if aig_lit & 1 else base

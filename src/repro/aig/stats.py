@@ -1,0 +1,37 @@
+"""AIG statistics records used by the flow and the benchmark tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .aig import AIG
+
+
+@dataclass(frozen=True)
+class AigStats:
+    """The numbers the paper reports per netlist."""
+
+    num_inputs: int
+    num_outputs: int
+    num_ands: int
+    levels: int
+
+    @property
+    def area(self) -> int:
+        """AIG area = number of AND gates (the paper's metric)."""
+        return self.num_ands
+
+    def __str__(self) -> str:
+        return (
+            f"i={self.num_inputs} o={self.num_outputs} "
+            f"and={self.num_ands} lev={self.levels}"
+        )
+
+
+def aig_stats(aig: AIG) -> AigStats:
+    return AigStats(
+        num_inputs=aig.num_inputs,
+        num_outputs=len(aig.outputs),
+        num_ands=aig.num_ands,
+        levels=aig.levels(),
+    )

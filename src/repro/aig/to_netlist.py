@@ -1,0 +1,115 @@
+"""AIG -> netlist import: rebuild a Module from an And-Inverter Graph.
+
+Complements :func:`~repro.aig.aigmap.aig_map`: together they form a lossless
+(functionally) bridge between the word-level IR and the bit-level AIG, so
+AIGER files can enter the flow (statistics, equivalence checking, Verilog
+export) and mapped designs can round-trip in tests.
+
+Inverters ride on complemented edges, so the netlist uses one ``and`` cell
+per AIG node plus at most one ``not`` per distinct complemented literal.
+Input/output names of the AIG are preserved; names like ``a[3]`` are
+re-assembled into multi-bit wires.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from ..ir.cells import CellType
+from ..ir.module import Module
+from ..ir.signals import BIT0, BIT1, SigBit, SigSpec
+from .aig import AIG
+
+_BIT_NAME = re.compile(r"^(.*)\[(\d+)\]$")
+
+
+def _group_bit_names(names: List[str]) -> Dict[str, int]:
+    """Group ``name[i]`` entries into vectors: base name -> width."""
+    widths: Dict[str, int] = {}
+    for name in names:
+        match = _BIT_NAME.match(name)
+        if match:
+            base, index = match.group(1), int(match.group(2))
+            widths[base] = max(widths.get(base, 0), index + 1)
+        else:
+            widths[name] = max(widths.get(name, 0), 1)
+    return widths
+
+
+def aig_to_module(aig: AIG, name: str = "from_aig") -> Module:
+    """Build a Module whose combinational function equals the AIG's.
+
+    Sanitises port names (``.`` and ``$`` become ``_``) so the result also
+    survives the Verilog writer and the frontend.
+    """
+    module = Module(name)
+
+    def sanitize(text: str) -> str:
+        return "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in text)
+
+    # -- inputs --------------------------------------------------------------
+    in_widths = _group_bit_names(aig.input_names)
+    wires: Dict[str, object] = {}
+    for base, width in in_widths.items():
+        wires[base] = module.add_wire(sanitize(base), width, port_input=True)
+
+    bit_of_input: Dict[int, SigBit] = {}
+    counters: Dict[str, int] = {}
+    for position, full_name in enumerate(aig.input_names):
+        match = _BIT_NAME.match(full_name)
+        if match:
+            base, index = match.group(1), int(match.group(2))
+        else:
+            base, index = full_name, 0
+        bit_of_input[position + 1] = SigBit(wires[base], index)
+
+    # -- AND nodes -------------------------------------------------------------
+    lit_spec: Dict[int, SigBit] = {}
+    not_cache: Dict[int, SigBit] = {}
+
+    def spec_of(lit: int) -> SigBit:
+        if lit == 0:
+            return BIT0
+        if lit == 1:
+            return BIT1
+        var = lit >> 1
+        if lit & 1 == 0:
+            if var in lit_spec:
+                return lit_spec[var]
+            bit = bit_of_input[var]
+            lit_spec[var] = bit
+            return bit
+        cached = not_cache.get(var)
+        if cached is not None:
+            return cached
+        cell = module.add_cell(CellType.NOT, A=SigSpec([spec_of(lit & ~1)]))
+        out = cell.connections["Y"][0]
+        not_cache[var] = out
+        return out
+
+    base_var = aig.num_inputs + 1
+    for offset, (f0, f1) in enumerate(aig._ands):
+        cell = module.add_cell(
+            CellType.AND,
+            A=SigSpec([spec_of(f0)]),
+            B=SigSpec([spec_of(f1)]),
+        )
+        lit_spec[base_var + offset] = cell.connections["Y"][0]
+
+    # -- outputs ----------------------------------------------------------------
+    out_widths = _group_bit_names([name for name, _lit in aig.outputs])
+    out_wires = {
+        base: module.add_wire(sanitize(base), width, port_output=True)
+        for base, width in out_widths.items()
+    }
+    for full_name, lit in aig.outputs:
+        match = _BIT_NAME.match(full_name)
+        if match:
+            base, index = match.group(1), int(match.group(2))
+        else:
+            base, index = full_name, 0
+        module.connect(
+            SigSpec([SigBit(out_wires[base], index)]), SigSpec([spec_of(lit)])
+        )
+    return module

@@ -1,0 +1,200 @@
+"""Command-line interface.
+
+::
+
+    smartly opt design.v [--top NAME] [--optimizer smartly] [--check]
+    smartly stats design.v
+    smartly bench table2 | table3 | industrial
+    smartly aig design.v -o design.aag
+    smartly write design.v -o optimized.v [--optimizer smartly]
+    smartly equiv gold.v gate.v
+
+The ``bench`` subcommands regenerate the paper's tables on the synthetic
+benchmark suite and print measured-vs-paper columns.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, Optional
+
+from .aig import aig_map, aig_stats, write_aiger
+from .flow import (
+    OPTIMIZERS,
+    render_industrial,
+    render_table2,
+    render_table3,
+    run_flow,
+)
+from .frontend import compile_verilog
+from .workloads import CASE_NAMES, build_case, build_industrial
+
+
+def _load_module(path: str, top: Optional[str]):
+    """Load Verilog (.v) or ASCII AIGER (.aag) into a netlist module."""
+    with open(path) as handle:
+        text = handle.read()
+    if path.endswith(".aag") or text.startswith("aag "):
+        from .aig import aig_to_module, read_aiger
+
+        return aig_to_module(read_aiger(text), name=top or "from_aig")
+    design = compile_verilog(text, top=top)
+    return design.top
+
+
+def cmd_opt(args: argparse.Namespace) -> int:
+    module = _load_module(args.source, args.top)
+    result = run_flow(module, args.optimizer, check=args.check)
+    print(
+        f"{module.name}: original AIG area {result.original_area} -> "
+        f"{result.optimized_area} ({100 * result.reduction_vs_original:.2f}% "
+        f"reduction, {args.optimizer})"
+    )
+    if args.check:
+        print("equivalence check: PASSED")
+    for key, value in sorted(result.pass_stats.items()):
+        print(f"  {key} = {value}")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    module = _load_module(args.source, args.top)
+    print(f"module {module.name}")
+    for key, value in sorted(module.stats().items()):
+        print(f"  {key:16s} {value}")
+    print(f"  {'aig':16s} {aig_stats(aig_map(module))}")
+    return 0
+
+
+def cmd_aig(args: argparse.Namespace) -> int:
+    module = _load_module(args.source, args.top)
+    aig = aig_map(module)
+    if args.output:
+        with open(args.output, "w") as handle:
+            write_aiger(aig, handle)
+        print(f"wrote {args.output}: {aig_stats(aig)}")
+    else:
+        write_aiger(aig, sys.stdout)
+    return 0
+
+
+def _run_suite(cases: Dict[str, object], optimizers) -> Dict[str, Dict]:
+    results: Dict[str, Dict] = {}
+    for name, module in cases.items():
+        per = {}
+        for optimizer in optimizers:
+            per[optimizer] = run_flow(module, optimizer)
+        results[name] = per
+        print(f"  {name}: done", file=sys.stderr)
+    return results
+
+
+def cmd_write(args: argparse.Namespace) -> int:
+    from .flow.pipeline import optimize
+    from .ir import verilog_str
+
+    module = _load_module(args.source, args.top)
+    if args.optimizer != "none":
+        optimize(module, args.optimizer)
+    text = verilog_str(module)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output} ({args.optimizer})")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def cmd_equiv(args: argparse.Namespace) -> int:
+    from .equiv import check_equivalence
+
+    gold = _load_module(args.gold, args.top)
+    gate = _load_module(args.gate, args.top)
+    result = check_equivalence(gold, gate)
+    if result.equivalent:
+        print(f"EQUIVALENT (proved by {result.method})")
+        return 0
+    print(f"NOT EQUIVALENT (found by {result.method})")
+    for name, value in sorted(result.counterexample.items()):
+        print(f"  {name} = {value}")
+    return 1
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    if args.table == "table2":
+        cases = {name: build_case(name) for name in CASE_NAMES}
+        results = _run_suite(cases, ("yosys", "smartly"))
+        print(render_table2(results))
+    elif args.table == "table3":
+        cases = {name: build_case(name) for name in CASE_NAMES}
+        results = _run_suite(
+            cases, ("yosys", "smartly-sat", "smartly-rebuild", "smartly")
+        )
+        print(render_table3(results))
+    elif args.table == "industrial":
+        results = _run_suite(build_industrial(), ("yosys", "smartly"))
+        print(render_industrial(results))
+    else:
+        raise ValueError(f"unknown bench {args.table!r}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="smartly",
+        description="smaRTLy RTL multiplexer optimization (DAC 2025 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_opt = sub.add_parser("opt", help="optimize a Verilog file and report AIG area")
+    p_opt.add_argument("source")
+    p_opt.add_argument("--top", default=None)
+    p_opt.add_argument("--optimizer", choices=OPTIMIZERS, default="smartly")
+    p_opt.add_argument("--check", action="store_true",
+                       help="prove equivalence of the optimized netlist")
+    p_opt.set_defaults(func=cmd_opt)
+
+    p_stats = sub.add_parser("stats", help="print cell and AIG statistics")
+    p_stats.add_argument("source")
+    p_stats.add_argument("--top", default=None)
+    p_stats.set_defaults(func=cmd_stats)
+
+    p_aig = sub.add_parser("aig", help="map to AIG and write AIGER")
+    p_aig.add_argument("source")
+    p_aig.add_argument("--top", default=None)
+    p_aig.add_argument("-o", "--output", default=None)
+    p_aig.set_defaults(func=cmd_aig)
+
+    p_write = sub.add_parser(
+        "write", help="optimize and write structural Verilog"
+    )
+    p_write.add_argument("source")
+    p_write.add_argument("--top", default=None)
+    p_write.add_argument("--optimizer", choices=OPTIMIZERS, default="smartly")
+    p_write.add_argument("-o", "--output", default=None)
+    p_write.set_defaults(func=cmd_write)
+
+    p_equiv = sub.add_parser(
+        "equiv", help="SAT-prove two Verilog files equivalent"
+    )
+    p_equiv.add_argument("gold")
+    p_equiv.add_argument("gate")
+    p_equiv.add_argument("--top", default=None)
+    p_equiv.set_defaults(func=cmd_equiv)
+
+    p_bench = sub.add_parser("bench", help="regenerate a paper table")
+    p_bench.add_argument("table", choices=("table2", "table3", "industrial"))
+    p_bench.set_defaults(func=cmd_bench)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""The paper's contribution: smaRTLy's two muxtree optimizations.
+
+* :class:`~repro.core.redundancy.SatRedundancy` — SAT-based redundancy
+  elimination over reduced sub-graphs (paper §II),
+* :class:`~repro.core.restructure.MuxtreeRestructure` — ADD-based muxtree
+  restructuring (paper §III, Algorithm 1),
+* :func:`~repro.core.smartly.run_smartly` — the combined flow.
+"""
+
+from .add import ADD, ADDNode, case_table
+from .inference import Contradiction, InferenceEngine, InferenceResult, infer
+from .redundancy import SatRedundancy
+from .restructure import CaseTree, MuxtreeRestructure, eq_aig_cost, mux_aig_cost
+from .smartly import Smartly, SmartlyOptions, run_smartly
+from .subgraph import SubGraph, extract_subgraph
+
+__all__ = [
+    "ADD",
+    "ADDNode",
+    "CaseTree",
+    "Contradiction",
+    "InferenceEngine",
+    "InferenceResult",
+    "MuxtreeRestructure",
+    "SatRedundancy",
+    "Smartly",
+    "SmartlyOptions",
+    "SubGraph",
+    "case_table",
+    "eq_aig_cost",
+    "extract_subgraph",
+    "infer",
+    "mux_aig_cost",
+    "run_smartly",
+]

@@ -1,0 +1,216 @@
+"""Algebraic Decision Diagram with the paper's greedy variable heuristic.
+
+An ADD generalises a BDD to arbitrary terminal sets — here the terminals
+are the data operands (``p0..pN`` and the default) of a case statement, and
+the decision variables are the individual bits of the case selector.
+
+Finding the optimal variable order is NP-complete (as for BDDs), so the
+paper uses a greedy rule: *at every node, pick the selector bit that
+minimises the total number of distinct terminals of the two children*
+(paper §III, illustrated on Listing 2: choosing S2 first scores 4 —
+left {p1,p2,p3} / right {p0} — while S0 scores 6).  Nodes are hash-consed,
+so the result is a DAG and equal cofactors collapse (low == high elides the
+node), exactly like reduced ordered BDDs but with a per-node variable
+choice (a "free" ADD).
+
+The number of internal nodes is the number of 2:1 muxes the rebuilt tree
+needs; :meth:`ADD.depth` is its height.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class ADDNode:
+    """Either a terminal (``value`` set) or an internal decision node."""
+
+    var: Optional[int] = None
+    low: Optional["ADDNode"] = None
+    high: Optional["ADDNode"] = None
+    value: Optional[Hashable] = None
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.var is None
+
+    def __repr__(self) -> str:
+        if self.is_terminal:
+            return f"Terminal({self.value!r})"
+        return f"Node(v{self.var}, {self.low!r}, {self.high!r})"
+
+
+class ADD:
+    """A hash-consed ADD built from an exhaustive output table.
+
+    ``table[i]`` is the (hashable) terminal for the selector assignment
+    whose bit *j* equals bit *j* of *i*; ``num_vars`` is the selector
+    width.  Build cost is O(2^w · w) per level, fine for the case-selector
+    widths (≤ ~12) this library restructures.
+    """
+
+    def __init__(self, num_vars: int, table: Sequence[Hashable]):
+        if len(table) != 1 << num_vars:
+            raise ValueError(
+                f"table needs {1 << num_vars} entries, got {len(table)}"
+            )
+        self.num_vars = num_vars
+        self._terminals: Dict[Hashable, ADDNode] = {}
+        self._nodes: Dict[Tuple[int, int, int], ADDNode] = {}
+        self.root = self._build(tuple(range(num_vars)), tuple(table))
+
+    # -- construction -------------------------------------------------------
+
+    def _terminal(self, value: Hashable) -> ADDNode:
+        node = self._terminals.get(value)
+        if node is None:
+            node = ADDNode(value=value)
+            self._terminals[value] = node
+        return node
+
+    def _cons(self, var: int, low: ADDNode, high: ADDNode) -> ADDNode:
+        if low is high:
+            return low
+        key = (var, id(low), id(high))
+        node = self._nodes.get(key)
+        if node is None:
+            node = ADDNode(var=var, low=low, high=high)
+            self._nodes[key] = node
+        return node
+
+    @staticmethod
+    def _cofactors(
+        table: Tuple[Hashable, ...], position: int
+    ) -> Tuple[Tuple[Hashable, ...], Tuple[Hashable, ...]]:
+        """Split on the variable at bit ``position`` of the table index."""
+        low: List[Hashable] = []
+        high: List[Hashable] = []
+        stride = 1 << position
+        for base in range(0, len(table), stride * 2):
+            low.extend(table[base:base + stride])
+            high.extend(table[base + stride:base + stride * 2])
+        return tuple(low), tuple(high)
+
+    def _build(
+        self,
+        vars_left: Tuple[int, ...],
+        table: Tuple[Hashable, ...],
+        memo: Optional[Dict] = None,
+    ) -> ADDNode:
+        if memo is None:
+            memo = {}
+        key = (vars_left, table)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        distinct = set(table)
+        if len(distinct) == 1:
+            node = self._terminal(table[0])
+            memo[key] = node
+            return node
+        # the paper's heuristic: minimise |terminals(low)| + |terminals(high)|
+        best_pos = 0
+        best_score = None
+        for pos in range(len(vars_left)):
+            low, high = self._cofactors(table, pos)
+            score = len(set(low)) + len(set(high))
+            if best_score is None or score < best_score:
+                best_score = score
+                best_pos = pos
+        low_table, high_table = self._cofactors(table, best_pos)
+        var = vars_left[best_pos]
+        rest = vars_left[:best_pos] + vars_left[best_pos + 1:]
+        node = self._cons(
+            var,
+            self._build(rest, low_table, memo),
+            self._build(rest, high_table, memo),
+        )
+        memo[key] = node
+        return node
+
+    # -- queries ----------------------------------------------------------------
+
+    @property
+    def num_internal_nodes(self) -> int:
+        """Distinct decision nodes = 2:1 muxes needed by the rebuild."""
+        seen: set = set()
+        count = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if id(node) in seen or node.is_terminal:
+                continue
+            seen.add(id(node))
+            count += 1
+            stack.append(node.low)
+            stack.append(node.high)
+        return count
+
+    @property
+    def num_terminals(self) -> int:
+        seen: set = set()
+        stack = [self.root]
+        terminals = set()
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            if node.is_terminal:
+                terminals.add(node.value)
+            else:
+                stack.append(node.low)
+                stack.append(node.high)
+        return len(terminals)
+
+    def depth(self) -> int:
+        """Longest root-to-terminal path (mux levels of the rebuilt tree)."""
+        memo: Dict[int, int] = {}
+
+        def walk(node: ADDNode) -> int:
+            if node.is_terminal:
+                return 0
+            cached = memo.get(id(node))
+            if cached is not None:
+                return cached
+            value = 1 + max(walk(node.low), walk(node.high))
+            memo[id(node)] = value
+            return value
+
+        return walk(self.root)
+
+    def evaluate(self, assignment: int) -> Hashable:
+        """The terminal selected when selector bit j = bit j of assignment."""
+        node = self.root
+        while not node.is_terminal:
+            node = node.high if (assignment >> node.var) & 1 else node.low
+        return node.value
+
+    def __repr__(self) -> str:
+        return (
+            f"ADD({self.num_vars} vars, {self.num_internal_nodes} nodes, "
+            f"{self.num_terminals} terminals)"
+        )
+
+
+def case_table(
+    num_vars: int,
+    rows: Sequence[Tuple[Dict[int, bool], Hashable]],
+    default: Hashable,
+) -> List[Hashable]:
+    """Exhaustive first-match-wins table for a priority case statement.
+
+    Each row is ``(cube, value)`` where the cube maps selector bit index ->
+    required value (missing bits are don't-care, like ``casez``).
+    """
+    table: List[Hashable] = []
+    for assignment in range(1 << num_vars):
+        chosen = default
+        for cube, value in rows:
+            if all(((assignment >> bit) & 1) == int(want) for bit, want in cube.items()):
+                chosen = value
+                break
+        table.append(chosen)
+    return table

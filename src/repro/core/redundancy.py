@@ -1,0 +1,248 @@
+"""SAT-based redundancy elimination (paper §II) — the ``smartly_sat`` pass.
+
+The pass extends the baseline muxtree traversal: when the value of a control
+(or data) bit is not decided by *identical* path signals, smaRTLy builds the
+distance-``k`` sub-graph around it, reduces the sub-graph with the
+Theorem II.1 support grouping, and escalates through three deciders:
+
+1. the Table-I **inference rules** (cheap implication propagation),
+2. **exhaustive simulation** when the reduced sub-graph has at most
+   ``sim_threshold`` free inputs (bit-parallel over all 2^n vectors),
+3. the **CDCL SAT solver** when it has at most ``sat_threshold`` inputs:
+   the control S is fixed iff ``SAT(S=1)`` or ``SAT(S=0)`` is unsatisfiable
+   under the path assumptions.
+
+Above ``sat_threshold`` free inputs the query is forgone (the paper's
+safeguard against the optimizer becoming the synthesis bottleneck).
+
+A contradiction (both polarities unsatisfiable, or inconsistent facts)
+means the path into this mux can never be active; the branch is then pruned
+to an arbitrary operand, which is sound because the operand is never
+observed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from ..ir.module import Module
+from ..ir.signals import SigBit, State
+from ..ir.walker import NetIndex
+from ..opt.pass_base import PassResult, register_pass
+from ..opt.opt_muxtree import OptMuxtree
+from ..sat.solver import Solver
+from ..sat.tseitin import CircuitEncoder
+from ..sim.eval import eval_cell_masks
+from .inference import infer
+from .subgraph import SubGraph, extract_subgraph
+
+_FactsKey = Tuple[SigBit, FrozenSet[Tuple[SigBit, bool]]]
+
+
+@register_pass
+class SatRedundancy(OptMuxtree):
+    """Muxtree pruning with logic inferencing over sub-graphs + SAT."""
+
+    name = "smartly_sat"
+
+    def __init__(
+        self,
+        k: int = 4,
+        data_k: int = 2,
+        sim_threshold: int = 8,
+        sat_threshold: int = 64,
+        max_conflicts: int = 2000,
+        max_gates: int = 500,
+        data_inference: bool = True,
+    ):
+        self.k = k
+        self.data_k = data_k
+        self.sim_threshold = sim_threshold
+        self.sat_threshold = sat_threshold
+        self.max_conflicts = max_conflicts
+        self.max_gates = max_gates
+        self.data_inference = data_inference
+        self._data_cache: Dict[_FactsKey, Optional[bool]] = {}
+
+    def execute(self, module: Module, result: PassResult) -> None:
+        self._data_cache.clear()
+        super().execute(module, result)
+
+    # -- hook overrides -----------------------------------------------------------
+
+    def _resolve_ctrl_value(self, bit, facts):
+        direct = self._bit_value(bit, facts)
+        if direct is not None:
+            return direct
+        if not facts:
+            # no path knowledge yet: only constants could decide the control,
+            # and opt_expr already folds constant cones
+            return None
+        cbit = self.sigmap.map_bit(bit)
+        if cbit.is_const:
+            return None  # x constant: undecidable by design
+        return self._deep_resolve(cbit, facts, self.k, allow_solvers=True)
+
+    def _resolve_data_value(self, bit, facts):
+        direct = self._bit_value(bit, facts)
+        if direct is not None:
+            return direct
+        if not self.data_inference or not facts:
+            return None
+        cbit = self.sigmap.map_bit(bit)
+        if cbit.is_const:
+            return None
+        if self.index.comb_driver(cbit) is None:
+            # a free source bit can only be decided by a direct fact
+            # (handled above); skip the expensive sub-graph machinery
+            return None
+        key = (cbit, frozenset(facts.items()))
+        if key in self._data_cache:
+            return self._data_cache[key]
+        value = self._deep_resolve(cbit, facts, self.data_k, allow_solvers=False)
+        self._data_cache[key] = value
+        return value
+
+    # -- the inference / simulation / SAT ladder ---------------------------------------
+
+    def _deep_resolve(
+        self,
+        target: SigBit,
+        facts: Dict[SigBit, bool],
+        k: int,
+        allow_solvers: bool,
+    ) -> Optional[bool]:
+        subgraph = extract_subgraph(
+            self.index, target, facts, k=k, max_gates=self.max_gates
+        )
+        self.result.stats.setdefault("subgraph_gates_before", 0)
+        self.result.stats["subgraph_gates_before"] += subgraph.gates_before
+        self.result.stats.setdefault("subgraph_gates_after", 0)
+        self.result.stats["subgraph_gates_after"] += subgraph.gates_after
+
+        # 1. inference rules (Table I)
+        inference = infer(subgraph, self.index, subgraph.known)
+        if inference.contradiction:
+            if facts:
+                self.result.bump("dead_paths")
+                return False  # path never active: either branch is sound
+            return None
+        value = inference.value_of(target)
+        if value is not None:
+            self.result.bump("ctrl_inferred" if allow_solvers else "data_inferred")
+            return value
+        if not allow_solvers:
+            return None
+
+        # 2. exhaustive simulation for small input counts
+        if subgraph.num_inputs <= self.sim_threshold:
+            self.result.bump("sim_queries")
+            decided = self._simulate(subgraph, facts)
+            if decided is not None:
+                self.result.bump("ctrl_sim_decided")
+            return decided
+
+        # 3. SAT for medium input counts
+        if subgraph.num_inputs <= self.sat_threshold:
+            self.result.bump("sat_queries")
+            decided = self._sat_decide(subgraph, facts)
+            if decided is not None:
+                self.result.bump("ctrl_sat_decided")
+            return decided
+
+        self.result.bump("skipped_large")
+        return None
+
+    # -- exhaustive simulation ------------------------------------------------------------
+
+    def _simulate(
+        self, subgraph: SubGraph, facts: Dict[SigBit, bool]
+    ) -> Optional[bool]:
+        n = subgraph.num_inputs
+        nvec = 1 << n
+        mask = (1 << nvec) - 1  # one mask bit per simulated vector
+        values: Dict[SigBit, int] = {}
+        for i, bit in enumerate(subgraph.inputs):
+            period = 1 << i
+            pattern = 0
+            block = (1 << period) - 1
+            for start in range(period, nvec, 2 * period):
+                pattern |= block << start
+            values[bit] = pattern
+        for bit, val in subgraph.known.items():
+            values.setdefault(bit, mask if val else 0)
+
+        sigmap = self.sigmap
+
+        def bit_mask(bit: SigBit) -> int:
+            cbit = sigmap.map_bit(bit)
+            if cbit.is_const:
+                return mask if cbit.state is State.S1 else 0
+            return values.get(cbit, 0)
+
+        from ..ir.cells import input_ports
+
+        # internal known bits are *not* pinned: their computed masks feed the
+        # path-consistency selector below (source knowns stay pinned because
+        # nothing in the sub-graph drives them)
+        for cell in subgraph.cells:  # already topologically ordered
+            inputs = {
+                p: [bit_mask(b) for b in cell.connections[p]]
+                for p in input_ports(cell.type)
+            }
+            outputs = eval_cell_masks(cell, inputs, mask)
+            for pname, masks in outputs.items():
+                for bit, m in zip(cell.connections[pname], masks):
+                    values[sigmap.map_bit(bit)] = m
+
+        # restrict to vectors where the internal known facts hold
+        selector = mask
+        for bit, val in subgraph.known.items():
+            computed = values.get(bit)
+            if computed is None:
+                continue
+            selector &= computed if val else (~computed & mask)
+        if selector == 0:
+            if facts:
+                self.result.bump("dead_paths")
+                return False
+            return None
+        target_mask = bit_mask(subgraph.target)
+        if target_mask & selector == 0:
+            return False
+        if (~target_mask & mask) & selector == 0:
+            return True
+        return None
+
+    # -- SAT decision --------------------------------------------------------------------------
+
+    def _sat_decide(
+        self, subgraph: SubGraph, facts: Dict[SigBit, bool]
+    ) -> Optional[bool]:
+        solver = Solver()
+        encoder = CircuitEncoder(solver, self.sigmap)
+        for cell in subgraph.cells:
+            encoder.encode_cell(cell)
+        assumptions = [
+            encoder.lit(bit) if val else -encoder.lit(bit)
+            for bit, val in subgraph.known.items()
+        ]
+        target_lit = encoder.lit(subgraph.target)
+
+        can_be_true = solver.solve(
+            assumptions + [target_lit], max_conflicts=self.max_conflicts
+        )
+        if can_be_true is False:
+            # check for a dead path (both polarities impossible)
+            can_be_false = solver.solve(
+                assumptions + [-target_lit], max_conflicts=self.max_conflicts
+            )
+            if can_be_false is False and facts:
+                self.result.bump("dead_paths")
+            return False
+        can_be_false = solver.solve(
+            assumptions + [-target_lit], max_conflicts=self.max_conflicts
+        )
+        if can_be_false is False:
+            return True
+        return None

@@ -1,0 +1,121 @@
+"""The combined smaRTLy optimization flow.
+
+The paper evaluates three configurations (Table III):
+
+* **SAT**      — SAT-based redundancy elimination only (``smartly_sat``),
+* **Rebuild**  — muxtree restructuring only (``smartly_rebuild``),
+* **Full**     — both, which compose: restructuring lowers tree heights and
+  simplifies control ports, shrinking the sub-graphs the SAT stage must
+  reason about, so Full typically beats the sum of its parts.
+
+``run_smartly`` wraps the passes with the same generic cleanup
+(``opt_expr`` / ``opt_merge`` / ``opt_clean``) used around the Yosys
+baseline, so area comparisons isolate the muxtree strategy itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..ir.module import Module
+from ..opt.opt_clean import OptClean
+from ..opt.opt_expr import OptExpr
+from ..opt.opt_merge import OptMerge
+from ..opt.pass_base import Pass, PassManager, PassResult, register_pass
+from .redundancy import SatRedundancy
+from .restructure import MuxtreeRestructure
+
+
+@dataclass
+class SmartlyOptions:
+    """Tuning knobs collected in one place (paper §II/§III parameters)."""
+
+    #: enable the SAT-based redundancy elimination stage
+    sat: bool = True
+    #: enable the ADD-based muxtree restructuring stage
+    rebuild: bool = True
+    #: sub-graph radius k (gates) around each control port
+    k: int = 4
+    #: sub-graph radius for data-port queries (inference only)
+    data_k: int = 2
+    #: exhaustive simulation when free inputs <= sim_threshold
+    sim_threshold: int = 8
+    #: SAT solving when free inputs <= sat_threshold (else forgo, paper §II)
+    sat_threshold: int = 64
+    #: per-query CDCL conflict budget
+    max_conflicts: int = 2000
+    #: raw neighbourhood cap before Theorem II.1 reduction
+    max_gates: int = 500
+    #: largest case-selector width restructuring will tabulate
+    max_sel_width: int = 12
+    #: minimum estimated AIG gain before a tree is rebuilt
+    min_gain: int = 1
+    #: maximum optimisation rounds (restructure + SAT interleave)
+    max_rounds: int = 4
+
+
+@register_pass
+class Smartly(Pass):
+    """One optimization round: restructure, then SAT-prune, then clean."""
+
+    name = "smartly"
+
+    def __init__(self, options: Optional[SmartlyOptions] = None, **overrides):
+        base = options if options is not None else SmartlyOptions()
+        for key, value in overrides.items():
+            if not hasattr(base, key):
+                raise TypeError(f"unknown smaRTLy option {key!r}")
+            setattr(base, key, value)
+        self.options = base
+
+    def execute(self, module: Module, result: PassResult) -> None:
+        opts = self.options
+        passes = []
+        if opts.rebuild:
+            # restructuring first: it simplifies the control ports the SAT
+            # stage will reason about (paper §IV-A's composition argument)
+            passes.append(
+                MuxtreeRestructure(
+                    max_sel_width=opts.max_sel_width, min_gain=opts.min_gain
+                )
+            )
+        if opts.sat:
+            passes.append(
+                SatRedundancy(
+                    k=opts.k,
+                    data_k=opts.data_k,
+                    sim_threshold=opts.sim_threshold,
+                    sat_threshold=opts.sat_threshold,
+                    max_conflicts=opts.max_conflicts,
+                    max_gates=opts.max_gates,
+                )
+            )
+        else:
+            # smaRTLy *replaces* opt_muxtree; without the SAT stage (which
+            # subsumes it) the baseline identical-signal pruning must still
+            # run, exactly like the paper's Rebuild-only configuration
+            from ..opt.opt_muxtree import OptMuxtree
+
+            passes.append(OptMuxtree())
+        for pass_ in passes:
+            sub = pass_.run(module)
+            result.changed = result.changed or sub.changed
+            for key, value in sub.stats.items():
+                full = f"{sub.pass_name}.{key}"
+                result.stats[full] = result.stats.get(full, 0) + value
+
+
+def run_smartly(
+    module: Module,
+    options: Optional[SmartlyOptions] = None,
+    verbose: bool = False,
+    **overrides,
+) -> PassManager:
+    """Run the full smaRTLy flow (cleanup + selected stages) to a fixpoint."""
+    smartly = Smartly(options, **overrides)
+    manager = PassManager(
+        [OptExpr(), OptMerge(), smartly, OptClean()], verbose=verbose
+    )
+    manager.run(module, fixpoint=True, max_rounds=smartly.options.max_rounds)
+    return manager

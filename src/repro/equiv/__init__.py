@@ -1,0 +1,12 @@
+"""SAT-based combinational equivalence checking (miter + CEC)."""
+
+from .cec import EquivResult, assert_equivalent, check_equivalence
+from .miter import PortMismatchError, build_miter
+
+__all__ = [
+    "EquivResult",
+    "PortMismatchError",
+    "assert_equivalent",
+    "build_miter",
+    "check_equivalence",
+]

@@ -1,0 +1,92 @@
+"""Miter construction for combinational equivalence checking.
+
+Two modules with the same port signature are mapped into one shared AIG
+(inputs unified by name), corresponding output bits are XORed and the XORs
+are OR-reduced into a single *miter* output: the circuits are equivalent iff
+that output is constant 0.
+
+DFF handling: dff ``Q`` outputs become shared miter inputs and dff ``D``
+inputs become compared outputs (keyed by cell name), so two netlists are
+"equivalent" when all next-state and output functions agree — the standard
+sequential-preserving combinational check used after synthesis passes that
+keep registers in place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..aig.aig import AIG
+from ..aig.aigmap import AigMapper
+from ..ir.cells import CellType
+from ..ir.module import Module
+from ..ir.signals import SigBit
+from ..ir.walker import NetIndex
+
+
+class PortMismatchError(Exception):
+    """The two modules do not share the same I/O signature."""
+
+
+def _io_signature(module: Module) -> Tuple[Dict[str, int], Dict[str, int]]:
+    ins = {w.name: w.width for w in module.inputs}
+    outs = {w.name: w.width for w in module.outputs}
+    return ins, outs
+
+
+def _input_bit_names(module: Module, index: NetIndex) -> List[str]:
+    """Names of all source bits as AigMapper will declare them."""
+    names: List[str] = []
+    for wire in module.inputs:
+        names.extend(f"{wire.name}[{i}]" for i in range(wire.width))
+    for cell in module.cells.values():
+        if cell.type is CellType.DFF:
+            names.extend(f"{cell.name}.Q[{i}]" for i in range(cell.width))
+    return names
+
+
+def build_miter(gold: Module, gate: Module) -> Tuple[AIG, int]:
+    """Build the miter AIG.  Returns ``(aig, miter_output_literal)``.
+
+    Raises :class:`PortMismatchError` when I/O signatures differ.  Extra
+    internal sources (undriven wires) in either module become independent
+    miter inputs, which is conservative: equivalence then must hold for all
+    their values.
+    """
+    gold_ins, gold_outs = _io_signature(gold)
+    gate_ins, gate_outs = _io_signature(gate)
+    if gold_ins != gate_ins or gold_outs != gate_outs:
+        raise PortMismatchError(
+            f"signatures differ: in {gold_ins} vs {gate_ins}; "
+            f"out {gold_outs} vs {gate_outs}"
+        )
+
+    gold_index = NetIndex(gold)
+    gate_index = NetIndex(gate)
+
+    aig = AIG()
+    shared: Dict[str, int] = {}
+    for name in _input_bit_names(gold, gold_index) + _input_bit_names(gate, gate_index):
+        if name not in shared:
+            shared[name] = aig.add_input(name)
+
+    gold_mapper = AigMapper(gold, gold_index, aig=aig, input_lits=shared)
+    gold_mapper.run()
+    gold_outputs = {name: lit for name, lit in aig.outputs}
+    aig.outputs.clear()
+
+    gate_mapper = AigMapper(gate, gate_index, aig=aig, input_lits=shared)
+    gate_mapper.run()
+    gate_outputs = {name: lit for name, lit in aig.outputs}
+    aig.outputs.clear()
+
+    missing = set(gold_outputs) ^ set(gate_outputs)
+    if missing:
+        raise PortMismatchError(f"output bit sets differ on: {sorted(missing)}")
+
+    xors = [
+        aig.xor(gold_outputs[name], gate_outputs[name]) for name in gold_outputs
+    ]
+    miter_lit = aig.or_reduce(xors)
+    aig.add_output(miter_lit, "miter")
+    return aig, miter_lit

@@ -1,0 +1,14 @@
+"""End-to-end flows and the Table II/III/industrial report renderers."""
+
+from .pipeline import OPTIMIZERS, FlowResult, optimize, run_flow
+from .reports import render_industrial, render_table2, render_table3
+
+__all__ = [
+    "FlowResult",
+    "OPTIMIZERS",
+    "optimize",
+    "render_industrial",
+    "render_table2",
+    "render_table3",
+    "run_flow",
+]

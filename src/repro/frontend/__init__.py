@@ -1,0 +1,19 @@
+"""Verilog-subset frontend: lexer, parser, elaborator."""
+
+from .ast import ModuleDecl, SourceFile
+from .elaborate import Elaborator, compile_verilog, elaborate
+from .lexer import FrontendError, Token, tokenize
+from .parser import Parser, parse_source
+
+__all__ = [
+    "Elaborator",
+    "FrontendError",
+    "ModuleDecl",
+    "Parser",
+    "SourceFile",
+    "Token",
+    "compile_verilog",
+    "elaborate",
+    "parse_source",
+    "tokenize",
+]

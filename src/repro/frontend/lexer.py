@@ -1,0 +1,201 @@
+"""Tokenizer for the synthesizable Verilog subset.
+
+Handles identifiers, decimal and based literals (``8'hFF``, ``3'b01z``),
+operators (including two-character forms), punctuation, and both comment
+styles.  Line/column positions are tracked for error messages.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+
+class FrontendError(Exception):
+    """Lexing/parsing/elaboration error with source position."""
+
+
+class TokKind(enum.Enum):
+    IDENT = "ident"
+    NUMBER = "number"
+    BASED_NUMBER = "based_number"
+    OP = "op"
+    PUNCT = "punct"
+    KEYWORD = "keyword"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    """module endmodule input output inout wire reg assign always begin end
+    if else case casez casex endcase default posedge negedge or parameter
+    localparam integer signed function endfunction for generate endgenerate
+    genvar initial""".split()
+)
+
+#: multi-character operators, longest first
+_OPERATORS = [
+    "<<<", ">>>", "===", "!==",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "~&", "~|", "~^", "^~",
+    "+", "-", "*", "/", "%", "!", "~", "&", "|", "^", "<", ">", "=", "?",
+]
+
+_PUNCT = set("()[]{}:;,.#@")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokKind
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind.value}({self.text!r}@{self.line}:{self.col})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize a full source text; raises :class:`FrontendError` on junk."""
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def error(message: str) -> FrontendError:
+        return FrontendError(f"lex error at {line}:{col}: {message}")
+
+    while i < n:
+        ch = source[i]
+        # whitespace
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        # comments
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise error("unterminated block comment")
+            for c in source[i:end]:
+                if c == "\n":
+                    line += 1
+                    col = 1
+                else:
+                    col += 1
+            i = end + 2
+            col += 2
+            continue
+        start_line, start_col = line, col
+        # based literal: [size]'[sbodh]digits
+        if ch.isdigit() or ch == "'":
+            j = i
+            while j < n and (source[j].isdigit() or source[j] == "_"):
+                j += 1
+            if j < n and source[j] == "'":
+                k = j + 1
+                if k < n and source[k] in "sS":
+                    k += 1
+                if k >= n or source[k] not in "bBoOdDhH":
+                    raise error("bad based literal")
+                k += 1
+                body_start = k
+                while k < n and (source[k].isalnum() or source[k] in "_?"):
+                    k += 1
+                if k == body_start:
+                    raise error("empty based literal")
+                text = source[i:k]
+                tokens.append(Token(TokKind.BASED_NUMBER, text, start_line, start_col))
+                col += k - i
+                i = k
+                continue
+            text = source[i:j].replace("_", "")
+            tokens.append(Token(TokKind.NUMBER, text, start_line, start_col))
+            col += j - i
+            i = j
+            continue
+        # identifier / keyword
+        if ch.isalpha() or ch in "_$\\":
+            j = i
+            if ch == "\\":  # escaped identifier: up to whitespace
+                j += 1
+                while j < n and not source[j].isspace():
+                    j += 1
+                text = source[i + 1:j]
+                tokens.append(Token(TokKind.IDENT, text, start_line, start_col))
+            else:
+                while j < n and (source[j].isalnum() or source[j] in "_$"):
+                    j += 1
+                text = source[i:j]
+                kind = TokKind.KEYWORD if text in KEYWORDS else TokKind.IDENT
+                tokens.append(Token(kind, text, start_line, start_col))
+            col += j - i
+            i = j
+            continue
+        # operators
+        matched = False
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token(TokKind.OP, op, start_line, start_col))
+                i += len(op)
+                col += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(TokKind.PUNCT, ch, start_line, start_col))
+            i += 1
+            col += 1
+            continue
+        raise error(f"unexpected character {ch!r}")
+    tokens.append(Token(TokKind.EOF, "", line, col))
+    return tokens
+
+
+def parse_based_literal(text: str) -> "tuple[Optional[int], str]":
+    """Split ``8'b01xz`` into (size or None, MSB-first digit pattern).
+
+    The pattern uses binary digits plus ``x``/``z``/``?``; other bases are
+    expanded to binary.
+    """
+    size_part, _tick, rest = text.partition("'")
+    size = int(size_part) if size_part else None
+    rest = rest.lstrip("sS")
+    base = rest[0].lower()
+    digits = rest[1:].replace("_", "").lower()
+    if base == "b":
+        bits = digits
+    elif base == "o":
+        bits = "".join(
+            "xxx" if d in "xz?" else format(int(d, 8), "03b") for d in digits
+        )
+    elif base == "h":
+        bits = "".join(
+            "xxxx" if d in "xz?" else format(int(d, 16), "04b") for d in digits
+        )
+    elif base == "d":
+        if any(d in "xz?" for d in digits):
+            raise FrontendError(f"x/z digits not allowed in decimal: {text!r}")
+        value = int(digits)
+        width = size if size is not None else max(1, value.bit_length())
+        bits = format(value, f"0{width}b")
+    else:  # pragma: no cover - lexer guarantees the base letter
+        raise FrontendError(f"bad base in {text!r}")
+    bits = bits.replace("?", "z")
+    if size is not None:
+        if len(bits) < size:
+            pad = bits[0] if bits[:1] in ("x", "z") else "0"
+            bits = pad * (size - len(bits)) + bits
+        elif len(bits) > size:
+            bits = bits[-size:]
+    return size, bits

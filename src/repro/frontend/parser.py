@@ -1,0 +1,425 @@
+"""Recursive-descent parser for the Verilog subset.
+
+Supported constructs: module headers (1995 and ANSI-2001 port styles),
+``wire``/``reg`` declarations with ranges, ``parameter``/``localparam``,
+``assign``, ``always @*`` / ``always @(sensitivity)`` / ``always
+@(posedge clk)``, ``begin/end``, ``if/else``, ``case``/``casez`` with
+``default``, blocking and nonblocking assignments, and the expression
+grammar with standard precedence.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .ast import (
+    AlwaysBlock,
+    Assign,
+    Binary,
+    Block,
+    Case,
+    CaseItem,
+    Concat,
+    ContinuousAssign,
+    Expr,
+    Ident,
+    If,
+    Index,
+    ModuleDecl,
+    NetDecl,
+    Number,
+    ParamDecl,
+    RangeSelect,
+    Repeat,
+    SourceFile,
+    Stmt,
+    Ternary,
+    Unary,
+)
+from .lexer import FrontendError, TokKind, Token, parse_based_literal, tokenize
+
+#: binary operator precedence (higher binds tighter)
+_BINARY_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "~^": 4,
+    "^~": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "<": 7,
+    "<=": 7,
+    ">": 7,
+    ">=": 7,
+    "<<": 8,
+    ">>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+}
+
+_UNARY_OPS = {"~", "!", "&", "|", "^", "-", "+", "~&", "~|", "~^"}
+
+
+class Parser:
+    """One-token-lookahead recursive descent."""
+
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # -- token helpers --------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def error(self, message: str) -> FrontendError:
+        tok = self.current
+        return FrontendError(
+            f"parse error at {tok.line}:{tok.col} near {tok.text!r}: {message}"
+        )
+
+    def advance(self) -> Token:
+        tok = self.current
+        if tok.kind is not TokKind.EOF:
+            self.pos += 1
+        return tok
+
+    def check(self, text: str) -> bool:
+        return self.current.text == text and self.current.kind in (
+            TokKind.OP,
+            TokKind.PUNCT,
+            TokKind.KEYWORD,
+        )
+
+    def accept(self, text: str) -> bool:
+        if self.check(text):
+            self.advance()
+            return True
+        return False
+
+    def expect(self, text: str) -> Token:
+        if not self.check(text):
+            raise self.error(f"expected {text!r}")
+        return self.advance()
+
+    def expect_ident(self) -> str:
+        if self.current.kind is not TokKind.IDENT:
+            raise self.error("expected identifier")
+        return self.advance().text
+
+    # -- top level ----------------------------------------------------------------
+
+    def parse_source(self) -> SourceFile:
+        source = SourceFile()
+        while self.current.kind is not TokKind.EOF:
+            if self.check("module"):
+                source.modules.append(self.parse_module())
+            else:
+                raise self.error("expected 'module'")
+        return source
+
+    def parse_module(self) -> ModuleDecl:
+        self.expect("module")
+        module = ModuleDecl(name=self.expect_ident())
+        if self.accept("#"):
+            self._parse_param_port_list(module)
+        if self.accept("("):
+            if not self.check(")"):
+                self._parse_port_list(module)
+            self.expect(")")
+        self.expect(";")
+        while not self.check("endmodule"):
+            self._parse_module_item(module)
+        self.expect("endmodule")
+        return module
+
+    def _parse_param_port_list(self, module: ModuleDecl) -> None:
+        self.expect("(")
+        while True:
+            self.expect("parameter")
+            name = self.expect_ident()
+            self.expect("=")
+            module.params.append(ParamDecl(name, self.parse_expr()))
+            if not self.accept(","):
+                break
+        self.expect(")")
+
+    def _parse_port_list(self, module: ModuleDecl) -> None:
+        """Both 1995 (`module m(a, b);`) and ANSI (`input [3:0] a, ...`)."""
+        while True:
+            if self.check("input") or self.check("output") or self.check("inout"):
+                direction = self.advance().text
+                if direction == "inout":
+                    raise self.error("inout ports are not supported")
+                kind = "reg" if self.accept("reg") else "wire"
+                msb = lsb = None
+                if self.accept("["):
+                    msb = self.parse_expr()
+                    self.expect(":")
+                    lsb = self.parse_expr()
+                    self.expect("]")
+                while True:
+                    name = self.expect_ident()
+                    module.ports.append(name)
+                    module.nets.append(
+                        NetDecl(
+                            name,
+                            kind,
+                            msb,
+                            lsb,
+                            is_input=direction == "input",
+                            is_output=direction == "output",
+                        )
+                    )
+                    if not self.accept(","):
+                        return
+                    if self.check("input") or self.check("output"):
+                        break
+            else:
+                module.ports.append(self.expect_ident())
+                if not self.accept(","):
+                    return
+
+    def _parse_module_item(self, module: ModuleDecl) -> None:
+        if self.check("input") or self.check("output"):
+            direction = self.advance().text
+            kind = "reg" if self.accept("reg") else "wire"
+            msb, lsb = self._parse_optional_range()
+            while True:
+                name = self.expect_ident()
+                decl = self._find_or_add_net(module, name, kind)
+                decl.kind = kind
+                decl.msb, decl.lsb = msb, lsb
+                decl.is_input = direction == "input"
+                decl.is_output = direction == "output"
+                if not self.accept(","):
+                    break
+            self.expect(";")
+        elif self.check("wire") or self.check("reg"):
+            kind = self.advance().text
+            msb, lsb = self._parse_optional_range()
+            while True:
+                name = self.expect_ident()
+                decl = self._find_or_add_net(module, name, kind)
+                decl.kind = kind
+                decl.msb, decl.lsb = msb, lsb
+                if self.accept("="):
+                    # wire w = expr;  -> implicit continuous assign
+                    module.assigns.append(
+                        ContinuousAssign(Ident(name), self.parse_expr())
+                    )
+                if not self.accept(","):
+                    break
+            self.expect(";")
+        elif self.check("parameter") or self.check("localparam"):
+            self.advance()
+            self._parse_optional_range()
+            while True:
+                name = self.expect_ident()
+                self.expect("=")
+                module.params.append(ParamDecl(name, self.parse_expr()))
+                if not self.accept(","):
+                    break
+            self.expect(";")
+        elif self.check("assign"):
+            self.advance()
+            while True:
+                target = self.parse_primary(lvalue=True)
+                self.expect("=")
+                module.assigns.append(ContinuousAssign(target, self.parse_expr()))
+                if not self.accept(","):
+                    break
+            self.expect(";")
+        elif self.check("always"):
+            module.always_blocks.append(self._parse_always())
+        elif self.check("integer") or self.check("genvar"):
+            raise self.error(f"{self.current.text} declarations are not supported")
+        else:
+            raise self.error("unsupported module item")
+
+    def _find_or_add_net(self, module: ModuleDecl, name: str, kind: str) -> NetDecl:
+        for net in module.nets:
+            if net.name == name:
+                return net
+        decl = NetDecl(name, kind)
+        module.nets.append(decl)
+        return decl
+
+    def _parse_optional_range(self):
+        if self.accept("["):
+            msb = self.parse_expr()
+            self.expect(":")
+            lsb = self.parse_expr()
+            self.expect("]")
+            return msb, lsb
+        return None, None
+
+    # -- always blocks -------------------------------------------------------------
+
+    def _parse_always(self) -> AlwaysBlock:
+        self.expect("always")
+        self.expect("@")
+        clock: Optional[str] = None
+        if self.accept("("):
+            if self.accept("*"):
+                pass
+            elif self.check("posedge") or self.check("negedge"):
+                edge = self.advance().text
+                if edge == "negedge":
+                    raise self.error("negedge clocks are not supported")
+                clock = self.expect_ident()
+                if self.accept("or") or self.accept(","):
+                    raise self.error("async resets are not supported")
+            else:
+                # plain sensitivity list: treated as combinational
+                self.expect_ident()
+                while self.accept("or") or self.accept(","):
+                    self.expect_ident()
+            self.expect(")")
+        elif self.accept("*"):
+            pass
+        else:
+            raise self.error("expected sensitivity list")
+        return AlwaysBlock(stmt=self.parse_statement(), clock=clock)
+
+    # -- statements -------------------------------------------------------------------
+
+    def parse_statement(self) -> Stmt:
+        if self.accept("begin"):
+            block = Block()
+            while not self.check("end"):
+                block.statements.append(self.parse_statement())
+            self.expect("end")
+            return block
+        if self.accept("if"):
+            self.expect("(")
+            cond = self.parse_expr()
+            self.expect(")")
+            then_stmt = self.parse_statement()
+            else_stmt = self.parse_statement() if self.accept("else") else None
+            return If(cond, then_stmt, else_stmt)
+        if self.check("case") or self.check("casez") or self.check("casex"):
+            keyword = self.advance().text
+            if keyword == "casex":
+                raise self.error("casex is not supported (use casez)")
+            self.expect("(")
+            selector = self.parse_expr()
+            self.expect(")")
+            items: List[CaseItem] = []
+            while not self.check("endcase"):
+                if self.accept("default"):
+                    self.accept(":")
+                    items.append(CaseItem([], self.parse_statement()))
+                    continue
+                patterns = [self.parse_expr()]
+                while self.accept(","):
+                    patterns.append(self.parse_expr())
+                self.expect(":")
+                items.append(CaseItem(patterns, self.parse_statement()))
+            self.expect("endcase")
+            return Case(selector, items, casez=keyword == "casez")
+        if self.accept(";"):
+            return Block()  # empty statement
+        # assignment
+        target = self.parse_primary(lvalue=True)
+        if self.accept("="):
+            blocking = True
+        elif self.accept("<="):
+            blocking = False
+        else:
+            raise self.error("expected '=' or '<=' in assignment")
+        value = self.parse_expr()
+        self.expect(";")
+        return Assign(target, value, blocking=blocking)
+
+    # -- expressions --------------------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        return self._parse_ternary()
+
+    def _parse_ternary(self) -> Expr:
+        cond = self._parse_binary(0)
+        if self.accept("?"):
+            then_value = self.parse_expr()
+            self.expect(":")
+            else_value = self.parse_expr()
+            return Ternary(cond, then_value, else_value)
+        return cond
+
+    def _parse_binary(self, min_precedence: int) -> Expr:
+        left = self._parse_unary()
+        while True:
+            tok = self.current
+            if tok.kind is not TokKind.OP:
+                break
+            precedence = _BINARY_PRECEDENCE.get(tok.text)
+            if precedence is None or precedence < min_precedence:
+                break
+            self.advance()
+            right = self._parse_binary(precedence + 1)
+            left = Binary(tok.text, left, right)
+        return left
+
+    def _parse_unary(self) -> Expr:
+        tok = self.current
+        if tok.kind is TokKind.OP and tok.text in _UNARY_OPS:
+            self.advance()
+            return Unary(tok.text, self._parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self, lvalue: bool = False) -> Expr:
+        tok = self.current
+        if tok.kind is TokKind.NUMBER:
+            self.advance()
+            value = int(tok.text)
+            return Number(pattern=format(value, "b"), width=None)
+        if tok.kind is TokKind.BASED_NUMBER:
+            self.advance()
+            size, bits = parse_based_literal(tok.text)
+            return Number(pattern=bits, width=size)
+        if tok.kind is TokKind.IDENT:
+            self.advance()
+            expr: Expr = Ident(tok.text)
+            while self.check("["):
+                self.advance()
+                first = self.parse_expr()
+                if self.accept(":"):
+                    second = self.parse_expr()
+                    self.expect("]")
+                    expr = RangeSelect(expr, first, second)
+                else:
+                    self.expect("]")
+                    expr = Index(expr, first)
+            return expr
+        if self.accept("("):
+            if lvalue:
+                raise self.error("parenthesised lvalues are not supported")
+            expr = self.parse_expr()
+            self.expect(")")
+            return expr
+        if self.accept("{"):
+            first = self.parse_expr()
+            if self.check("{"):
+                # replication {N{expr}}
+                self.advance()
+                operand = self.parse_expr()
+                self.expect("}")
+                self.expect("}")
+                return Repeat(first, operand)
+            parts = [first]
+            while self.accept(","):
+                parts.append(self.parse_expr())
+            self.expect("}")
+            return Concat(tuple(parts))
+        raise self.error("expected expression")
+
+
+def parse_source(text: str) -> SourceFile:
+    """Parse a full source text into a :class:`SourceFile`."""
+    return Parser(text).parse_source()

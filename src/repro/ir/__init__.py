@@ -1,0 +1,81 @@
+"""Word-level RTL netlist intermediate representation.
+
+The public surface mirrors a small subset of Yosys RTLIL:
+
+* :class:`~repro.ir.signals.Wire`, :class:`~repro.ir.signals.SigBit`,
+  :class:`~repro.ir.signals.SigSpec`, :class:`~repro.ir.signals.State`
+* :class:`~repro.ir.module.Module`, :class:`~repro.ir.module.Cell`,
+  :class:`~repro.ir.module.SigMap`
+* :class:`~repro.ir.cells.CellType` and the port-spec helpers
+* :class:`~repro.ir.builder.Circuit` — fluent construction
+* :class:`~repro.ir.walker.NetIndex` — drivers/readers/cones/topological order
+* :func:`~repro.ir.validate.validate_module`
+"""
+
+from .builder import Circuit
+from .cells import (
+    BITWISE_BINARY_TYPES,
+    COMBINATIONAL_TYPES,
+    COMPARE_TYPES,
+    CellType,
+    MUX_TYPES,
+    SINGLE_BIT_OUTPUT_TYPES,
+    UNARY_TYPES,
+    expected_width,
+    input_ports,
+    output_ports,
+    port_spec,
+)
+from .design import Design
+from .module import Cell, Module, SigMap
+from .signals import (
+    BIT0,
+    BIT1,
+    BITX,
+    SigBit,
+    SigSpec,
+    State,
+    Wire,
+    concat,
+    const_bit,
+)
+from .validate import ValidationError, check_module, validate_module
+from .verilog_writer import VerilogWriter, verilog_str, write_verilog
+from .walker import CombLoopError, DriverConflictError, NetIndex
+
+__all__ = [
+    "BIT0",
+    "BIT1",
+    "BITX",
+    "BITWISE_BINARY_TYPES",
+    "COMBINATIONAL_TYPES",
+    "COMPARE_TYPES",
+    "Cell",
+    "CellType",
+    "Circuit",
+    "CombLoopError",
+    "Design",
+    "DriverConflictError",
+    "MUX_TYPES",
+    "Module",
+    "NetIndex",
+    "SINGLE_BIT_OUTPUT_TYPES",
+    "SigBit",
+    "SigMap",
+    "SigSpec",
+    "State",
+    "UNARY_TYPES",
+    "ValidationError",
+    "Wire",
+    "check_module",
+    "concat",
+    "const_bit",
+    "expected_width",
+    "input_ports",
+    "output_ports",
+    "port_spec",
+    "validate_module",
+    "VerilogWriter",
+    "verilog_str",
+    "write_verilog",
+]

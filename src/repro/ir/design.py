@@ -1,0 +1,41 @@
+"""Top-level design container (a set of modules with one top)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .module import Module
+
+
+class Design:
+    """A collection of modules.  Flows in this library are single-module;
+    the container exists so frontends can hold several parsed modules and
+    select a top."""
+
+    def __init__(self, top: Optional[Module] = None):
+        self.modules: Dict[str, Module] = {}
+        self._top_name: Optional[str] = None
+        if top is not None:
+            self.add_module(top, top=True)
+
+    def add_module(self, module: Module, top: bool = False) -> Module:
+        if module.name in self.modules:
+            raise ValueError(f"duplicate module {module.name!r}")
+        self.modules[module.name] = module
+        if top or self._top_name is None:
+            self._top_name = module.name
+        return module
+
+    @property
+    def top(self) -> Module:
+        if self._top_name is None:
+            raise ValueError("design has no modules")
+        return self.modules[self._top_name]
+
+    def set_top(self, name: str) -> None:
+        if name not in self.modules:
+            raise KeyError(f"no module named {name!r}")
+        self._top_name = name
+
+    def __repr__(self) -> str:
+        return f"Design({list(self.modules)}, top={self._top_name!r})"

@@ -1,0 +1,322 @@
+"""Module and Cell containers, plus the :class:`SigMap` alias resolver."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from .cells import (
+    CellType,
+    MUX_TYPES,
+    PortDir,
+    expected_width,
+    input_ports,
+    output_ports,
+    port_spec,
+)
+from .signals import SigBit, SigLike, SigSpec, Wire
+
+
+class Cell:
+    """An instance of a :class:`CellType` with named port connections.
+
+    ``width`` is the cell's data width ``W``; ``n`` is the pmux branch count
+    or the shift-amount width (1 for everything else).
+    """
+
+    __slots__ = ("name", "type", "width", "n", "connections", "attributes")
+
+    def __init__(self, name: str, ctype: CellType, width: int, n: int = 1):
+        if width < 1:
+            raise ValueError(f"cell {name!r}: width must be >= 1")
+        if n < 1:
+            raise ValueError(f"cell {name!r}: n must be >= 1")
+        self.name = name
+        self.type = ctype
+        self.width = width
+        self.n = n
+        self.connections: Dict[str, SigSpec] = {}
+        self.attributes: dict = {}
+
+    def port(self, name: str) -> SigSpec:
+        """The SigSpec connected to the given port."""
+        return self.connections[name]
+
+    def set_port(self, name: str, spec: SigLike) -> None:
+        """Connect ``spec`` to port ``name`` (width-checked).
+
+        Bare ints/bools are sized to the port; explicit signals must match
+        the port width exactly — silent resizing hides real bugs.
+        """
+        want = expected_width(self.type, name, self.width, self.n)
+        if isinstance(spec, (int, bool)):
+            sig = SigSpec.coerce(spec, want)
+        else:
+            sig = SigSpec.coerce(spec)
+        if len(sig) != want:
+            raise ValueError(
+                f"cell {self.name!r} ({self.type}): port {name} expects width "
+                f"{want}, got {len(sig)}"
+            )
+        self.connections[name] = sig
+
+    @property
+    def is_combinational(self) -> bool:
+        return self.type is not CellType.DFF
+
+    @property
+    def is_mux(self) -> bool:
+        return self.type in MUX_TYPES
+
+    def input_bits(self) -> List[SigBit]:
+        """All bits feeding the cell's input ports, in port order."""
+        bits: List[SigBit] = []
+        for name in input_ports(self.type):
+            bits.extend(self.connections[name])
+        return bits
+
+    def output_bits(self) -> List[SigBit]:
+        bits: List[SigBit] = []
+        for name in output_ports(self.type):
+            bits.extend(self.connections[name])
+        return bits
+
+    def pmux_branch(self, index: int) -> SigSpec:
+        """The ``B`` slice selected by ``S[index]`` of a pmux."""
+        if self.type is not CellType.PMUX:
+            raise TypeError(f"{self.name!r} is not a pmux")
+        if not (0 <= index < self.n):
+            raise IndexError(f"pmux branch {index} out of range (n={self.n})")
+        b = self.connections["B"]
+        return b[index * self.width:(index + 1) * self.width]
+
+    def __repr__(self) -> str:
+        return f"Cell({self.name}: {self.type} W={self.width}" + (
+            f" N={self.n})" if self.n != 1 else ")"
+        )
+
+
+class Module:
+    """A flat netlist: wires, cells and alias connections.
+
+    Connections (``connect``) declare that two signals are the same net; the
+    canonical representative is resolved with :class:`SigMap`.  Optimization
+    passes remove cells by connecting their former output to a replacement
+    signal.
+    """
+
+    def __init__(self, name: str = "top"):
+        self.name = name
+        self.wires: Dict[str, Wire] = {}
+        self.cells: Dict[str, Cell] = {}
+        #: list of (lhs, rhs) bit-aliases; lhs is driven by rhs
+        self.connections: List[Tuple[SigSpec, SigSpec]] = []
+        self._name_counter = 0
+
+    # -- naming ------------------------------------------------------------
+
+    def _fresh_name(self, prefix: str, table: dict) -> str:
+        while True:
+            self._name_counter += 1
+            name = f"{prefix}${self._name_counter}"
+            if name not in table:
+                return name
+
+    # -- wires ---------------------------------------------------------------
+
+    def add_wire(
+        self,
+        name: Optional[str] = None,
+        width: int = 1,
+        port_input: bool = False,
+        port_output: bool = False,
+    ) -> Wire:
+        if name is None:
+            name = self._fresh_name("w", self.wires)
+        if name in self.wires:
+            raise ValueError(f"duplicate wire name {name!r} in module {self.name!r}")
+        wire = Wire(name, width, port_input, port_output)
+        self.wires[name] = wire
+        return wire
+
+    def wire(self, name: str) -> Wire:
+        return self.wires[name]
+
+    def remove_wire(self, wire: Union[str, Wire]) -> None:
+        name = wire if isinstance(wire, str) else wire.name
+        del self.wires[name]
+
+    @property
+    def inputs(self) -> List[Wire]:
+        return [w for w in self.wires.values() if w.port_input]
+
+    @property
+    def outputs(self) -> List[Wire]:
+        return [w for w in self.wires.values() if w.port_output]
+
+    # -- cells ---------------------------------------------------------------
+
+    def add_cell(
+        self,
+        ctype: CellType,
+        name: Optional[str] = None,
+        width: Optional[int] = None,
+        n: int = 1,
+        **ports: SigLike,
+    ) -> Cell:
+        """Create a cell, inferring ``width`` from the ``A``/``D`` port.
+
+        Output ports may be omitted, in which case fresh wires are created.
+        """
+        if name is None:
+            name = self._fresh_name(str(ctype), self.cells)
+        if name in self.cells:
+            raise ValueError(f"duplicate cell name {name!r} in module {self.name!r}")
+        if width is None:
+            probe = ports.get("A", ports.get("D"))
+            if probe is None:
+                raise ValueError(f"cell {name!r}: cannot infer width without A/D port")
+            width = len(SigSpec.coerce(probe))
+            if ctype in (CellType.SHL, CellType.SHR) and "B" in ports:
+                n = len(SigSpec.coerce(ports["B"]))
+        cell = Cell(name, ctype, width, n)
+        for pname, _direction, _expr in port_spec(ctype):
+            if pname in ports:
+                cell.set_port(pname, ports[pname])
+        for pname, direction, _expr in port_spec(ctype):
+            if pname not in cell.connections:
+                if direction is PortDir.OUT:
+                    want = expected_width(ctype, pname, width, n)
+                    out = self.add_wire(f"{name}.{pname}", want)
+                    cell.set_port(pname, out)
+                else:
+                    raise ValueError(f"cell {name!r}: missing input port {pname}")
+        self.cells[name] = cell
+        return cell
+
+    def cell(self, name: str) -> Cell:
+        return self.cells[name]
+
+    def remove_cell(self, cell: Union[str, Cell]) -> None:
+        name = cell if isinstance(cell, str) else cell.name
+        del self.cells[name]
+
+    # -- connections ---------------------------------------------------------
+
+    def connect(self, lhs: SigLike, rhs: SigLike) -> None:
+        """Declare ``lhs`` to be an alias for (driven by) ``rhs``.
+
+        Bare int ``rhs`` values are sized to the lhs; explicit signals must
+        match exactly.
+        """
+        lhs_spec = SigSpec.coerce(lhs)
+        if isinstance(rhs, (int, bool)):
+            rhs_spec = SigSpec.coerce(rhs, len(lhs_spec))
+        else:
+            rhs_spec = SigSpec.coerce(rhs)
+        if len(lhs_spec) != len(rhs_spec):
+            raise ValueError(
+                f"connection width mismatch: {len(lhs_spec)} vs {len(rhs_spec)}"
+            )
+        for bit in lhs_spec:
+            if bit.is_const:
+                raise ValueError("cannot drive a constant bit")
+        self.connections.append((lhs_spec, rhs_spec))
+
+    def sigmap(self) -> "SigMap":
+        return SigMap(self)
+
+    # -- iteration -----------------------------------------------------------
+
+    def cells_of_type(self, *types: CellType) -> Iterator[Cell]:
+        wanted = set(types)
+        for cell in self.cells.values():
+            if cell.type in wanted:
+                yield cell
+
+    def stats(self) -> Dict[str, int]:
+        """Cell-type histogram plus wire/cell totals."""
+        hist: Dict[str, int] = {}
+        for cell in self.cells.values():
+            hist[str(cell.type)] = hist.get(str(cell.type), 0) + 1
+        hist["_cells"] = len(self.cells)
+        hist["_wires"] = len(self.wires)
+        return hist
+
+    def clone(self) -> "Module":
+        """Deep-copy the module (fresh Wire/Cell objects, same names)."""
+        other = Module(self.name)
+        other._name_counter = self._name_counter
+        wire_map: Dict[int, Wire] = {}
+        for wire in self.wires.values():
+            copy = other.add_wire(wire.name, wire.width, wire.port_input, wire.port_output)
+            copy.attributes = dict(wire.attributes)
+            wire_map[id(wire)] = copy
+
+        def translate(spec: SigSpec) -> SigSpec:
+            return SigSpec(
+                bit if bit.is_const else SigBit(wire_map[id(bit.wire)], bit.offset)
+                for bit in spec
+            )
+
+        for cell in self.cells.values():
+            copy_cell = Cell(cell.name, cell.type, cell.width, cell.n)
+            copy_cell.attributes = dict(cell.attributes)
+            for pname, spec in cell.connections.items():
+                copy_cell.connections[pname] = translate(spec)
+            other.cells[cell.name] = copy_cell
+        for lhs, rhs in self.connections:
+            other.connections.append((translate(lhs), translate(rhs)))
+        return other
+
+    def __repr__(self) -> str:
+        return (
+            f"Module({self.name!r}, {len(self.wires)} wires, "
+            f"{len(self.cells)} cells)"
+        )
+
+
+class SigMap:
+    """Union-find over bits that resolves alias connections to canonical bits.
+
+    Mirrors Yosys ``SigMap``: after construction, :meth:`map_bit` returns the
+    canonical representative of any bit — constants win over wires, and
+    earlier-declared wires win over later ones, so results are deterministic.
+    """
+
+    def __init__(self, module: Optional[Module] = None):
+        self._parent: Dict[SigBit, SigBit] = {}
+        if module is not None:
+            for lhs, rhs in module.connections:
+                for lbit, rbit in zip(lhs, rhs):
+                    self.add(lbit, rbit)
+
+    def _find(self, bit: SigBit) -> SigBit:
+        root = bit
+        while root in self._parent:
+            root = self._parent[root]
+        # path compression
+        while bit in self._parent:
+            self._parent[bit], bit = root, self._parent[bit]
+        return root
+
+    def add(self, a: SigBit, b: SigBit) -> None:
+        """Declare bits ``a`` and ``b`` to be the same net."""
+        ra, rb = self._find(a), self._find(b)
+        if ra == rb:
+            return
+        # prefer constants as representatives, then keep rb (the driver side)
+        if ra.is_const:
+            self._parent[rb] = ra
+        else:
+            self._parent[ra] = rb
+
+    def map_bit(self, bit: SigBit) -> SigBit:
+        return self._find(bit)
+
+    def map_spec(self, spec: SigSpec) -> SigSpec:
+        return SigSpec(self._find(bit) for bit in spec)
+
+    def __call__(self, value: Union[SigBit, SigSpec]) -> Union[SigBit, SigSpec]:
+        if isinstance(value, SigBit):
+            return self.map_bit(value)
+        return self.map_spec(value)

@@ -1,0 +1,90 @@
+"""Netlist well-formedness checks.
+
+``validate_module`` raises :class:`ValidationError` on the first violation;
+``check_module`` returns the full list of problems as strings.  Checks:
+
+* every cell port is connected with the width its cell type demands,
+* no bit has two drivers (cell outputs and alias connections combined),
+* module output wires are driven,
+* pmux select widths match branch counts,
+* the combinational part is acyclic.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .cells import expected_width, input_ports, output_ports, port_spec
+from .module import Module
+from .walker import CombLoopError, DriverConflictError, NetIndex
+
+
+class ValidationError(Exception):
+    """The module violates a structural invariant."""
+
+
+def check_module(module: Module) -> List[str]:
+    """Return a list of human-readable problems (empty list = valid)."""
+    problems: List[str] = []
+
+    for cell in module.cells.values():
+        for pname, _direction, _expr in port_spec(cell.type):
+            if pname not in cell.connections:
+                problems.append(
+                    f"cell {cell.name!r} ({cell.type}): port {pname} unconnected"
+                )
+                continue
+            want = expected_width(cell.type, pname, cell.width, cell.n)
+            got = len(cell.connections[pname])
+            if got != want:
+                problems.append(
+                    f"cell {cell.name!r} ({cell.type}): port {pname} width "
+                    f"{got}, expected {want}"
+                )
+        extra = set(cell.connections) - {p for p, _d, _e in port_spec(cell.type)}
+        if extra:
+            problems.append(
+                f"cell {cell.name!r} ({cell.type}): unknown ports {sorted(extra)}"
+            )
+
+    if problems:
+        # port-level problems make the bit-level index unreliable
+        return problems
+
+    index = None
+    try:
+        index = NetIndex(module)
+    except DriverConflictError as exc:
+        problems.append(str(exc))
+
+    if index is not None:
+        sigmap = index.sigmap
+        for wire in module.outputs:
+            for offset in range(wire.width):
+                from .signals import SigBit
+
+                bit = sigmap.map_bit(SigBit(wire, offset))
+                if bit.is_const:
+                    continue
+                if bit not in index.driver and not (
+                    bit.wire is not None and bit.wire.port_input
+                ):
+                    # driven through an alias chain ending at an undriven wire
+                    problems.append(
+                        f"output {wire.name}[{offset}] is undriven"
+                    )
+        try:
+            index.topo_cells()
+        except CombLoopError as exc:
+            problems.append(str(exc))
+
+    return problems
+
+
+def validate_module(module: Module) -> None:
+    """Raise :class:`ValidationError` if the module is malformed."""
+    problems = check_module(module)
+    if problems:
+        raise ValidationError(
+            f"module {module.name!r} failed validation:\n  " + "\n  ".join(problems)
+        )

@@ -1,0 +1,217 @@
+"""Structural Verilog backend: dump a netlist module as synthesizable code.
+
+The writer emits one `assign`/instance-free expression per cell so the
+output is plain structural Verilog-2001 readable by any tool (including
+this package's own frontend, enabling write/read round-trips in tests).
+Sequential cells become `always @(posedge clk)` blocks.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, TextIO
+
+from .cells import CellType
+from .module import Cell, Module
+from .signals import SigBit, SigSpec, State
+from .walker import NetIndex
+
+
+class VerilogWriter:
+    """Renders one module.  Wire names are sanitised to Verilog idents."""
+
+    def __init__(self, module: Module):
+        self.module = module
+        self._name_map: Dict[str, str] = {}
+        self._used: set = set()
+
+    # -- naming ----------------------------------------------------------------
+
+    def _sanitize(self, name: str) -> str:
+        cached = self._name_map.get(name)
+        if cached is not None:
+            return cached
+        cleaned = "".join(
+            ch if ch.isalnum() or ch == "_" else "_" for ch in name
+        )
+        if not cleaned or cleaned[0].isdigit():
+            cleaned = "n_" + cleaned
+        candidate = cleaned
+        suffix = 1
+        while candidate in self._used:
+            suffix += 1
+            candidate = f"{cleaned}_{suffix}"
+        self._used.add(candidate)
+        self._name_map[name] = candidate
+        return candidate
+
+    # -- expression rendering -----------------------------------------------------
+
+    def _bit_expr(self, bit: SigBit) -> str:
+        if bit.is_const:
+            return {State.S0: "1'b0", State.S1: "1'b1", State.Sx: "1'bx"}[bit.state]
+        name = self._sanitize(bit.wire.name)
+        if bit.wire.width == 1:
+            return name
+        return f"{name}[{bit.offset}]"
+
+    def _spec_expr(self, spec: SigSpec) -> str:
+        """Render a SigSpec, collapsing runs into part-selects."""
+        if len(spec) == 1:
+            return self._bit_expr(spec[0])
+        parts: List[str] = []
+        i = 0
+        bits = list(spec)
+        while i < len(bits):
+            bit = bits[i]
+            j = i
+            if bit.is_const:
+                while j + 1 < len(bits) and bits[j + 1].is_const:
+                    j += 1
+                chunk = bits[i:j + 1]
+                text = "".join(
+                    {State.S0: "0", State.S1: "1", State.Sx: "x"}[b.state]
+                    for b in reversed(chunk)
+                )
+                parts.append(f"{len(chunk)}'b{text}")
+            else:
+                while (
+                    j + 1 < len(bits)
+                    and bits[j + 1].wire is bit.wire
+                    and bits[j + 1].offset == bits[j].offset + 1
+                ):
+                    j += 1
+                name = self._sanitize(bit.wire.name)
+                if j == i:
+                    parts.append(self._bit_expr(bit))
+                elif bit.offset == 0 and j - i + 1 == bit.wire.width:
+                    parts.append(name)
+                else:
+                    parts.append(f"{name}[{bits[j].offset}:{bit.offset}]")
+            i = j + 1
+        if len(parts) == 1:
+            return parts[0]
+        return "{" + ", ".join(reversed(parts)) + "}"
+
+    # -- cell rendering ----------------------------------------------------------------
+
+    _BINOP = {
+        CellType.AND: "&",
+        CellType.OR: "|",
+        CellType.XOR: "^",
+        CellType.ADD: "+",
+        CellType.SUB: "-",
+        CellType.EQ: "==",
+        CellType.NE: "!=",
+        CellType.LT: "<",
+        CellType.LE: "<=",
+        CellType.LOGIC_AND: "&&",
+        CellType.LOGIC_OR: "||",
+        CellType.SHL: "<<",
+        CellType.SHR: ">>",
+    }
+
+    def _cell_expr(self, cell: Cell) -> str:
+        conn = cell.connections
+        t = cell.type
+        if t in self._BINOP:
+            return (
+                f"{self._spec_expr(conn['A'])} {self._BINOP[t]} "
+                f"{self._spec_expr(conn['B'])}"
+            )
+        if t is CellType.NOT:
+            return f"~{self._spec_expr(conn['A'])}"
+        if t is CellType.XNOR:
+            return f"~({self._spec_expr(conn['A'])} ^ {self._spec_expr(conn['B'])})"
+        if t is CellType.NAND:
+            return f"~({self._spec_expr(conn['A'])} & {self._spec_expr(conn['B'])})"
+        if t is CellType.NOR:
+            return f"~({self._spec_expr(conn['A'])} | {self._spec_expr(conn['B'])})"
+        if t is CellType.MUX:
+            return (
+                f"{self._spec_expr(conn['S'])} ? {self._spec_expr(conn['B'])}"
+                f" : {self._spec_expr(conn['A'])}"
+            )
+        if t is CellType.PMUX:
+            # priority chain, lowest select index wins
+            expr = self._spec_expr(conn["A"])
+            width = cell.width
+            for i in range(cell.n - 1, -1, -1):
+                branch = conn["B"][i * width:(i + 1) * width]
+                expr = (
+                    f"{self._bit_expr(conn['S'][i])} ? "
+                    f"{self._spec_expr(branch)} : ({expr})"
+                )
+            return expr
+        if t is CellType.REDUCE_AND:
+            return f"&{self._spec_expr(conn['A'])}"
+        if t in (CellType.REDUCE_OR, CellType.REDUCE_BOOL):
+            return f"|{self._spec_expr(conn['A'])}"
+        if t is CellType.REDUCE_XOR:
+            return f"^{self._spec_expr(conn['A'])}"
+        if t is CellType.LOGIC_NOT:
+            return f"!{self._spec_expr(conn['A'])}"
+        raise NotImplementedError(f"no Verilog rendering for {t}")
+
+    # -- module rendering -----------------------------------------------------------------
+
+    def write(self, stream: TextIO) -> None:
+        module = self.module
+        ports = [w for w in module.wires.values() if w.is_port]
+        port_names = ", ".join(self._sanitize(w.name) for w in ports)
+        stream.write(f"module {self._sanitize(module.name)}({port_names});\n")
+
+        def range_of(wire):
+            return f" [{wire.width - 1}:0]" if wire.width > 1 else ""
+
+        for wire in ports:
+            direction = "input" if wire.port_input else "output"
+            stream.write(
+                f"  {direction}{range_of(wire)} {self._sanitize(wire.name)};\n"
+            )
+        for wire in module.wires.values():
+            if not wire.is_port:
+                stream.write(
+                    f"  wire{range_of(wire)} {self._sanitize(wire.name)};\n"
+                )
+        # registers need reg declarations; emit shadow regs for dff outputs
+        dffs = [c for c in module.cells.values() if c.type is CellType.DFF]
+        for cell in dffs:
+            stream.write(
+                f"  reg [{cell.width - 1}:0] {self._sanitize(cell.name)}_q;\n"
+            )
+        stream.write("\n")
+
+        for cell in module.cells.values():
+            if cell.type is CellType.DFF:
+                continue
+            target = self._spec_expr(cell.connections["Y"])
+            stream.write(f"  assign {target} = {self._cell_expr(cell)};\n")
+
+        for cell in dffs:
+            reg = f"{self._sanitize(cell.name)}_q"
+            clk = self._bit_expr(cell.connections["CLK"][0])
+            stream.write(
+                f"  always @(posedge {clk}) {reg} <= "
+                f"{self._spec_expr(cell.connections['D'])};\n"
+            )
+            stream.write(
+                f"  assign {self._spec_expr(cell.connections['Q'])} = {reg};\n"
+            )
+
+        for lhs, rhs in module.connections:
+            stream.write(
+                f"  assign {self._spec_expr(lhs)} = {self._spec_expr(rhs)};\n"
+            )
+        stream.write("endmodule\n")
+
+
+def write_verilog(module: Module, stream: TextIO) -> None:
+    """Write a module as structural Verilog."""
+    VerilogWriter(module).write(stream)
+
+
+def verilog_str(module: Module) -> str:
+    buffer = io.StringIO()
+    write_verilog(module, buffer)
+    return buffer.getvalue()

@@ -1,0 +1,209 @@
+"""Netlist graph indices and traversal utilities.
+
+:class:`NetIndex` snapshots a module into bit-level driver/reader maps and
+provides topological ordering, cone extraction and ancestor/descendant
+queries.  All queries operate on *canonical* bits (alias connections are
+resolved through the module's :class:`~repro.ir.module.SigMap`).
+
+Terminology (matches the paper):
+
+* the **drivers** of a bit are the cell output that produces it;
+* *S is an ancestor of T* iff there is a directed path of combinational
+  cells from S to T (S is in T's fanin cone);
+* **sources** are bits with no combinational driver: module inputs,
+  constants, dff outputs and undriven wires.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from .cells import CellType
+from .module import Cell, Module, SigMap
+from .signals import SigBit, SigSpec
+
+
+class DriverConflictError(Exception):
+    """A bit is driven by more than one cell output / connection."""
+
+
+class NetIndex:
+    """Bit-level view of a module, built once and queried many times.
+
+    The index is a snapshot: structural edits to the module invalidate it and
+    a new index must be built.  Passes in :mod:`repro.opt` and
+    :mod:`repro.core` follow a build–analyze–edit–rebuild cycle.
+    """
+
+    def __init__(self, module: Module):
+        self.module = module
+        self.sigmap = module.sigmap()
+        #: canonical bit -> (cell, port name, bit offset in that port)
+        self.driver: Dict[SigBit, Tuple[Cell, str, int]] = {}
+        #: canonical bit -> list of (cell, port name, offset) readers
+        self.readers: Dict[SigBit, List[Tuple[Cell, str, int]]] = {}
+        self._build()
+
+    def _build(self) -> None:
+        from .cells import input_ports, output_ports
+
+        for cell in self.module.cells.values():
+            for pname in output_ports(cell.type):
+                for offset, bit in enumerate(cell.connections[pname]):
+                    cbit = self.sigmap.map_bit(bit)
+                    if cbit.is_const:
+                        raise DriverConflictError(
+                            f"cell {cell.name!r} drives constant bit {cbit!r}"
+                        )
+                    if cbit in self.driver:
+                        other = self.driver[cbit][0]
+                        raise DriverConflictError(
+                            f"bit {cbit!r} driven by both {other.name!r} "
+                            f"and {cell.name!r}"
+                        )
+                    self.driver[cbit] = (cell, pname, offset)
+            for pname in input_ports(cell.type):
+                for offset, bit in enumerate(cell.connections[pname]):
+                    cbit = self.sigmap.map_bit(bit)
+                    if cbit.is_const:
+                        continue
+                    self.readers.setdefault(cbit, []).append((cell, pname, offset))
+
+    # -- basic queries -------------------------------------------------------
+
+    def canonical(self, bit: SigBit) -> SigBit:
+        return self.sigmap.map_bit(bit)
+
+    def driver_cell(self, bit: SigBit) -> Optional[Cell]:
+        """The combinational-or-dff cell driving ``bit``, or None."""
+        entry = self.driver.get(self.sigmap.map_bit(bit))
+        return entry[0] if entry else None
+
+    def comb_driver(self, bit: SigBit) -> Optional[Cell]:
+        """The driving cell, but treating dff outputs as sources."""
+        cell = self.driver_cell(bit)
+        if cell is not None and cell.type is CellType.DFF:
+            return None
+        return cell
+
+    def is_source(self, bit: SigBit) -> bool:
+        """True for constants, module inputs, dff outputs and undriven bits."""
+        cbit = self.sigmap.map_bit(bit)
+        if cbit.is_const:
+            return True
+        return self.comb_driver(cbit) is None
+
+    def fanout_count(self, bit: SigBit) -> int:
+        cbit = self.sigmap.map_bit(bit)
+        count = len(self.readers.get(cbit, ()))
+        if cbit.wire is not None and cbit.wire.port_output:
+            count += 1
+        return count
+
+    def cell_fanin_bits(self, cell: Cell) -> List[SigBit]:
+        return [self.sigmap.map_bit(b) for b in cell.input_bits()]
+
+    def cell_fanout_bits(self, cell: Cell) -> List[SigBit]:
+        return [self.sigmap.map_bit(b) for b in cell.output_bits()]
+
+    # -- traversal -----------------------------------------------------------
+
+    def topo_cells(self) -> List[Cell]:
+        """Combinational cells in topological order (fanin before fanout).
+
+        DFF cells are excluded; their outputs count as sources.  Raises
+        :class:`CombLoopError` on combinational cycles.
+        """
+        order: List[Cell] = []
+        state: Dict[str, int] = {}  # 0 = visiting, 1 = done
+
+        comb_cells = [c for c in self.module.cells.values() if c.is_combinational]
+        for root in comb_cells:
+            if state.get(root.name) == 1:
+                continue
+            stack: List[Tuple[Cell, Iterator[SigBit]]] = [
+                (root, iter(self.cell_fanin_bits(root)))
+            ]
+            state[root.name] = 0
+            while stack:
+                cell, it = stack[-1]
+                advanced = False
+                for bit in it:
+                    dep = self.comb_driver(bit)
+                    if dep is None:
+                        continue
+                    dep_state = state.get(dep.name)
+                    if dep_state == 0:
+                        raise CombLoopError(
+                            f"combinational loop through {dep.name!r}"
+                        )
+                    if dep_state is None:
+                        state[dep.name] = 0
+                        stack.append((dep, iter(self.cell_fanin_bits(dep))))
+                        advanced = True
+                        break
+                if not advanced:
+                    stack.pop()
+                    state[cell.name] = 1
+                    order.append(cell)
+        return order
+
+    def fanin_cone(
+        self, bits: Iterable[SigBit], max_depth: Optional[int] = None
+    ) -> Set[SigBit]:
+        """All canonical bits reachable backwards from ``bits`` (inclusive).
+
+        ``max_depth`` bounds the number of *cell* levels crossed; ``None``
+        means unbounded.  DFF cells are not crossed.
+        """
+        start = [self.sigmap.map_bit(b) for b in bits]
+        seen: Set[SigBit] = set(start)
+        frontier = start
+        depth = 0
+        while frontier and (max_depth is None or depth < max_depth):
+            next_frontier: List[SigBit] = []
+            for bit in frontier:
+                cell = self.comb_driver(bit)
+                if cell is None:
+                    continue
+                for fbit in self.cell_fanin_bits(cell):
+                    if fbit not in seen:
+                        seen.add(fbit)
+                        next_frontier.append(fbit)
+            frontier = next_frontier
+            depth += 1
+        return seen
+
+    def fanout_cone(
+        self, bits: Iterable[SigBit], max_depth: Optional[int] = None
+    ) -> Set[SigBit]:
+        """All canonical bits reachable forwards from ``bits`` (inclusive)."""
+        start = [self.sigmap.map_bit(b) for b in bits]
+        seen: Set[SigBit] = set(start)
+        frontier = start
+        depth = 0
+        while frontier and (max_depth is None or depth < max_depth):
+            next_frontier: List[SigBit] = []
+            for bit in frontier:
+                for cell, _port, _off in self.readers.get(bit, ()):
+                    if not cell.is_combinational:
+                        continue
+                    for obit in self.cell_fanout_bits(cell):
+                        if obit not in seen:
+                            seen.add(obit)
+                            next_frontier.append(obit)
+            frontier = next_frontier
+            depth += 1
+        return seen
+
+    def support(self, bits: Iterable[SigBit]) -> FrozenSet[SigBit]:
+        """The source bits (inputs/consts/dff-Q) in the fanin cone of ``bits``."""
+        return frozenset(b for b in self.fanin_cone(bits) if self.is_source(b))
+
+    def is_ancestor(self, s: SigBit, t: SigBit) -> bool:
+        """True iff ``s`` lies in the combinational fanin cone of ``t``."""
+        return self.sigmap.map_bit(s) in self.fanin_cone([t])
+
+
+class CombLoopError(Exception):
+    """The module contains a combinational cycle."""

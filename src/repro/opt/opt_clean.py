@@ -1,0 +1,106 @@
+"""Dead-logic removal (the Yosys ``opt_clean`` equivalent).
+
+A combinational cell is *live* when any of its output bits transitively
+reaches a module output or a sequential cell input.  Everything else is
+deleted, along with internal wires that are no longer referenced.  This is
+the pass that actually reaps muxes and eq gates after the muxtree passes
+rewire around them (the ``RemoveUnusedCell`` step of the paper's
+Algorithm 1).
+
+DFF cells are always kept: removing state elements would change the
+sequential-equivalence signature the CEC relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..ir.cells import CellType, input_ports
+from ..ir.module import Cell, Module
+from ..ir.signals import SigBit
+from ..ir.walker import NetIndex
+from .pass_base import Pass, PassResult, register_pass
+
+
+@register_pass
+class OptClean(Pass):
+    """Remove unreachable cells and unused internal wires."""
+
+    name = "opt_clean"
+
+    def __init__(self, remove_wires: bool = True):
+        self.remove_wires = remove_wires
+
+    def execute(self, module: Module, result: PassResult) -> None:
+        index = NetIndex(module)
+        live_cells: Set[str] = set()
+        worklist: List[SigBit] = []
+
+        def mark_bit(bit: SigBit) -> None:
+            cell = index.comb_driver(bit)
+            if cell is not None and cell.name not in live_cells:
+                live_cells.add(cell.name)
+                worklist.extend(index.cell_fanin_bits(cell))
+
+        for wire in module.outputs:
+            for i in range(wire.width):
+                mark_bit(index.sigmap.map_bit(SigBit(wire, i)))
+        for cell in module.cells.values():
+            if cell.type is CellType.DFF:
+                live_cells.add(cell.name)
+                worklist.extend(index.cell_fanin_bits(cell))
+        while worklist:
+            mark_bit(worklist.pop())
+
+        dead = [c for name, c in module.cells.items() if name not in live_cells]
+        for cell in dead:
+            module.remove_cell(cell)
+            result.bump("cells_removed")
+            result.bump(f"removed_{cell.type}", 1)
+
+        if self.remove_wires:
+            self._sweep_wires(module, result)
+
+    def _sweep_wires(self, module: Module, result: PassResult) -> None:
+        used: Set[int] = set()
+
+        def mark_spec(spec) -> None:
+            for bit in spec:
+                if bit.wire is not None:
+                    used.add(id(bit.wire))
+
+        for cell in module.cells.values():
+            for spec in cell.connections.values():
+                mark_spec(spec)
+        # a connection (lhs driven by rhs) is live when its lhs is actually
+        # read: an output port, a cell input, or the rhs of another live
+        # connection.  Keeping one marks its rhs wires used, so iterate to a
+        # fixpoint to preserve whole alias chains.
+        kept_connections = []
+        pending = list(module.connections)
+        while True:
+            still_pending = []
+            progressed = False
+            for lhs, rhs in pending:
+                lhs_wires = {id(w) for w in lhs.wires()}
+                lhs_is_output = any(w.port_output for w in lhs.wires())
+                if lhs_is_output or lhs_wires & used:
+                    kept_connections.append((lhs, rhs))
+                    mark_spec(lhs)
+                    mark_spec(rhs)
+                    progressed = True
+                else:
+                    still_pending.append((lhs, rhs))
+            pending = still_pending
+            if not progressed or not pending:
+                break
+        dropped = len(pending)
+        if dropped:
+            result.bump("connections_removed", dropped)
+        module.connections = kept_connections
+
+        for wire in list(module.wires.values()):
+            if wire.is_port or id(wire) in used:
+                continue
+            module.remove_wire(wire)
+            result.bump("wires_removed")

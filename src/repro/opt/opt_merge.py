@@ -1,0 +1,77 @@
+"""Structural deduplication of identical cells (Yosys ``opt_merge``).
+
+Two cells merge when they have the same type, geometry and canonically
+identical input connections; the duplicate's outputs are aliased to the
+survivor's.  Merging runs to a fixpoint because collapsing one pair can make
+downstream cells identical.
+
+Commutative inputs (and/or/xor/xnor/add/eq/ne and the logic_* pair forms)
+are sorted before hashing so ``and(a, b)`` merges with ``and(b, a)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..ir.cells import CellType, input_ports, output_ports
+from ..ir.module import Module
+from .pass_base import Pass, PassResult, register_pass
+
+_COMMUTATIVE = {
+    CellType.AND,
+    CellType.OR,
+    CellType.XOR,
+    CellType.XNOR,
+    CellType.NAND,
+    CellType.NOR,
+    CellType.ADD,
+    CellType.EQ,
+    CellType.NE,
+    CellType.LOGIC_AND,
+    CellType.LOGIC_OR,
+}
+
+
+@register_pass
+class OptMerge(Pass):
+    """Alias outputs of structurally identical cells and drop duplicates."""
+
+    name = "opt_merge"
+
+    def __init__(self, merge_dff: bool = True):
+        self.merge_dff = merge_dff
+
+    def execute(self, module: Module, result: PassResult) -> None:
+        changed = True
+        while changed:
+            changed = False
+            sigmap = module.sigmap()
+            table: Dict[Tuple, str] = {}
+            for cell in list(module.cells.values()):
+                if cell.type is CellType.DFF and not self.merge_dff:
+                    continue
+                key_parts = [cell.type.value, cell.width, cell.n]
+                specs = [
+                    tuple(sigmap.map_spec(cell.connections[p]))
+                    for p in input_ports(cell.type)
+                ]
+                if cell.type in _COMMUTATIVE:
+                    # any total order consistent within this sweep will do
+                    specs.sort(
+                        key=lambda spec: tuple(
+                            (id(bit.wire), bit.offset, bit.state is not None
+                             and bit.state.value or 0)
+                            for bit in spec
+                        )
+                    )
+                key = (tuple(key_parts), tuple(specs))
+                survivor_name = table.get(key)
+                if survivor_name is None:
+                    table[key] = cell.name
+                    continue
+                survivor = module.cells[survivor_name]
+                for pname in output_ports(cell.type):
+                    module.connect(cell.connections[pname], survivor.connections[pname])
+                module.remove_cell(cell)
+                result.bump("cells_merged")
+                changed = True

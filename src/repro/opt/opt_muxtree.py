@@ -1,0 +1,335 @@
+"""Reimplementation of the Yosys ``opt_muxtree`` pass — the paper's baseline.
+
+The pass walks *muxtrees*: maximal trees of ``mux``/``pmux`` cells linked
+through data ports (a child's ``Y`` is exactly a parent's ``A``/``B`` data
+operand and feeds nothing else).  While descending it records the control
+values implied by the path taken:
+
+* ``mux``: the A branch implies ``S = 0``, the B branch ``S = 1``;
+* ``pmux`` (priority select): branch *i* implies ``S[i] = 1`` and
+  ``S[j] = 0`` for all j < i; the default branch implies ``S = 0``.
+
+With that knowledge it performs exactly the two optimizations the paper
+credits to Yosys:
+
+1. **Never-active branch removal** (Figure 1): a descendant mux whose
+   control value is already decided on the path is bypassed — the parent's
+   data port is rewired to the only reachable operand.  Dead branches of
+   pmux cells (select known 0) are dropped.
+2. **Data-port constant substitution** (Figure 2): a data-port *bit* that
+   is one of the decided control bits is replaced by its decided constant
+   value.
+
+Everything deeper — control signals that are merely *logically dependent*
+(Figure 3) — is invisible to this pass; that is smaRTLy's job
+(:mod:`repro.core.redundancy`).
+
+Bypassed muxes are left dangling and reaped by ``opt_clean``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..ir.cells import CellType, input_ports
+from ..ir.module import Cell, Module
+from ..ir.signals import BIT0, BIT1, SigBit, SigSpec, State
+from ..ir.walker import NetIndex
+from .pass_base import Pass, PassResult, register_pass
+
+#: parent edge: (parent cell, port name, pmux branch index or None)
+Edge = Tuple[Cell, str, Optional[int]]
+
+
+def find_internal_edges(module: Module, index: NetIndex) -> Dict[str, Edge]:
+    """Map each fanout-1 *internal* mux to its unique parent data edge.
+
+    A mux is internal when its whole Y spec is exactly one data operand
+    (``A``, ``B``, or one pmux branch slice) of exactly one other mux and
+    feeds nothing else — the linking rule that defines a muxtree.  Used by
+    both ``opt_muxtree``-style traversals and the restructuring pass.
+    """
+    sigmap = index.sigmap
+    muxes = {c.name: c for c in module.cells.values() if c.is_mux}
+    external: Set[SigBit] = set()
+    for wire in module.outputs:
+        for i in range(wire.width):
+            external.add(sigmap.map_bit(SigBit(wire, i)))
+    for cell in module.cells.values():
+        for pname in input_ports(cell.type):
+            if cell.is_mux and pname in ("A", "B"):
+                continue
+            for bit in cell.connections[pname]:
+                external.add(sigmap.map_bit(bit))
+
+    edges: Dict[str, Edge] = {}
+    for child in muxes.values():
+        y_bits = tuple(sigmap.map_spec(child.connections["Y"]))
+        if any(bit in external for bit in y_bits):
+            continue
+        reader_edges: Set[Tuple[str, str]] = set()
+        foreign = False
+        for bit in y_bits:
+            for cell, pname, _off in index.readers.get(bit, ()):  # noqa: B020
+                if not cell.is_mux or pname not in ("A", "B"):
+                    foreign = True
+                    break
+                reader_edges.add((cell.name, pname))
+            if foreign:
+                break
+        if foreign or len(reader_edges) != 1:
+            continue
+        parent_name, pname = next(iter(reader_edges))
+        if parent_name == child.name or parent_name not in module.cells:
+            continue
+        parent = module.cells[parent_name]
+        edge = _match_edge(sigmap, parent, pname, y_bits)
+        if edge is not None:
+            edges[child.name] = edge
+    return edges
+
+
+def _match_edge(
+    sigmap, parent: Cell, pname: str, y_bits: Tuple[SigBit, ...]
+) -> Optional[Edge]:
+    """Check the parent port (or one pmux branch) is exactly the child Y."""
+    spec = tuple(sigmap.map_spec(parent.connections[pname]))
+    if parent.type is CellType.MUX or pname == "A":
+        return (parent, pname, None) if spec == y_bits else None
+    # pmux B port: the child must be exactly one whole branch slice
+    width = parent.width
+    matches = [
+        i
+        for i in range(parent.n)
+        if spec[i * width:(i + 1) * width] == y_bits
+    ]
+    if len(matches) == 1:
+        return (parent, "B", matches[0])
+    return None
+
+
+@register_pass
+class OptMuxtree(Pass):
+    """Prune never-active muxtree branches using identical-signal knowledge."""
+
+    name = "opt_muxtree"
+
+    def execute(self, module: Module, result: PassResult) -> None:
+        self.module = module
+        self.result = result
+        index = NetIndex(module)
+        self.index = index  # kept for subclasses (snapshot; edits may stale it)
+        self.sigmap = index.sigmap
+
+        self.muxes: Dict[str, Cell] = {
+            c.name: c for c in module.cells.values() if c.is_mux
+        }
+        if not self.muxes:
+            return
+        self.y_of: Dict[Tuple[SigBit, ...], str] = {}
+        for cell in self.muxes.values():
+            self.y_of[tuple(self.sigmap.map_spec(cell.connections["Y"]))] = cell.name
+
+        self.parent_edge = find_internal_edges(module, index)
+        self.visited: Set[str] = set()
+
+        roots = [c for c in self.muxes.values() if c.name not in self.parent_edge]
+        for root in roots:
+            self._traverse(root, {})
+
+    # -- fact handling -------------------------------------------------------------
+
+    def _bit_value(self, bit: SigBit, facts: Dict[SigBit, bool]) -> Optional[bool]:
+        cbit = self.sigmap.map_bit(bit)
+        if cbit.is_const:
+            if cbit.state is State.S1:
+                return True
+            if cbit.state is State.S0:
+                return False
+            return None
+        return facts.get(cbit)
+
+    def _resolve_ctrl_value(
+        self, bit: SigBit, facts: Dict[SigBit, bool]
+    ) -> Optional[bool]:
+        """Decide a control bit's value on this path.  The baseline only
+        knows identical signals; smaRTLy overrides this hook with
+        inference/simulation/SAT (:mod:`repro.core.redundancy`)."""
+        return self._bit_value(bit, facts)
+
+    def _resolve_data_value(
+        self, bit: SigBit, facts: Dict[SigBit, bool]
+    ) -> Optional[bool]:
+        """Decide a data-port bit's value on this path (Figure 2)."""
+        return self._bit_value(bit, facts)
+
+    def _substitute(self, spec: SigSpec, facts: Dict[SigBit, bool]) -> Tuple[SigSpec, int]:
+        """Replace known control bits inside a data spec with constants."""
+        new_bits: List[SigBit] = []
+        substituted = 0
+        for bit in spec:
+            if self.sigmap.map_bit(bit).is_const:
+                new_bits.append(bit)
+                continue
+            value = self._resolve_data_value(bit, facts)
+            if value is None:
+                new_bits.append(bit)
+            else:
+                new_bits.append(BIT1 if value else BIT0)
+                substituted += 1
+        return SigSpec(new_bits), substituted
+
+    # -- rewiring --------------------------------------------------------------------
+
+    def _redirect(self, mux: Cell, new_spec: SigSpec) -> Optional[str]:
+        """Replace the muxtree edge into ``mux`` by ``new_spec`` (bypass).
+
+        Returns the name of the mux now exclusively driving the rewired
+        edge (the bypassed mux's former fanout-1 child), or None.  Only a
+        child whose unique parent *was* the bypassed mux inherits the edge;
+        traversal must not continue into shared muxes, whose other
+        observers do not share this path's facts.
+        """
+        edge = self.parent_edge.get(mux.name)
+        if edge is None:
+            # root: alias the output and delete the cell
+            self.module.connect(mux.connections["Y"], new_spec)
+            self.module.remove_cell(mux)
+            del self.muxes[mux.name]
+        else:
+            parent, pname, branch = edge
+            if branch is None:
+                parent.set_port(pname, new_spec)
+            else:
+                b = parent.connections["B"]
+                width = parent.width
+                rebuilt = b[: branch * width].concat(
+                    new_spec, b[(branch + 1) * width:]
+                )
+                parent.set_port("B", rebuilt)
+        self.result.bump("muxes_bypassed")
+        # hand the edge down to the mux now driving new_spec, if it was ours
+        child_name = self.y_of.get(tuple(self.sigmap.map_spec(new_spec)))
+        if child_name is not None and child_name in self.muxes:
+            old = self.parent_edge.get(child_name)
+            if old is not None and old[0].name == mux.name:
+                if edge is None:
+                    self.parent_edge.pop(child_name, None)
+                else:
+                    self.parent_edge[child_name] = edge
+                return child_name
+        return None
+
+    # -- traversal ----------------------------------------------------------------------
+
+    def _traverse(self, mux: Cell, facts: Dict[SigBit, bool]) -> None:
+        if mux.name in self.visited or mux.name not in self.module.cells:
+            return
+        self.visited.add(mux.name)
+        if mux.type is CellType.MUX:
+            self._traverse_mux(mux, facts)
+        else:
+            self._traverse_pmux(mux, facts)
+
+    def _descend(self, parent: Cell, data_spec: SigSpec, facts: Dict[SigBit, bool]) -> None:
+        """Recurse into the internal mux driving ``data_spec``, if any."""
+        child_name = self.y_of.get(tuple(self.sigmap.map_spec(data_spec)))
+        if child_name is None or child_name not in self.muxes:
+            return
+        edge = self.parent_edge.get(child_name)
+        if edge is None or edge[0].name != parent.name:
+            return  # shared with another tree: path facts do not apply
+        self._traverse(self.module.cells[child_name], facts)
+
+    def _traverse_mux(self, mux: Cell, facts: Dict[SigBit, bool]) -> None:
+        s_bit = self.sigmap.map_bit(mux.connections["S"][0])
+        s_value = self._resolve_ctrl_value(s_bit, facts)
+        if s_value is not None:
+            chosen = mux.connections["B" if s_value else "A"]
+            self._continue_into(self._redirect(mux, chosen), facts)
+            return
+        for pname, s_known in (("A", False), ("B", True)):
+            branch_facts = dict(facts)
+            if not s_bit.is_const:
+                branch_facts[s_bit] = s_known
+            new_spec, substituted = self._substitute(
+                mux.connections[pname], branch_facts
+            )
+            if substituted:
+                mux.set_port(pname, new_spec)
+                self.result.bump("dataport_bits_substituted", substituted)
+            self._descend(mux, new_spec, branch_facts)
+
+    def _traverse_pmux(self, mux: Cell, facts: Dict[SigBit, bool]) -> None:
+        width = mux.width
+        # drop branches whose select is known 0 on this path
+        keep: List[int] = []
+        decided: Optional[int] = None
+        for i in range(mux.n):
+            value = self._resolve_ctrl_value(mux.connections["S"][i], facts)
+            if value is False:
+                continue
+            keep.append(i)
+            if value is True:
+                decided = i
+                break  # priority: later branches are dead anyway
+        if decided is not None and len(keep) == 1:
+            chosen = mux.pmux_branch(decided)
+            self._continue_into(self._redirect(mux, chosen), facts)
+            return
+        if not keep:
+            chosen = mux.connections["A"]
+            self._continue_into(self._redirect(mux, chosen), facts)
+            return
+        if len(keep) != mux.n:
+            self.result.bump("pmux_branches_removed", mux.n - len(keep))
+            self._shrink_pmux(mux, keep)
+
+        # now traverse surviving branches and the default
+        s_bits = [self.sigmap.map_bit(b) for b in mux.connections["S"]]
+        for i in range(mux.n):
+            branch_facts = dict(facts)
+            for j in range(i):
+                if not s_bits[j].is_const:
+                    branch_facts[s_bits[j]] = False
+            if not s_bits[i].is_const:
+                branch_facts[s_bits[i]] = True
+            slice_spec = mux.pmux_branch(i)
+            new_spec, substituted = self._substitute(slice_spec, branch_facts)
+            if substituted:
+                b = mux.connections["B"]
+                mux.set_port(
+                    "B", b[: i * width].concat(new_spec, b[(i + 1) * width:])
+                )
+                self.result.bump("dataport_bits_substituted", substituted)
+            self._descend(mux, new_spec, branch_facts)
+        if decided is not None:
+            return  # the default operand is unreachable on this path
+        default_facts = dict(facts)
+        for s_bit in s_bits:
+            if not s_bit.is_const:
+                default_facts[s_bit] = False
+        new_spec, substituted = self._substitute(mux.connections["A"], default_facts)
+        if substituted:
+            mux.set_port("A", new_spec)
+            self.result.bump("dataport_bits_substituted", substituted)
+        self._descend(mux, new_spec, default_facts)
+
+    def _shrink_pmux(self, mux: Cell, keep: List[int]) -> None:
+        width = mux.width
+        b = mux.connections["B"]
+        s = mux.connections["S"]
+        new_b = SigSpec()
+        new_s: List[SigBit] = []
+        for i in keep:
+            new_b = new_b.concat(b[i * width:(i + 1) * width])
+            new_s.append(s[i])
+        mux.n = len(keep)
+        mux.set_port("S", SigSpec(new_s))
+        mux.set_port("B", new_b)
+
+    def _continue_into(self, child_name: Optional[str],
+                       facts: Dict[SigBit, bool]) -> None:
+        """Continue the walk into the child that inherited a bypassed edge."""
+        if child_name is not None and child_name in self.module.cells:
+            self._traverse(self.module.cells[child_name], facts)

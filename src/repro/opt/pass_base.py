@@ -1,0 +1,120 @@
+"""Minimal pass framework: passes, results, and a registry/manager.
+
+Passes edit modules in place and report what they changed.  The manager
+runs named pipelines and accumulates per-pass statistics — enough structure
+to express the paper's flows (``yosys`` baseline vs the three ``smartly``
+variants) without a scripting language.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..ir.module import Module
+
+
+@dataclass
+class PassResult:
+    """What one pass invocation did."""
+
+    pass_name: str
+    changed: bool = False
+    #: free-form counters, e.g. {"cells_removed": 12}
+    stats: Dict[str, int] = field(default_factory=dict)
+    runtime_s: float = 0.0
+
+    def bump(self, key: str, amount: int = 1) -> None:
+        self.stats[key] = self.stats.get(key, 0) + amount
+        if amount:
+            self.changed = True
+
+    def merge(self, other: "PassResult") -> None:
+        for key, value in other.stats.items():
+            self.stats[key] = self.stats.get(key, 0) + value
+        self.changed = self.changed or other.changed
+        self.runtime_s += other.runtime_s
+
+
+class Pass:
+    """Base class: subclasses implement :meth:`execute`."""
+
+    #: registry name; subclasses must override
+    name = "pass"
+
+    def execute(self, module: Module, result: PassResult) -> None:
+        raise NotImplementedError
+
+    def run(self, module: Module) -> PassResult:
+        result = PassResult(self.name)
+        start = time.perf_counter()
+        self.execute(module, result)
+        result.runtime_s = time.perf_counter() - start
+        return result
+
+    def __repr__(self) -> str:
+        return f"<Pass {self.name}>"
+
+
+_REGISTRY: Dict[str, Callable[..., Pass]] = {}
+
+
+def register_pass(factory: Callable[..., Pass]) -> Callable[..., Pass]:
+    """Class decorator registering a pass under its ``name`` attribute."""
+    _REGISTRY[factory.name] = factory
+    return factory
+
+
+def _ensure_registered() -> None:
+    """Import every pass-defining module so the registry is complete."""
+    import importlib
+
+    for module in ("repro.opt", "repro.core"):
+        importlib.import_module(module)
+
+
+def make_pass(name: str, **options) -> Pass:
+    _ensure_registered()
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown pass {name!r}; known: {sorted(_REGISTRY)}")
+    return _REGISTRY[name](**options)
+
+
+def known_passes() -> List[str]:
+    _ensure_registered()
+    return sorted(_REGISTRY)
+
+
+class PassManager:
+    """Runs a pipeline of passes, optionally to a fixpoint."""
+
+    def __init__(self, passes: Sequence[Pass], verbose: bool = False):
+        self.passes = list(passes)
+        self.verbose = verbose
+        self.history: List[PassResult] = []
+
+    def run(self, module: Module, fixpoint: bool = False, max_rounds: int = 16) -> bool:
+        """Run the pipeline once, or until nothing changes.  Returns whether
+        anything changed at all."""
+        any_change = False
+        for _round in range(max_rounds if fixpoint else 1):
+            round_change = False
+            for pass_ in self.passes:
+                result = pass_.run(module)
+                self.history.append(result)
+                if self.verbose and (result.changed or result.stats):
+                    print(f"[{result.pass_name}] {result.stats}")
+                round_change = round_change or result.changed
+            any_change = any_change or round_change
+            if not round_change:
+                break
+        return any_change
+
+    def total_stats(self) -> Dict[str, int]:
+        totals: Dict[str, int] = {}
+        for result in self.history:
+            for key, value in result.stats.items():
+                full = f"{result.pass_name}.{key}"
+                totals[full] = totals.get(full, 0) + value
+        return totals

@@ -1,0 +1,19 @@
+"""MiniSAT-style CDCL SAT solving, CNF containers and Tseitin encoding."""
+
+from .cnf import CNF
+from .dimacs import dimacs_str, read_dimacs, write_dimacs
+from .solver import Clause, Solver, SolverStats, luby
+from .tseitin import CircuitEncoder, encode_module
+
+__all__ = [
+    "CNF",
+    "CircuitEncoder",
+    "Clause",
+    "Solver",
+    "SolverStats",
+    "dimacs_str",
+    "encode_module",
+    "luby",
+    "read_dimacs",
+    "write_dimacs",
+]

@@ -1,0 +1,58 @@
+"""DIMACS CNF reader/writer."""
+
+from __future__ import annotations
+
+from typing import TextIO, Union
+
+from .cnf import CNF
+
+
+def write_dimacs(cnf: CNF, stream: TextIO) -> None:
+    """Write in standard ``p cnf`` format."""
+    stream.write(f"p cnf {cnf.num_vars} {len(cnf.clauses)}\n")
+    for clause in cnf.clauses:
+        stream.write(" ".join(str(lit) for lit in clause) + " 0\n")
+
+
+def dimacs_str(cnf: CNF) -> str:
+    import io
+
+    buffer = io.StringIO()
+    write_dimacs(cnf, buffer)
+    return buffer.getvalue()
+
+
+def read_dimacs(source: Union[str, TextIO]) -> CNF:
+    """Parse DIMACS text (string or file object).
+
+    Tolerates comments, blank lines and clauses spanning several lines.
+    """
+    if isinstance(source, str):
+        lines = source.splitlines()
+    else:
+        lines = source.readlines()
+    cnf = CNF()
+    declared_vars = None
+    pending: list = []
+    for line in lines:
+        line = line.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise ValueError(f"bad problem line: {line!r}")
+            declared_vars = int(parts[2])
+            continue
+        for token in line.split():
+            lit = int(token)
+            if lit == 0:
+                cnf.add_clause(pending)
+                pending = []
+            else:
+                pending.append(lit)
+    if pending:
+        cnf.add_clause(pending)
+    if declared_vars is not None:
+        cnf.num_vars = max(cnf.num_vars, declared_vars)
+    return cnf

@@ -1,0 +1,41 @@
+"""Three-valued and bit-parallel combinational simulation."""
+
+from .eval import eval_cell_masks, eval_cell_ternary
+from .simulator import Simulator, exhaustive_patterns
+from .ternary import (
+    from_states,
+    t_add,
+    t_and,
+    t_eq,
+    t_lt,
+    t_mux,
+    t_not,
+    t_or,
+    t_reduce_and,
+    t_reduce_or,
+    t_reduce_xor,
+    t_xnor,
+    t_xor,
+    to_states,
+)
+
+__all__ = [
+    "Simulator",
+    "eval_cell_masks",
+    "eval_cell_ternary",
+    "exhaustive_patterns",
+    "from_states",
+    "t_add",
+    "t_and",
+    "t_eq",
+    "t_lt",
+    "t_mux",
+    "t_not",
+    "t_or",
+    "t_reduce_and",
+    "t_reduce_or",
+    "t_reduce_xor",
+    "t_xnor",
+    "t_xor",
+    "to_states",
+]

@@ -1,0 +1,129 @@
+"""Three-valued (0/1/x) logic primitives.
+
+The optimization passes reason about *partially known* signals: a bit is
+``0``, ``1`` or unknown ``x``.  These operators implement the standard
+Kleene strong ternary semantics (e.g. ``0 AND x = 0``, ``1 OR x = 1``),
+which is exactly what constant propagation and the paper's Table I
+inference rules rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from ..ir.signals import State
+
+S0, S1, Sx = State.S0, State.S1, State.Sx
+
+
+def t_not(a: State) -> State:
+    return ~a
+
+
+def t_and(a: State, b: State) -> State:
+    if a is S0 or b is S0:
+        return S0
+    if a is S1 and b is S1:
+        return S1
+    return Sx
+
+
+def t_or(a: State, b: State) -> State:
+    if a is S1 or b is S1:
+        return S1
+    if a is S0 and b is S0:
+        return S0
+    return Sx
+
+
+def t_xor(a: State, b: State) -> State:
+    if a is Sx or b is Sx:
+        return Sx
+    return State.from_bool(a is not b)
+
+
+def t_xnor(a: State, b: State) -> State:
+    return t_not(t_xor(a, b))
+
+
+def t_mux(a: State, b: State, s: State) -> State:
+    """``s ? b : a`` with x-propagation: unknown select yields x unless both
+    data values agree."""
+    if s is S0:
+        return a
+    if s is S1:
+        return b
+    if a is b and a is not Sx:
+        return a
+    return Sx
+
+
+def t_reduce_and(bits: Iterable[State]) -> State:
+    result = S1
+    for bit in bits:
+        result = t_and(result, bit)
+    return result
+
+
+def t_reduce_or(bits: Iterable[State]) -> State:
+    result = S0
+    for bit in bits:
+        result = t_or(result, bit)
+    return result
+
+
+def t_reduce_xor(bits: Iterable[State]) -> State:
+    result = S0
+    for bit in bits:
+        result = t_xor(result, bit)
+    return result
+
+
+def t_eq(a: List[State], b: List[State]) -> State:
+    """Vector equality: 0 as soon as a defined bit pair differs, x if any
+    undecided pair remains, else 1."""
+    unknown = False
+    for abit, bbit in zip(a, b):
+        if abit is Sx or bbit is Sx:
+            unknown = True
+        elif abit is not bbit:
+            return S0
+    return Sx if unknown else S1
+
+
+def t_lt(a: List[State], b: List[State]) -> State:
+    """Unsigned vector less-than; x when the comparison is undecided."""
+    # compare from MSB down
+    for abit, bbit in zip(reversed(a), reversed(b)):
+        if abit is Sx or bbit is Sx:
+            return Sx
+        if abit is not bbit:
+            return State.from_bool(abit is S0)
+    return S0
+
+
+def t_add(a: List[State], b: List[State], carry_in: State = S0) -> List[State]:
+    """Ripple-carry addition over ternary vectors (LSB first)."""
+    result: List[State] = []
+    carry = carry_in
+    for abit, bbit in zip(a, b):
+        s = t_xor(t_xor(abit, bbit), carry)
+        carry = t_or(t_and(abit, bbit), t_and(carry, t_xor(abit, bbit)))
+        result.append(s)
+    return result
+
+
+def to_states(value: int, width: int) -> List[State]:
+    """Integer -> LSB-first defined state vector."""
+    return [State.from_bool((value >> i) & 1 == 1) for i in range(width)]
+
+
+def from_states(states: Iterable[State]) -> Optional[int]:
+    """LSB-first state vector -> int, or None if any bit is x."""
+    value = 0
+    for i, state in enumerate(states):
+        if state is Sx:
+            return None
+        if state is S1:
+            value |= 1 << i
+    return value

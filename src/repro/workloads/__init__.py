@@ -1,0 +1,46 @@
+"""Synthetic benchmark workloads (IWLS-2005/RISC-V models + industrial)."""
+
+from .generators import (
+    InputPool,
+    unit_case_chain,
+    unit_datapath,
+    unit_dataport_redundancy,
+    unit_dependent_ctrl_tree,
+    unit_obfuscated_select,
+    unit_onehot_pmux,
+    unit_priority_if_chain,
+    unit_shared_ctrl_tree,
+)
+from .industrial import INDUSTRIAL_POINTS, IndustrialPoint, build_industrial, build_point
+from .iwls import (
+    CASE_NAMES,
+    PAPER_TABLE2,
+    SCALED_TARGET,
+    PaperRow,
+    allocate_units,
+    build_all,
+    build_case,
+)
+
+__all__ = [
+    "CASE_NAMES",
+    "INDUSTRIAL_POINTS",
+    "IndustrialPoint",
+    "InputPool",
+    "PAPER_TABLE2",
+    "PaperRow",
+    "SCALED_TARGET",
+    "allocate_units",
+    "build_all",
+    "build_case",
+    "build_industrial",
+    "build_point",
+    "unit_case_chain",
+    "unit_datapath",
+    "unit_dataport_redundancy",
+    "unit_dependent_ctrl_tree",
+    "unit_obfuscated_select",
+    "unit_onehot_pmux",
+    "unit_priority_if_chain",
+    "unit_shared_ctrl_tree",
+]

@@ -1,0 +1,273 @@
+"""Parameterised circuit-family generators.
+
+Each *unit* generator emits one self-contained block of logic into a
+:class:`~repro.ir.builder.Circuit` and returns its output signal.  Units are
+designed so that exactly one optimization strategy can shrink them:
+
+``unit_shared_ctrl_tree``
+    Figure-1/2 structure: a mux chain reusing one control signal, with a
+    private data cone hanging off every never-taken branch.  The Yosys
+    baseline (and smaRTLy) collapses it to a single mux, killing the cones.
+``unit_dependent_ctrl_tree``
+    Figure-3 structure: the same chain but every inner control is
+    ``or(S, r_i)`` / ``and(S, r_i)`` — logically decided on the path yet
+    syntactically different, so only SAT-based redundancy elimination
+    prunes it.
+``unit_case_chain``
+    A case-statement chain whose arm values repeat from a small pool, so
+    the ADD collapses and only muxtree restructuring wins.
+``unit_onehot_pmux``
+    Industrial-style selection logic: nested pmux cells with one-hot
+    ``eq(grant, i)`` selects whose nesting is dead under the parent's
+    grant — prunable by SAT and rebuildable by the ADD, nearly invisible
+    to the baseline.
+``unit_datapath``
+    Adder/xor/compare filler that no muxtree optimization touches
+    (irreducible area).
+
+All units draw operands from a shared input pool, so inputs are reused but
+cones stay private (pruning a branch really removes its gates).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..ir.builder import Circuit
+from ..ir.signals import SigSpec
+
+
+class InputPool:
+    """A bounded pool of input words; units draw operands from it."""
+
+    def __init__(self, circuit: Circuit, rng: random.Random, width: int,
+                 n_words: int = 40, n_ctrl: int = 24, prefix: str = ""):
+        self.circuit = circuit
+        self.rng = rng
+        self.width = width
+        self.words = [
+            circuit.input(f"{prefix}d{i}", width) for i in range(n_words)
+        ]
+        self.ctrl = [circuit.input(f"{prefix}c{i}") for i in range(n_ctrl)]
+
+    def word(self) -> SigSpec:
+        return self.rng.choice(self.words)
+
+    def ctrl_bit(self) -> SigSpec:
+        return self.rng.choice(self.ctrl)
+
+    def fresh_ctrl(self, name: str) -> SigSpec:
+        return self.circuit.input(name)
+
+
+def _private_cone(c: Circuit, pool: InputPool, ops: int) -> SigSpec:
+    """A small private datapath cone (killed entirely if its user dies).
+
+    A random constant *salt* is mixed in so cones rarely become
+    structurally identical — otherwise ``opt_merge`` would deduplicate
+    cones across units and skew the per-unit area economics.
+    """
+    width = pool.width
+    value = pool.word()
+    salt = pool.rng.getrandbits(width) or 1
+    value = c.xor(value, SigSpec.from_const(salt, width))
+    for _ in range(max(1, ops)):
+        op = pool.rng.randrange(3)
+        other = pool.word()
+        if op == 0:
+            value = c.add(value, other)
+        elif op == 1:
+            value = c.xor(value, other)
+        else:
+            value = c.and_(value, c.not_(other))
+    return value
+
+
+def unit_shared_ctrl_tree(
+    c: Circuit, pool: InputPool, depth: int = 6, cone_ops: int = 2
+) -> SigSpec:
+    """Mux chain with one shared control: baseline-prunable (Figure 1).
+
+    ``y = S ? (S ? (... ) : cone_d) : cone_0`` — every inner A-branch cone
+    is dead on the only reachable path, so Yosys collapses the chain to a
+    single mux and opt_clean removes the cones.  The live ends are plain
+    pool words, so the removable fraction approaches ``(depth-1)/depth`` of
+    the unit (cones included).
+    """
+    s = pool.ctrl_bit()
+    value = pool.word()
+    for _ in range(depth):
+        dead = _private_cone(c, pool, cone_ops)
+        value = c.mux(dead, value, s)  # S=1 keeps `value`, cone is dead
+    return value
+
+
+def unit_dependent_ctrl_tree(
+    c: Circuit,
+    pool: InputPool,
+    depth: int = 6,
+    cone_ops: int = 2,
+    variant: str = "or",
+) -> SigSpec:
+    """Figure-3 chain: inner controls are ``S|r_i`` (or ``S&r_i``).
+
+    On the B path of the root (``S = 1``) every ``S|r_i`` is forced to 1 —
+    but only a solver/inference engine can see it, so the Yosys baseline
+    keeps the whole chain while smaRTLy collapses it.
+    """
+    s = pool.ctrl_bit()
+    value = pool.word()
+    for _ in range(depth):
+        r = pool.ctrl_bit()
+        if variant == "or":
+            ctrl = c.or_(s, r)  # == 1 whenever S == 1
+            dead = _private_cone(c, pool, cone_ops)
+            value = c.mux(dead, value, ctrl)
+        else:
+            ctrl = c.and_(s, r)  # == 0 whenever S == 0
+            dead = _private_cone(c, pool, cone_ops)
+            value = c.mux(value, dead, ctrl)
+    if variant == "or":
+        return c.mux(pool.word(), value, s)
+    return c.mux(value, pool.word(), s)
+
+
+def unit_case_chain(
+    c: Circuit,
+    pool: InputPool,
+    sel: Optional[SigSpec] = None,
+    sel_width: int = 4,
+    n_arms: Optional[int] = None,
+    distinct_values: int = 4,
+) -> SigSpec:
+    """A case chain whose arm values repeat: restructuring fodder.
+
+    With ``distinct_values`` far below ``n_arms`` the ADD collapses to a
+    few nodes while the chain burns one mux + one eq per arm — the paper's
+    Figure 5 -> Figure 7 transformation at scale.
+    """
+    if sel is None:
+        sel = c.input(f"sel{pool.rng.randrange(1 << 30):x}", sel_width)
+    sel_width = len(sel)
+    if n_arms is None:
+        n_arms = (1 << sel_width) - 1
+    values = [pool.word() for _ in range(distinct_values)]
+    # cyclic arm values: deterministic, highly collapsible ADD (the common
+    # real-world pattern of case statements mapping many codes to few data)
+    arms = [
+        (i, values[i % distinct_values])
+        for i in range(min(n_arms, (1 << sel_width) - 1))
+    ]
+    default = values[0]
+    return c.case_(sel, arms, default)
+
+
+def unit_onehot_pmux(
+    c: Circuit,
+    pool: InputPool,
+    n_requesters: int = 4,
+    nest: bool = True,
+    cone_ops: int = 1,
+) -> SigSpec:
+    """Industrial selection logic: one-hot granted pmux with dead nesting.
+
+    The grant is ``eq(gnt, i)`` over a shared grant word.  When ``nest`` is
+    set, each branch contains another pmux over the *same* grant whose
+    other branches are dead — SAT prunes them; the eq/pmux structure also
+    feeds the restructurer.
+    """
+    bits = max(2, (n_requesters - 1).bit_length())
+    gnt = c.input(f"gnt{pool.rng.randrange(1 << 30):x}", bits)
+    branches = []
+    for i in range(n_requesters):
+        sel_i = c.eq(gnt, SigSpec.from_const(i, bits))
+        if nest:
+            inner_branches = []
+            for j in range(n_requesters):
+                data = _private_cone(c, pool, cone_ops)
+                inner_branches.append(
+                    (c.eq(gnt, SigSpec.from_const(j, bits)), data)
+                )
+            data_i = c.pmux(pool.word(), inner_branches)
+        else:
+            data_i = _private_cone(c, pool, cone_ops)
+        branches.append((sel_i, data_i))
+    return c.pmux(pool.word(), branches)
+
+
+def unit_obfuscated_select(
+    c: Circuit,
+    pool: InputPool,
+    n_requesters: int = 4,
+    cone_ops: int = 2,
+) -> SigSpec:
+    """Industrial selection block the baseline cannot see through.
+
+    Outer one-hot grant selects via ``eq(gnt, i)``; each branch nests a
+    pmux whose selects are *obfuscated* equalities ``!(gnt != j)``.
+    ``opt_merge`` cannot unify them with the outer eq cells, so the Yosys
+    baseline keeps every nested branch; smaRTLy's inference rules decide
+    them from ``eq(gnt, i) = 1`` (backward eq + ne + logic_not) and delete
+    all but the ``j == i`` cone.  This is the dominant structure of the
+    §IV-B industrial benchmark: high pmux share, near-zero baseline yield.
+    """
+    bits = max(2, (n_requesters - 1).bit_length())
+    gnt = c.input(f"g{pool.rng.randrange(1 << 30):x}", bits)
+    branches = []
+    for i in range(n_requesters):
+        sel_i = c.eq(gnt, SigSpec.from_const(i, bits))
+        inner_branches = []
+        for j in range(n_requesters):
+            data = _private_cone(c, pool, cone_ops)
+            sel_j = c.logic_not(c.ne(gnt, SigSpec.from_const(j, bits)))
+            inner_branches.append((sel_j, data))
+        data_i = c.pmux(pool.word(), inner_branches)
+        branches.append((sel_i, data_i))
+    return c.pmux(pool.word(), branches)
+
+
+def unit_dataport_redundancy(
+    c: Circuit, pool: InputPool, depth: int = 3
+) -> SigSpec:
+    """Figure-2 structure: control bits reappear inside data operands."""
+    s = pool.ctrl_bit()
+    width = pool.width
+    value = pool.word()
+    for _ in range(depth):
+        # data operand embeds the control bit in its low bits
+        inner_ctrl = pool.ctrl_bit()
+        embedded = SigSpec(list(s) + list(value[1:]))
+        picked = c.mux(pool.word(), embedded, inner_ctrl)
+        value = c.mux(pool.word(), picked, s)
+    return value
+
+
+def unit_datapath(c: Circuit, pool: InputPool, ops: int = 8) -> SigSpec:
+    """Irreducible arithmetic/logic filler (neither method can touch it)."""
+    value = pool.word()
+    for i in range(ops):
+        other = pool.word()
+        op = pool.rng.randrange(4)
+        if op == 0:
+            value = c.add(value, other)
+        elif op == 1:
+            value = c.sub(value, other)
+        elif op == 2:
+            value = c.xor(value, c.add(other, 1))
+        else:
+            flag = c.lt(value, other)
+            value = c.mux(value, c.not_(value), flag)
+    return value
+
+
+def unit_priority_if_chain(
+    c: Circuit, pool: InputPool, depth: int = 4
+) -> SigSpec:
+    """Priority if-else chain with independent conditions (irreducible
+    muxes: every branch is reachable)."""
+    value = pool.word()
+    for _ in range(depth):
+        cond = pool.ctrl_bit()
+        value = c.mux(value, pool.word(), cond)
+    return value

@@ -1,0 +1,130 @@
+"""AIG construction: folding, strashing, evaluation, analysis."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.aig import AIG, FALSE_LIT, TRUE_LIT
+
+
+class TestFolding:
+    def test_constants(self):
+        aig = AIG()
+        a = aig.add_input()
+        assert aig.and_(a, FALSE_LIT) == FALSE_LIT
+        assert aig.and_(a, TRUE_LIT) == a
+        assert aig.and_(a, a) == a
+        assert aig.and_(a, a ^ 1) == FALSE_LIT
+        assert aig.num_ands == 0
+
+    def test_strashing(self):
+        aig = AIG()
+        a, b = aig.add_input(), aig.add_input()
+        n1 = aig.and_(a, b)
+        n2 = aig.and_(b, a)  # commuted
+        assert n1 == n2
+        assert aig.num_ands == 1
+
+    def test_not_is_free(self):
+        aig = AIG()
+        a = aig.add_input()
+        assert aig.not_(a) == a ^ 1
+        assert aig.not_(aig.not_(a)) == a
+
+    def test_or_via_demorgan(self):
+        aig = AIG()
+        a, b = aig.add_input(), aig.add_input()
+        y = aig.or_(a, b)
+        assert aig.num_ands == 1
+        assert aig.eval_masks([1, 0], 1)[y >> 1] ^ (y & 1) == 1
+
+    def test_xor_costs_three(self):
+        aig = AIG()
+        a, b = aig.add_input(), aig.add_input()
+        aig.xor(a, b)
+        assert aig.num_ands == 3
+
+    def test_mux_folds_const_select(self):
+        aig = AIG()
+        a, b = aig.add_input(), aig.add_input()
+        assert aig.mux(a, b, TRUE_LIT) == b
+        assert aig.mux(a, b, FALSE_LIT) == a
+
+    def test_inputs_before_ands_enforced(self):
+        aig = AIG()
+        a = aig.add_input()
+        b = aig.add_input()
+        aig.and_(a, b)
+        with pytest.raises(ValueError):
+            aig.add_input()
+
+
+class TestReduce:
+    @given(st.integers(1, 8))
+    def test_and_reduce_width(self, n):
+        aig = AIG()
+        lits = [aig.add_input() for _ in range(n)]
+        y = aig.and_reduce(lits)
+        # all ones -> 1; any zero -> 0
+        masks = aig.eval_masks([1] * n, 1)
+
+        def val(lit):
+            if lit <= 1:
+                return lit
+            return masks[lit >> 1] ^ (lit & 1)
+
+        assert val(y) == 1
+
+    def test_empty_reduces(self):
+        aig = AIG()
+        assert aig.and_reduce([]) == TRUE_LIT
+        assert aig.or_reduce([]) == FALSE_LIT
+        assert aig.xor_reduce([]) == FALSE_LIT
+
+
+class TestEval:
+    def test_eval_outputs(self):
+        aig = AIG()
+        a, b = aig.add_input("a"), aig.add_input("b")
+        aig.add_output(aig.xor(a, b), "y")
+        assert aig.eval_outputs([0, 0]) == [0]
+        assert aig.eval_outputs([1, 0]) == [1]
+        assert aig.eval_outputs([1, 1]) == [0]
+
+    def test_eval_masks_parallel(self):
+        aig = AIG()
+        a, b = aig.add_input(), aig.add_input()
+        y = aig.and_(a, b)
+        values = aig.eval_masks([0b1100, 0b1010], 4)
+        assert values[y >> 1] == 0b1000
+
+    def test_eval_wrong_arity(self):
+        aig = AIG()
+        aig.add_input()
+        with pytest.raises(ValueError):
+            aig.eval_masks([1, 2], 2)
+
+
+class TestAnalysis:
+    def test_levels(self):
+        aig = AIG()
+        a, b, c = (aig.add_input() for _ in range(3))
+        y = aig.and_(aig.and_(a, b), c)
+        aig.add_output(y)
+        assert aig.levels() == 2
+
+    def test_cone_size(self):
+        aig = AIG()
+        a, b, c = (aig.add_input() for _ in range(3))
+        n1 = aig.and_(a, b)
+        n2 = aig.and_(n1, c)
+        aig.add_output(n2)
+        assert aig.cone_size([n2]) == 2
+        assert aig.cone_size([n1]) == 1
+
+    def test_fanin_access(self):
+        aig = AIG()
+        a, b = aig.add_input(), aig.add_input()
+        y = aig.and_(a, b)
+        assert aig.and_fanins(y >> 1) == (min(a, b), max(a, b))
+        with pytest.raises(IndexError):
+            aig.and_fanins(1)

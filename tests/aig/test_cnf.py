@@ -1,0 +1,50 @@
+"""AIG-to-CNF translation."""
+
+from repro.aig import AIG, aig_to_solver
+from repro.aig.cnf import aig_lit_to_solver_lit
+
+
+def test_and_node_semantics():
+    aig = AIG()
+    a, b = aig.add_input(), aig.add_input()
+    y = aig.and_(a, b)
+    solver, var_map = aig_to_solver(aig)
+    a_v, b_v, y_v = var_map[a >> 1], var_map[b >> 1], var_map[y >> 1]
+    assert solver.solve([a_v, b_v, y_v]) is True
+    assert solver.solve([a_v, b_v, -y_v]) is False
+    assert solver.solve([-a_v, y_v]) is False
+
+
+def test_complemented_edges():
+    aig = AIG()
+    a = aig.add_input()
+    b = aig.add_input()
+    y = aig.and_(a ^ 1, b)  # ~a & b
+    solver, var_map = aig_to_solver(aig)
+    a_v, b_v, y_v = var_map[a >> 1], var_map[b >> 1], var_map[y >> 1]
+    assert solver.solve([-a_v, b_v, y_v]) is True
+    assert solver.solve([a_v, b_v, y_v]) is False
+
+
+def test_constant_literal_translation():
+    aig = AIG()
+    solver, var_map = aig_to_solver(aig)
+    const_var = var_map[0]
+    # AIG literal 1 (true) must be satisfied, literal 0 must not
+    assert solver.solve([aig_lit_to_solver_lit(1, var_map, const_var)]) is True
+    assert solver.solve([aig_lit_to_solver_lit(0, var_map, const_var)]) is False
+
+
+def test_xor_function_through_cnf():
+    aig = AIG()
+    a, b = aig.add_input(), aig.add_input()
+    y = aig.xor(a, b)
+    solver, var_map = aig_to_solver(aig)
+    a_v, b_v = var_map[a >> 1], var_map[b >> 1]
+    y_lit = var_map[y >> 1] * (1 if y & 1 == 0 else -1)
+    for av in (False, True):
+        for bv in (False, True):
+            assumptions = [a_v if av else -a_v, b_v if bv else -b_v]
+            want = av != bv
+            assert solver.solve(assumptions + [y_lit if want else -y_lit]) is True
+            assert solver.solve(assumptions + [-y_lit if want else y_lit]) is False

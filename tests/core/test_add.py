@@ -1,0 +1,151 @@
+"""Algebraic Decision Diagram: the paper's heuristic and exactness."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ADD, case_table
+
+
+class TestListing2:
+    """The paper's Listing 2: good order -> 3 muxes, bad order -> 7."""
+
+    ROWS = [
+        ({2: True}, "p0"),                      # 3'b1zz
+        ({2: False, 1: True}, "p1"),            # 3'b01z
+        ({2: False, 1: False, 0: True}, "p2"),  # 3'b001
+    ]
+
+    def _table(self):
+        return case_table(3, self.ROWS, default="p3")
+
+    def test_table_first_match_wins(self):
+        table = self._table()
+        assert table[0b000] == "p3"
+        assert table[0b001] == "p2"
+        assert table[0b010] == "p1"
+        assert table[0b011] == "p1"
+        for assignment in range(4, 8):
+            assert table[assignment] == "p0"
+
+    def test_heuristic_scores_match_paper(self):
+        """Splitting on S2 scores 4 (left {p1,p2,p3} / right {p0});
+        splitting on S0 scores 6 — exactly the paper's example."""
+        table = tuple(self._table())
+        low2, high2 = ADD._cofactors(table, 2)
+        assert len(set(low2)) + len(set(high2)) == 4
+        assert set(high2) == {"p0"}
+        low0, high0 = ADD._cofactors(table, 0)
+        assert len(set(low0)) + len(set(high0)) == 6
+
+    def test_good_assignment_yields_three_muxes(self):
+        add = ADD(3, self._table())
+        assert add.num_internal_nodes == 3
+        assert add.root.var == 2  # S2 chosen first
+
+    def test_evaluation_matches_table(self):
+        add = ADD(3, self._table())
+        table = self._table()
+        for assignment in range(8):
+            assert add.evaluate(assignment) == table[assignment]
+
+
+class TestReduction:
+    def test_constant_function_is_single_terminal(self):
+        add = ADD(3, ["k"] * 8)
+        assert add.num_internal_nodes == 0
+        assert add.root.is_terminal and add.root.value == "k"
+
+    def test_redundant_variable_elided(self):
+        # f = s0 ? a : b regardless of s1
+        table = ["b", "a", "b", "a"]
+        add = ADD(2, table)
+        assert add.num_internal_nodes == 1
+        assert add.root.var == 0
+
+    def test_sharing_across_branches(self):
+        # f(s1s0): 00->x 01->y 10->x 11->y : equals s0 selector only
+        add = ADD(2, ["x", "y", "x", "y"])
+        assert add.num_internal_nodes == 1
+
+    def test_hash_consing_shares_subgraphs(self):
+        # two cofactors with identical sub-functions share nodes
+        table = ["a", "b", "a", "b", "a", "b", "a", "b"]
+        add = ADD(3, table)
+        assert add.num_internal_nodes == 1
+
+    def test_num_terminals(self):
+        add = ADD(2, ["a", "b", "c", "a"])
+        assert add.num_terminals == 3
+
+
+class TestDepth:
+    def test_depth_bounded_by_vars(self):
+        table = list(range(8))
+        add = ADD(3, table)
+        assert add.depth() <= 3
+        assert add.num_internal_nodes == 7  # all-distinct needs a full tree
+
+    def test_depth_zero_for_terminal(self):
+        assert ADD(2, ["k"] * 4).depth() == 0
+
+
+class TestValidation:
+    def test_wrong_table_size_rejected(self):
+        with pytest.raises(ValueError):
+            ADD(2, ["a"] * 3)
+
+
+class TestCaseTable:
+    def test_default_fills_gaps(self):
+        rows = [({0: True}, "odd")]
+        table = case_table(2, rows, default="even")
+        assert table == ["even", "odd", "even", "odd"]
+
+    def test_priority_order(self):
+        rows = [({1: True}, "first"), ({0: True}, "second")]
+        table = case_table(2, rows, default="d")
+        assert table[0b11] == "first"  # row order wins over specificity
+        assert table[0b01] == "second"
+
+    def test_empty_cube_matches_everything(self):
+        rows = [({}, "all")]
+        assert set(case_table(2, rows, default="d")) == {"all"}
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_add_reproduces_arbitrary_tables(data):
+    num_vars = data.draw(st.integers(1, 5))
+    n_terminals = data.draw(st.integers(1, 4))
+    table = [
+        data.draw(st.integers(0, n_terminals - 1))
+        for _ in range(1 << num_vars)
+    ]
+    add = ADD(num_vars, table)
+    for assignment in range(1 << num_vars):
+        assert add.evaluate(assignment) == table[assignment]
+    # an ADD never needs more nodes than a full binary tree
+    assert add.num_internal_nodes <= (1 << num_vars) - 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.data())
+def test_add_no_worse_than_fixed_order(data):
+    """The greedy order should never lose to the identity order by much;
+    at minimum it must stay within the full-tree bound and produce a DAG
+    whose every internal node has distinct children."""
+    num_vars = data.draw(st.integers(1, 4))
+    table = [data.draw(st.integers(0, 2)) for _ in range(1 << num_vars)]
+    add = ADD(num_vars, table)
+    stack = [add.root]
+    seen = set()
+    while stack:
+        node = stack.pop()
+        if id(node) in seen or node.is_terminal:
+            continue
+        seen.add(id(node))
+        assert node.low is not node.high  # reduced: no redundant nodes
+        stack.append(node.low)
+        stack.append(node.high)

@@ -1,0 +1,69 @@
+"""ADD DAG sharing must carry through to the rebuilt netlist.
+
+When two ADD branches share a sub-function, the rebuild must emit ONE mux
+for the shared node (hash-consing), not a tree copy — this is where the
+restructuring's area advantage over naive chain duplication comes from.
+"""
+
+import pytest
+
+from repro.core import ADD, MuxtreeRestructure
+from repro.equiv import assert_equivalent
+from repro.ir import CellType, Circuit
+from repro.opt import OptClean
+
+
+def test_shared_subfunction_emits_single_mux():
+    """f(s2,s1,s0) where both s2 cofactors contain the same (s0 ? b : a)."""
+    c = Circuit("t")
+    S = c.input("S", 3)
+    a, b, d = c.input("a", 8), c.input("b", 8), c.input("d", 8)
+    # arms: 000->a 001->b 010->d 011->d 100->a 101->b 110->d 111->d
+    arms = [(0, a), (1, b), (2, d), (3, d), (4, a), (5, b), (6, d)]
+    c.output("Y", c.case_(S, arms, d))
+    m = c.module
+    gold = m.clone()
+    result = MuxtreeRestructure().run(m)
+    OptClean().run(m)
+    assert result.stats.get("trees_rebuilt", 0) == 1
+    # the function is independent of s2: ADD must not even test it, and the
+    # shared (s0 ? b : a) sub-mux appears exactly once
+    assert result.stats["muxes_added"] <= 3
+    assert_equivalent(gold, m)
+
+
+def test_add_dag_node_count_matches_emitted_muxes():
+    c = Circuit("t")
+    S = c.input("S", 3)
+    pool = [c.input(f"p{i}", 4) for i in range(2)]
+    arms = [(i, pool[i % 2]) for i in range(7)]
+    c.output("Y", c.case_(S, arms, pool[0]))
+    m = c.module
+    gold = m.clone()
+    result = MuxtreeRestructure().run(m)
+    OptClean().run(m)
+    if result.stats.get("trees_rebuilt"):
+        emitted = sum(1 for cell in m.cells.values() if cell.is_mux)
+        assert emitted == result.stats["muxes_added"]
+    assert_equivalent(gold, m)
+
+
+def test_alternating_pattern_collapses_to_selector_bit():
+    """values alternate with sel[0]: the whole chain is one mux on S[0]."""
+    c = Circuit("t")
+    S = c.input("S", 3)
+    a, b = c.input("a", 8), c.input("b", 8)
+    arms = [(i, a if i % 2 == 0 else b) for i in range(7)]
+    c.output("Y", c.case_(S, arms, b))
+    m = c.module
+    gold = m.clone()
+    result = MuxtreeRestructure().run(m)
+    OptClean().run(m)
+    assert result.stats.get("trees_rebuilt", 0) == 1
+    assert result.stats["muxes_added"] == 1
+    muxes = [cell for cell in m.cells.values() if cell.is_mux]
+    assert len(muxes) == 1
+    # its select is S[0] directly
+    sel_bit = muxes[0].connections["S"][0]
+    assert sel_bit.wire.name == "S" and sel_bit.offset == 0
+    assert_equivalent(gold, m)

@@ -1,0 +1,300 @@
+"""Inference-rule engine: Table I rows and their analogues.
+
+Each Table I row for ``or`` cells is an explicit test; the other cell types
+get targeted forward/backward checks, and a hypothesis test validates
+soundness (every inferred value agrees with exhaustive simulation).
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import extract_subgraph, infer
+from repro.core.inference import Contradiction, InferenceEngine
+from repro.ir import CellType, Circuit, NetIndex, SigBit, SigSpec
+from repro.sim import Simulator
+
+
+def _engine_for(build):
+    """build(c) -> (target_spec, interesting bits dict); returns helpers."""
+    c = Circuit("t")
+    bits = build(c)
+    module = c.module
+    index = NetIndex(module)
+    subgraph = extract_subgraph(
+        index, index.sigmap.map_bit(bits["target"][0]), {}, k=6
+    )
+    sigmap = index.sigmap
+
+    def run(initial):
+        canonical = {
+            sigmap.map_bit(spec[0]): value for spec, value in initial.items()
+        }
+        return infer(subgraph, index, canonical), sigmap
+
+    return bits, run
+
+
+class TestTableIRulesForOr:
+    """The six rows of Table I, verbatim."""
+
+    def _or(self, c):
+        a, b = c.input("a"), c.input("b")
+        y = c.or_(a, b)
+        c.output("y", y)
+        return {"a": a, "b": b, "y": y, "target": y}
+
+    def test_row1_a_true_implies_y_true(self):
+        bits, run = _engine_for(self._or)
+        result, sigmap = run({bits["a"]: True})
+        assert result.value_of(sigmap.map_bit(bits["y"][0])) is True
+
+    def test_row2_b_true_implies_y_true(self):
+        bits, run = _engine_for(self._or)
+        result, sigmap = run({bits["b"]: True})
+        assert result.value_of(sigmap.map_bit(bits["y"][0])) is True
+
+    def test_row3_both_false_implies_y_false(self):
+        bits, run = _engine_for(self._or)
+        result, sigmap = run({bits["a"]: False, bits["b"]: False})
+        assert result.value_of(sigmap.map_bit(bits["y"][0])) is False
+
+    def test_row4_y_false_implies_both_false(self):
+        bits, run = _engine_for(self._or)
+        result, sigmap = run({bits["y"]: False})
+        assert result.value_of(sigmap.map_bit(bits["a"][0])) is False
+        assert result.value_of(sigmap.map_bit(bits["b"][0])) is False
+
+    def test_row5_y_true_a_false_implies_b_true(self):
+        bits, run = _engine_for(self._or)
+        result, sigmap = run({bits["y"]: True, bits["a"]: False})
+        assert result.value_of(sigmap.map_bit(bits["b"][0])) is True
+
+    def test_row6_y_true_b_false_implies_a_true(self):
+        bits, run = _engine_for(self._or)
+        result, sigmap = run({bits["y"]: True, bits["b"]: False})
+        assert result.value_of(sigmap.map_bit(bits["a"][0])) is True
+
+
+class TestAndRules:
+    def _and(self, c):
+        a, b = c.input("a"), c.input("b")
+        y = c.and_(a, b)
+        c.output("y", y)
+        return {"a": a, "b": b, "y": y, "target": y}
+
+    def test_y_true_pins_both(self):
+        bits, run = _engine_for(self._and)
+        result, sigmap = run({bits["y"]: True})
+        assert result.value_of(sigmap.map_bit(bits["a"][0])) is True
+        assert result.value_of(sigmap.map_bit(bits["b"][0])) is True
+
+    def test_y_false_with_one_true_pins_other(self):
+        bits, run = _engine_for(self._and)
+        result, sigmap = run({bits["y"]: False, bits["a"]: True})
+        assert result.value_of(sigmap.map_bit(bits["b"][0])) is False
+
+    def test_controlling_zero_forward(self):
+        bits, run = _engine_for(self._and)
+        result, sigmap = run({bits["a"]: False})
+        assert result.value_of(sigmap.map_bit(bits["y"][0])) is False
+
+
+class TestXorMuxRules:
+    def test_xor_two_known_imply_third(self):
+        def build(c):
+            a, b = c.input("a"), c.input("b")
+            y = c.xor(a, b)
+            c.output("y", y)
+            return {"a": a, "b": b, "y": y, "target": y}
+
+        bits, run = _engine_for(build)
+        result, sigmap = run({bits["y"]: True, bits["a"]: True})
+        assert result.value_of(sigmap.map_bit(bits["b"][0])) is False
+
+    def test_mux_output_differs_from_a_implies_select(self):
+        def build(c):
+            a, b, s = c.input("a"), c.input("b"), c.input("s")
+            y = c.mux(a, b, s)
+            c.output("y", y)
+            return {"a": a, "b": b, "s": s, "y": y, "target": y}
+
+        bits, run = _engine_for(build)
+        result, sigmap = run({bits["y"]: True, bits["a"]: False})
+        assert result.value_of(sigmap.map_bit(bits["s"][0])) is True
+        assert result.value_of(sigmap.map_bit(bits["b"][0])) is True
+
+    def test_mux_known_select_binds_branch(self):
+        def build(c):
+            a, b, s = c.input("a"), c.input("b"), c.input("s")
+            y = c.mux(a, b, s)
+            c.output("y", y)
+            return {"a": a, "b": b, "s": s, "y": y, "target": y}
+
+        bits, run = _engine_for(build)
+        result, sigmap = run({bits["y"]: False, bits["s"]: False})
+        assert result.value_of(sigmap.map_bit(bits["a"][0])) is False
+
+
+class TestEqRules:
+    def _eq(self, c):
+        a = c.input("a", 2)
+        y = c.eq(a, 2)
+        c.output("y", y)
+        return {"a": a, "y": y, "target": y}
+
+    def test_eq_true_pins_operand_bits(self):
+        bits, run = _engine_for(self._eq)
+        result, sigmap = run({bits["y"]: True})
+        assert result.value_of(sigmap.map_bit(bits["a"][0])) is False
+        assert result.value_of(sigmap.map_bit(bits["a"][1])) is True
+
+    def test_eq_false_with_one_open_pair(self):
+        def build(c):
+            a = c.input("a")
+            y = c.eq(c.concat(a, c.const(1, 1)), 3)  # {1,a} == 11
+            c.output("y", y)
+            return {"a": a, "y": y, "target": y}
+
+        bits, run = _engine_for(build)
+        result, sigmap = run({bits["y"]: False})
+        assert result.value_of(sigmap.map_bit(bits["a"][0])) is False
+
+    def test_forward_eq(self):
+        bits, run = _engine_for(self._eq)
+        result, sigmap = run(
+            {SigSpec([bits["a"][0]]): False, SigSpec([bits["a"][1]]): True}
+        )
+        assert result.value_of(sigmap.map_bit(bits["y"][0])) is True
+
+
+class TestReduceLogicRules:
+    def test_reduce_or_false_pins_all(self):
+        def build(c):
+            a = c.input("a", 3)
+            y = c.reduce_or(a)
+            c.output("y", y)
+            return {"a": a, "y": y, "target": y}
+
+        bits, run = _engine_for(build)
+        result, sigmap = run({bits["y"]: False})
+        for i in range(3):
+            assert result.value_of(sigmap.map_bit(bits["a"][i])) is False
+
+    def test_reduce_and_true_pins_all(self):
+        def build(c):
+            a = c.input("a", 3)
+            y = c.reduce_and(a)
+            c.output("y", y)
+            return {"a": a, "y": y, "target": y}
+
+        bits, run = _engine_for(build)
+        result, sigmap = run({bits["y"]: True})
+        for i in range(3):
+            assert result.value_of(sigmap.map_bit(bits["a"][i])) is True
+
+    def test_logic_not_true_pins_zero(self):
+        def build(c):
+            a = c.input("a", 2)
+            y = c.logic_not(a)
+            c.output("y", y)
+            return {"a": a, "y": y, "target": y}
+
+        bits, run = _engine_for(build)
+        result, sigmap = run({bits["y"]: True})
+        assert result.value_of(sigmap.map_bit(bits["a"][0])) is False
+        assert result.value_of(sigmap.map_bit(bits["a"][1])) is False
+
+    def test_reduce_xor_last_unknown(self):
+        def build(c):
+            a = c.input("a", 3)
+            y = c.reduce_xor(a)
+            c.output("y", y)
+            return {"a": a, "y": y, "target": y}
+
+        bits, run = _engine_for(build)
+        result, sigmap = run(
+            {bits["y"]: True,
+             SigSpec([bits["a"][0]]): True,
+             SigSpec([bits["a"][1]]): False}
+        )
+        assert result.value_of(sigmap.map_bit(bits["a"][2])) is False
+
+
+class TestFigure3Inference:
+    def test_or_dependency_resolved(self):
+        """S=1 forces S|R=1 — the paper's motivating example."""
+
+        def build(c):
+            s, r = c.input("s"), c.input("r")
+            y = c.or_(s, r)
+            c.output("y", y)
+            return {"s": s, "r": r, "y": y, "target": y}
+
+        bits, run = _engine_for(build)
+        result, sigmap = run({bits["s"]: True})
+        assert result.value_of(sigmap.map_bit(bits["y"][0])) is True
+
+
+class TestContradiction:
+    def test_conflicting_facts_detected(self):
+        def build(c):
+            a = c.input("a")
+            y = c.not_(a)
+            c.output("y", y)
+            return {"a": a, "y": y, "target": y}
+
+        bits, run = _engine_for(build)
+        result, _ = run({bits["a"]: True, bits["y"]: True})
+        assert result.contradiction
+
+    def test_eq_contradiction(self):
+        def build(c):
+            a = c.input("a", 2)
+            y = c.eq(a, 2)
+            c.output("y", y)
+            return {"a": a, "y": y, "target": y}
+
+        bits, run = _engine_for(build)
+        result, _ = run(
+            {bits["y"]: False,
+             SigSpec([bits["a"][0]]): False,
+             SigSpec([bits["a"][1]]): True}
+        )
+        assert result.contradiction
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 100000), st.data())
+def test_inference_is_sound(seed, data):
+    """Every inferred value must hold in every consistent full assignment."""
+    from tests.conftest import random_circuit
+    from repro.sim import exhaustive_patterns
+
+    module = random_circuit(seed, n_inputs=3, width=2, n_ops=6)
+    index = NetIndex(module)
+    sim = Simulator(module, index)
+    sources = sim.source_bits()
+    if not (0 < len(sources) <= 10):
+        return
+    # pick a random fact: one source pinned
+    pin = data.draw(st.sampled_from(sources))
+    value = data.draw(st.booleans())
+    target = data.draw(st.sampled_from(sources))
+    subgraph = extract_subgraph(index, target, {pin: value}, k=6)
+    result = infer(subgraph, index, {pin: value})
+    if result.contradiction:
+        return
+    masks, nvec = exhaustive_patterns(sources)
+    values = sim.run_masks(masks, nvec)
+    selector = masks[pin] if value else ~masks[pin] & ((1 << nvec) - 1)
+    for bit, inferred in result.values.items():
+        computed = values.get(bit)
+        if computed is None:
+            continue
+        restricted = computed & selector if inferred else (~computed) & selector
+        # inferred=True -> bit is 1 in ALL selected vectors
+        want = selector if inferred else selector
+        got = (computed & selector) if inferred else ((~computed) & selector)
+        assert got == selector, f"unsound inference for {bit!r}"

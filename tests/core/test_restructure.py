@@ -1,0 +1,220 @@
+"""Muxtree restructuring (paper §III, Algorithm 1)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import MuxtreeRestructure, eq_aig_cost, mux_aig_cost
+from repro.equiv import assert_equivalent
+from repro.aig import aig_map
+from repro.ir import CellType, Circuit, SigSpec
+from repro.opt import OptClean
+
+
+def _listing1(width=8):
+    c = Circuit("listing1")
+    S = c.input("S", 2)
+    p = [c.input(f"p{i}", width) for i in range(4)]
+    c.output("Y", c.case_(S, [(0, p[0]), (1, p[1]), (2, p[2])], p[3]))
+    return c.module
+
+
+def _listing2(width=4):
+    c = Circuit("listing2")
+    S = c.input("S", 3)
+    p = [c.input(f"p{i}", width) for i in range(4)]
+    c.output("Y", c.case_(S, [("1zz", p[0]), ("01z", p[1]), ("001", p[2])], p[3]))
+    return c.module
+
+
+class TestListing1:
+    def test_rebuilt_to_three_muxes_no_eq(self):
+        m = _listing1()
+        gold = m.clone()
+        result = MuxtreeRestructure().run(m)
+        OptClean().run(m)
+        stats = m.stats()
+        assert result.stats["trees_rebuilt"] == 1
+        assert result.stats["eq_gates_disconnected"] == 3
+        assert stats.get("eq", 0) == 0          # Figure 7: eq gates gone
+        assert stats.get("mux", 0) == 3
+        assert_equivalent(gold, m)
+
+    def test_area_strictly_reduced(self):
+        m = _listing1()
+        before = aig_map(m.clone()).num_ands
+        MuxtreeRestructure().run(m)
+        OptClean().run(m)
+        assert aig_map(m).num_ands < before
+
+
+class TestListing2:
+    def test_good_assignment_three_muxes(self):
+        """The paper: a good assignment (S2 first) needs 3 muxes, a poor
+        one (S0 first) needs 7."""
+        m = _listing2()
+        gold = m.clone()
+        result = MuxtreeRestructure().run(m)
+        OptClean().run(m)
+        assert result.stats["muxes_added"] == 3
+        assert m.stats().get("mux", 0) == 3
+        assert_equivalent(gold, m)
+
+
+class TestCostModel:
+    def test_unprofitable_tree_rejected(self):
+        """All-distinct arm values on a sparse wide selector: the ADD needs
+        more muxes than the chain and the eq gates are cheap, so the cost
+        check must reject (the paper's 'may even deteriorate')."""
+        c = Circuit("t")
+        S = c.input("S", 4)
+        p = [c.input(f"p{i}", 1) for i in range(5)]
+        arms = [(i, p[i]) for i in range(4)]
+        c.output("Y", c.case_(S, arms, p[4]))
+        m = c.module
+        result = MuxtreeRestructure().run(m)
+        assert result.stats.get("trees_rejected_cost", 0) == 1
+        assert result.stats.get("trees_rebuilt", 0) == 0
+
+    def test_shared_eq_not_counted_as_removable(self):
+        """An eq gate also used outside the tree survives the rebuild and
+        must not contribute to the estimated gain."""
+        c = Circuit("t")
+        S = c.input("S", 2)
+        p = [c.input(f"p{i}", 8) for i in range(4)]
+        y = c.case_(S, [(0, p[0]), (1, p[1]), (2, p[2])], p[3])
+        c.output("Y", y)
+        # reuse one of the eq outputs elsewhere
+        eq_cells = list(c.module.cells_of_type(CellType.EQ))
+        c.output("leak", SigSpec(eq_cells[0].connections["Y"]))
+        m = c.module
+        gold = m.clone()
+        result = MuxtreeRestructure().run(m)
+        OptClean().run(m)
+        if result.stats.get("trees_rebuilt"):
+            assert result.stats["eq_gates_disconnected"] == 2
+            assert m.stats().get("eq", 0) == 1  # the shared one remains
+        assert_equivalent(gold, m)
+
+    def test_min_gain_knob(self):
+        m = _listing1(width=8)
+        result = MuxtreeRestructure(min_gain=10_000).run(m)
+        assert result.stats.get("trees_rebuilt", 0) == 0
+
+    def test_cost_helpers(self):
+        assert mux_aig_cost(8) == 24
+        assert mux_aig_cost(8, branches=2) == 48
+        assert eq_aig_cost(4) == 3
+        assert eq_aig_cost(1) == 0
+
+
+class TestRecognition:
+    def test_wide_selector_skipped(self):
+        c = Circuit("t")
+        S = c.input("S", 20)
+        p = [c.input(f"p{i}", 4) for i in range(3)]
+        c.output("Y", c.case_(S, [(0, p[0]), (1, p[1])], p[2]))
+        m = c.module
+        result = MuxtreeRestructure(max_sel_width=12).run(m)
+        assert result.stats.get("trees_found", 0) == 0
+
+    def test_non_eq_control_breaks_tree_at_root(self):
+        c = Circuit("t")
+        a, b = c.input("a", 4), c.input("b", 4)
+        s = c.input("s")
+        t = c.input("t")
+        inner = c.mux(a, b, c.and_(s, t))  # not an eq-form control
+        c.output("Y", inner)
+        result = MuxtreeRestructure().run(c.module)
+        assert result.stats.get("trees_found", 0) == 0
+
+    def test_opaque_inner_subtree_kept_as_terminal(self):
+        """A non-eq inner mux becomes an opaque ADD terminal; the tree is
+        still rebuilt around it."""
+        c = Circuit("t")
+        S = c.input("S", 2)
+        p = [c.input(f"p{i}", 8) for i in range(4)]
+        t = c.input("t")
+        opaque = c.mux(p[2], p[3], t)
+        y = c.case_(S, [(0, p[0]), (1, p[1]), (2, opaque)], p[3])
+        c.output("Y", y)
+        m = c.module
+        gold = m.clone()
+        result = MuxtreeRestructure().run(m)
+        OptClean().run(m)
+        assert_equivalent(gold, m)
+        if result.stats.get("trees_rebuilt"):
+            # the opaque mux must still exist
+            assert any(
+                cell.is_mux and cell.connections["S"][0] ==
+                c.module.wires["t"][0]
+                for cell in m.cells.values()
+                if "t" in [w.name for w in cell.connections["S"].wires()]
+            ) or m.stats().get("mux", 0) >= 1
+
+    def test_direct_bit_and_not_controls(self):
+        """Raw selector bits and not(bit) count as eq-forms (1zz-style)."""
+        c = Circuit("t")
+        S = c.input("S", 2)
+        p = [c.input(f"p{i}", 8) for i in range(3)]
+        inner = c.mux(p[1], p[0], SigSpec([S[1]]))
+        y = c.mux(inner, p[2], c.not_(SigSpec([S[0]])))
+        c.output("Y", y)
+        m = c.module
+        gold = m.clone()
+        result = MuxtreeRestructure().run(m)
+        OptClean().run(m)
+        assert result.stats.get("trees_found", 0) == 1
+        assert_equivalent(gold, m)
+
+
+class TestPmuxTrees:
+    def test_pmux_case_rebuilt(self):
+        c = Circuit("t")
+        S = c.input("S", 2)
+        p = [c.input(f"p{i}", 8) for i in range(3)]
+        branches = [
+            (c.eq(S, SigSpec.from_const(i, 2)), p[i % 2]) for i in range(3)
+        ]
+        c.output("Y", c.pmux(p[2], branches))
+        m = c.module
+        gold = m.clone()
+        result = MuxtreeRestructure().run(m)
+        OptClean().run(m)
+        assert result.stats.get("trees_found", 0) == 1
+        assert_equivalent(gold, m)
+
+    def test_nested_case_in_case(self):
+        c = Circuit("t")
+        S = c.input("S", 3)
+        p = [c.input(f"p{i}", 8) for i in range(4)]
+        inner = c.case_(SigSpec(S[0:2]), [(0, p[0]), (1, p[1])], p[2])
+        y = c.case_(SigSpec([S[2]]), [(1, inner)], p[3])
+        c.output("Y", y)
+        m = c.module
+        gold = m.clone()
+        MuxtreeRestructure().run(m)
+        OptClean().run(m)
+        assert_equivalent(gold, m)
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.data())
+def test_random_case_statements_preserved(data):
+    """Arbitrary case structures survive restructuring functionally."""
+    width = data.draw(st.integers(1, 8))
+    sel_width = data.draw(st.integers(1, 4))
+    n_arms = data.draw(st.integers(1, (1 << sel_width)))
+    n_values = data.draw(st.integers(1, 4))
+    c = Circuit("t")
+    S = c.input("S", sel_width)
+    pool = [c.input(f"p{i}", width) for i in range(n_values)]
+    arms = [
+        (i, pool[data.draw(st.integers(0, n_values - 1))])
+        for i in range(n_arms)
+    ]
+    c.output("Y", c.case_(S, arms, pool[0]))
+    m = c.module
+    gold = m.clone()
+    MuxtreeRestructure().run(m)
+    OptClean().run(m)
+    assert_equivalent(gold, m)

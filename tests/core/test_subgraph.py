@@ -1,0 +1,138 @@
+"""Sub-graph extraction and the Theorem II.1 reduction."""
+
+import pytest
+
+from repro.core import extract_subgraph
+from repro.ir import CellType, Circuit, NetIndex, SigBit
+
+
+def _fig3_module():
+    c = Circuit("t")
+    A, B, C = c.input("A", 4), c.input("B", 4), c.input("C", 4)
+    S, R = c.input("S"), c.input("R")
+    sr = c.or_(S, R)
+    inner = c.mux(B, A, sr)
+    y = c.mux(C, inner, S)
+    c.output("Y", y)
+    return c.module, sr, S
+
+
+class TestExtraction:
+    def test_target_cone_is_included(self):
+        module, sr, S = _fig3_module()
+        index = NetIndex(module)
+        target = index.sigmap.map_bit(sr[0])
+        s_bit = index.sigmap.map_bit(S[0])
+        sub = extract_subgraph(index, target, {s_bit: True}, k=3)
+        kinds = {cell.type for cell in sub.cells}
+        assert CellType.OR in kinds
+
+    def test_distance_zero_gives_empty(self):
+        module, sr, S = _fig3_module()
+        index = NetIndex(module)
+        target = index.sigmap.map_bit(sr[0])
+        sub = extract_subgraph(index, target, {}, k=0)
+        assert sub.cells == []
+        assert target in sub.inputs
+
+    def test_max_gates_bounds_neighbourhood(self):
+        c = Circuit("t")
+        x = c.input("x", 4)
+        value = x
+        for _ in range(50):
+            value = c.add(value, x)
+        target_spec = c.eq(value, 3)
+        c.output("y", target_spec)
+        index = NetIndex(c.module)
+        target = index.sigmap.map_bit(target_spec[0])
+        sub = extract_subgraph(index, target, {}, k=60, max_gates=10)
+        assert sub.gates_before <= 10
+
+    def test_known_source_excluded_from_inputs(self):
+        module, sr, S = _fig3_module()
+        index = NetIndex(module)
+        target = index.sigmap.map_bit(sr[0])
+        s_bit = index.sigmap.map_bit(S[0])
+        sub = extract_subgraph(index, target, {s_bit: True}, k=3)
+        assert s_bit not in sub.inputs
+        assert sub.known.get(s_bit) is True
+
+    def test_sequential_cells_not_crossed(self):
+        c = Circuit("t")
+        clk = c.input("clk")
+        d = c.input("d")
+        q = c.dff(clk, d)
+        y = c.or_(q, c.input("r"))
+        c.output("y", y)
+        index = NetIndex(c.module)
+        target = index.sigmap.map_bit(y[0])
+        sub = extract_subgraph(index, target, {}, k=5)
+        assert all(cell.type is not CellType.DFF for cell in sub.cells)
+        # the dff Q bit is a free input of the sub-graph
+        q_bit = index.sigmap.map_bit(q[0])
+        assert q_bit in sub.inputs
+
+
+class TestReduction:
+    def test_unrelated_gates_dismissed(self):
+        """Cousin gates in the neighbourhood that cannot affect the target
+        are dismissed (the paper's ~80% reduction)."""
+        c = Circuit("t")
+        S, R = c.input("S"), c.input("R")
+        u, v = c.input("u", 4), c.input("v", 4)
+        target_sig = c.or_(S, R)
+        # a fat cone that READS S (so it sits in the undirected
+        # neighbourhood) but feeds neither the target nor a known signal
+        noise = c.add(u, c.and_(v, S.repeat(4)))
+        noise = c.xor(noise, v)
+        c.output("y", target_sig)
+        c.output("z", noise)
+        index = NetIndex(c.module)
+        target = index.sigmap.map_bit(target_sig[0])
+        s_bit = index.sigmap.map_bit(S[0])
+        sub = extract_subgraph(index, target, {s_bit: True}, k=8)
+        assert sub.gates_before > sub.gates_after
+        kinds = [cell.type for cell in sub.cells]
+        assert CellType.ADD not in kinds
+        assert CellType.XOR not in kinds
+
+    def test_known_signal_cone_is_kept(self):
+        """Facts about internal signals keep their fanin cones alive."""
+        c = Circuit("t")
+        a, b = c.input("a"), c.input("b")
+        k = c.and_(a, b)        # the known signal's driver
+        target_sig = c.or_(a, c.input("r"))
+        c.output("y", target_sig)
+        c.output("z", k)
+        index = NetIndex(c.module)
+        target = index.sigmap.map_bit(target_sig[0])
+        k_bit = index.sigmap.map_bit(k[0])
+        sub = extract_subgraph(index, target, {k_bit: True}, k=8)
+        kinds = {cell.type for cell in sub.cells}
+        # and(a,b) constrains `a`, which feeds the target: must be kept
+        assert CellType.AND in kinds
+
+    def test_cells_topologically_ordered(self):
+        module, sr, S = _fig3_module()
+        index = NetIndex(module)
+        target = index.sigmap.map_bit(sr[0])
+        sub = extract_subgraph(index, target, {}, k=8)
+        seen = set()
+        for cell in sub.cells:
+            for bit in cell.input_bits():
+                driver = index.comb_driver(index.sigmap.map_bit(bit))
+                if driver is not None and driver.name in sub.cell_names:
+                    assert driver.name in seen, "fanin after fanout"
+            seen.add(cell.name)
+
+    def test_descendants_of_target_dismissed(self):
+        c = Circuit("t")
+        S, R = c.input("S"), c.input("R")
+        target_sig = c.or_(S, R)
+        downstream = c.not_(target_sig)   # pure descendant
+        c.output("y", downstream)
+        index = NetIndex(c.module)
+        target = index.sigmap.map_bit(target_sig[0])
+        s_bit = index.sigmap.map_bit(S[0])
+        sub = extract_subgraph(index, target, {s_bit: True}, k=8)
+        assert all(cell.type is not CellType.NOT for cell in sub.cells)

@@ -1,0 +1,85 @@
+"""End-to-end flow and report rendering."""
+
+import pytest
+
+from repro.flow import OPTIMIZERS, render_industrial, render_table2, render_table3, run_flow
+from repro.ir import Circuit
+
+
+def _circuit():
+    c = Circuit("demo")
+    sel = c.input("sel", 2)
+    S, R = c.input("S"), c.input("R")
+    d = [c.input(f"d{i}", 8) for i in range(3)]
+    case_part = c.case_(sel, [(0, d[0]), (1, d[1]), (2, d[0])], d[1])
+    inner = c.mux(d[1], d[0], c.or_(S, R))
+    c.output("y", c.xor(case_part, c.mux(d[2], inner, S)))
+    return c.module
+
+
+class TestRunFlow:
+    def test_none_optimizer_measures_original(self):
+        m = _circuit()
+        result = run_flow(m, "none")
+        assert result.optimized_area == result.original_area
+        assert result.reduction_vs_original == 0.0
+
+    def test_all_optimizers_run_and_reduce(self):
+        m = _circuit()
+        areas = {}
+        for opt in OPTIMIZERS:
+            result = run_flow(m, opt)
+            areas[opt] = result.optimized_area
+        assert areas["yosys"] <= areas["none"]
+        assert areas["smartly"] <= areas["yosys"]
+        assert areas["smartly"] <= areas["smartly-sat"]
+        assert areas["smartly"] <= areas["smartly-rebuild"]
+
+    def test_flow_does_not_mutate_input(self):
+        m = _circuit()
+        before = m.stats()
+        run_flow(m, "smartly")
+        assert m.stats() == before
+
+    def test_equivalence_check_option(self):
+        m = _circuit()
+        result = run_flow(m, "smartly", check=True)
+        assert result.equivalence_checked
+
+    def test_unknown_optimizer_rejected(self):
+        with pytest.raises(ValueError):
+            run_flow(_circuit(), "magic")
+
+    def test_pass_stats_recorded(self):
+        result = run_flow(_circuit(), "smartly")
+        assert result.pass_stats
+        assert result.runtime_s >= 0
+
+
+class TestReports:
+    def _results(self):
+        m = _circuit()
+        per = {
+            opt: run_flow(m, opt)
+            for opt in ("yosys", "smartly-sat", "smartly-rebuild", "smartly")
+        }
+        return {"wb_conmax": per}
+
+    def test_table2_renders(self):
+        text = render_table2(self._results())
+        assert "wb_conmax" in text
+        assert "Paper" in text and "27.79" in text
+        assert "Average" in text
+
+    def test_table3_renders(self):
+        text = render_table3(self._results())
+        assert "SAT" in text and "Rebuild" in text and "Full" in text
+        assert "19.05" in text  # wb_conmax paper SAT column
+
+    def test_industrial_renders(self):
+        m = _circuit()
+        results = {
+            "ind_x": {opt: run_flow(m, opt) for opt in ("yosys", "smartly")}
+        }
+        text = render_industrial(results)
+        assert "47.20" in text and "ind_x" in text

@@ -1,0 +1,182 @@
+"""Additional elaboration coverage: corner operators, lvalues, structure."""
+
+import pytest
+
+from repro.frontend import FrontendError, compile_verilog
+from repro.ir import CellType, validate_module, verilog_str
+from repro.sim import Simulator
+
+
+def sim(src, **overrides):
+    module = compile_verilog(src, overrides=overrides or None).top
+    validate_module(module)
+    return Simulator(module)
+
+
+class TestOperatorsExtra:
+    def test_nand_nor_xnor_reductions(self):
+        s = sim(
+            """
+            module m(input [3:0] a, output y1, y2, y3);
+              assign y1 = ~&a;
+              assign y2 = ~|a;
+              assign y3 = ~^a;
+            endmodule
+            """
+        )
+        out = s.run({"a": 0b1111})
+        assert out == {"y1": 0, "y2": 0, "y3": 1}
+        out = s.run({"a": 0})
+        assert out == {"y1": 1, "y2": 1, "y3": 1}
+
+    def test_unary_minus(self):
+        s = sim(
+            "module m(input [3:0] a, output [3:0] y); assign y = -a; endmodule"
+        )
+        assert s.run({"a": 3})["y"] == 13
+
+    def test_xnor_binary_both_spellings(self):
+        for op in ("~^", "^~"):
+            s = sim(
+                f"module m(input [1:0] a, b, output [1:0] y);"
+                f" assign y = a {op} b; endmodule"
+            )
+            assert s.run({"a": 0b01, "b": 0b11})["y"] == 0b01
+
+    def test_comparison_chain_widths(self):
+        s = sim(
+            """
+            module m(input [3:0] a, input [5:0] b, output y);
+              assign y = a < b;
+            endmodule
+            """
+        )
+        assert s.run({"a": 15, "b": 16})["y"] == 1
+
+    def test_nested_ternary(self):
+        s = sim(
+            """
+            module m(input [1:0] s, input [3:0] a, b, d, output [3:0] y);
+              assign y = s == 0 ? a : s == 1 ? b : d;
+            endmodule
+            """
+        )
+        assert s.run({"s": 0, "a": 1, "b": 2, "d": 3})["y"] == 1
+        assert s.run({"s": 1, "a": 1, "b": 2, "d": 3})["y"] == 2
+        assert s.run({"s": 2, "a": 1, "b": 2, "d": 3})["y"] == 3
+
+    def test_hex_literal_in_expression(self):
+        s = sim(
+            "module m(input [7:0] a, output y); assign y = a == 8'hA5; endmodule"
+        )
+        assert s.run({"a": 0xA5})["y"] == 1
+
+    def test_wire_with_initializer(self):
+        s = sim(
+            """
+            module m(input [3:0] a, output [3:0] y);
+              wire [3:0] t = a ^ 4'b1111;
+              assign y = t;
+            endmodule
+            """
+        )
+        assert s.run({"a": 0b0101})["y"] == 0b1010
+
+
+class TestLvaluesExtra:
+    def test_concat_lvalue_continuous(self):
+        s = sim(
+            """
+            module m(input [7:0] a, output [3:0] hi, lo);
+              assign {hi, lo} = a;
+            endmodule
+            """
+        )
+        out = s.run({"a": 0xA7})
+        assert out["hi"] == 0xA and out["lo"] == 0x7
+
+    def test_range_lvalue_in_always(self):
+        s = sim(
+            """
+            module m(input [3:0] a, output reg [7:0] y);
+              always @* begin
+                y = 0;
+                y[7:4] = a;
+              end
+            endmodule
+            """
+        )
+        assert s.run({"a": 0b1010})["y"] == 0b10100000
+
+    def test_concat_lvalue_in_always(self):
+        s = sim(
+            """
+            module m(input [5:0] a, output reg [2:0] x, output reg [2:0] z);
+              always @* {x, z} = a;
+            endmodule
+            """
+        )
+        out = s.run({"a": 0b101011})
+        assert out["x"] == 0b101 and out["z"] == 0b011
+
+    def test_out_of_range_lvalue_rejected(self):
+        with pytest.raises(FrontendError):
+            sim("module m(output reg [1:0] y); always @* y[5] = 1; endmodule")
+
+
+class TestStructure:
+    def test_multiple_always_blocks(self):
+        s = sim(
+            """
+            module m(input [3:0] a, b, output reg [3:0] x, output reg [3:0] z);
+              always @* x = a & b;
+              always @* z = a | b;
+            endmodule
+            """
+        )
+        out = s.run({"a": 0b1100, "b": 0b1010})
+        assert out["x"] == 0b1000 and out["z"] == 0b1110
+
+    def test_module_selected_as_top(self):
+        design = compile_verilog(
+            """
+            module one(input a, output y); assign y = a; endmodule
+            module two(input a, output y); assign y = ~a; endmodule
+            """,
+            top="two",
+        )
+        assert design.top.name == "two"
+
+    def test_sequential_and_comb_mix(self):
+        module = compile_verilog(
+            """
+            module m(input clk, input [3:0] d, output reg [3:0] q,
+                     output [3:0] next);
+              assign next = d + 1;
+              always @(posedge clk) q <= next;
+            endmodule
+            """
+        ).top
+        assert len(list(module.cells_of_type(CellType.DFF))) == 1
+        assert len(list(module.cells_of_type(CellType.ADD))) == 1
+
+    def test_empty_statement_tolerated(self):
+        sim("module m(input a, output reg y); always @* begin ; y = a; end endmodule")
+
+    def test_writer_roundtrip_of_elaborated_design(self):
+        from repro.equiv import assert_equivalent
+
+        src = """
+        module m(input [2:0] s, input [7:0] a, b, output reg [7:0] y);
+          always @* begin
+            casez (s)
+              3'b1zz: y = a + b;
+              3'b01z: y = a - b;
+              default: y = a ^ b;
+            endcase
+          end
+        endmodule
+        """
+        module = compile_verilog(src).top
+        back = compile_verilog(verilog_str(module)).top
+        assert_equivalent(module, back)

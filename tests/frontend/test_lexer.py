@@ -1,0 +1,85 @@
+"""Lexer and literal parsing."""
+
+import pytest
+
+from repro.frontend.lexer import (
+    FrontendError,
+    TokKind,
+    parse_based_literal,
+    tokenize,
+)
+
+
+def kinds(text):
+    return [(t.kind, t.text) for t in tokenize(text)[:-1]]
+
+
+class TestTokens:
+    def test_identifiers_and_keywords(self):
+        toks = kinds("module foo_1 $bar endmodule")
+        assert toks[0] == (TokKind.KEYWORD, "module")
+        assert toks[1] == (TokKind.IDENT, "foo_1")
+        assert toks[2] == (TokKind.IDENT, "$bar")
+        assert toks[3] == (TokKind.KEYWORD, "endmodule")
+
+    def test_numbers(self):
+        toks = kinds("42 8'hFF 3'b01z 12")
+        assert toks[0] == (TokKind.NUMBER, "42")
+        assert toks[1] == (TokKind.BASED_NUMBER, "8'hFF")
+        assert toks[2] == (TokKind.BASED_NUMBER, "3'b01z")
+
+    def test_two_char_operators(self):
+        toks = kinds("a <= b == c && d")
+        ops = [t for k, t in toks if k == TokKind.OP]
+        assert ops == ["<=", "==", "&&"]
+
+    def test_comments_skipped(self):
+        toks = kinds("a // line comment\n b /* block \n comment */ c")
+        assert [t for _k, t in toks] == ["a", "b", "c"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(FrontendError):
+            tokenize("/* oops")
+
+    def test_position_tracking(self):
+        tok = tokenize("\n\n  foo")[0]
+        assert tok.line == 3 and tok.col == 3
+
+    def test_underscores_in_numbers(self):
+        toks = kinds("1_000")
+        assert toks[0] == (TokKind.NUMBER, "1000")
+
+    def test_junk_rejected(self):
+        with pytest.raises(FrontendError):
+            tokenize("`define")
+
+
+class TestBasedLiterals:
+    def test_binary(self):
+        assert parse_based_literal("4'b1010") == (4, "1010")
+
+    def test_hex_expansion(self):
+        assert parse_based_literal("8'hA5") == (8, "10100101")
+
+    def test_octal_expansion(self):
+        assert parse_based_literal("6'o17") == (6, "001111")
+
+    def test_decimal(self):
+        size, bits = parse_based_literal("8'd10")
+        assert size == 8 and int(bits, 2) == 10
+
+    def test_z_and_question_normalised(self):
+        assert parse_based_literal("3'b1?z") == (3, "1zz")
+
+    def test_truncation_and_padding(self):
+        assert parse_based_literal("2'b1111") == (2, "11")
+        assert parse_based_literal("4'b1") == (4, "0001")
+        assert parse_based_literal("4'bz") == (4, "zzzz")
+
+    def test_unsized(self):
+        size, bits = parse_based_literal("'b101")
+        assert size is None and bits == "101"
+
+    def test_decimal_with_xz_rejected(self):
+        with pytest.raises(FrontendError):
+            parse_based_literal("4'd1x")

@@ -1,0 +1,32 @@
+"""Every example script must run clean (guards against doc rot)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+@pytest.mark.parametrize(
+    "script,args",
+    [
+        ("quickstart.py", []),
+        ("case_restructuring.py", []),
+        ("dependent_controls.py", []),
+        ("riscv_decoder.py", []),
+        ("reproduce_tables.py", ["--fast", "--skip-industrial"]),
+    ],
+)
+def test_example_runs(script, args):
+    path = EXAMPLES / script
+    assert path.exists(), path
+    completed = subprocess.run(
+        [sys.executable, str(path), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout  # every example prints a report

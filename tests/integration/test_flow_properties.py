@@ -1,0 +1,55 @@
+"""Cross-cutting flow properties: determinism, idempotence, monotonicity."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.aig import aig_map
+from repro.core import run_smartly
+from repro.equiv import assert_equivalent
+from repro.opt import run_baseline_opt
+from tests.conftest import random_circuit
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.integers(0, 100000))
+def test_optimization_is_deterministic(seed):
+    a = random_circuit(seed, n_ops=10, mux_bias=0.5)
+    b = random_circuit(seed, n_ops=10, mux_bias=0.5)
+    run_smartly(a)
+    run_smartly(b)
+    assert a.stats() == b.stats()
+    assert aig_map(a).num_ands == aig_map(b).num_ands
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.integers(0, 100000))
+def test_optimization_is_idempotent(seed):
+    module = random_circuit(seed, n_ops=10, mux_bias=0.5)
+    run_smartly(module)
+    once = aig_map(module).num_ands
+    run_smartly(module)  # second run must not oscillate or regress
+    twice = aig_map(module).num_ands
+    assert twice == once
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.integers(0, 100000))
+def test_smartly_never_loses_to_baseline(seed):
+    module = random_circuit(seed, n_ops=12, mux_bias=0.6)
+    baseline = module.clone()
+    run_baseline_opt(baseline)
+    smart = module.clone()
+    run_smartly(smart)
+    assert aig_map(smart).num_ands <= aig_map(baseline).num_ands
+    assert_equivalent(module, smart)
+
+
+@pytest.mark.parametrize("case", ["ac97_ctrl", "wb_conmax"])
+def test_benchmark_flow_deterministic(case):
+    from repro.flow import run_flow
+    from repro.workloads import build_case
+
+    first = run_flow(build_case(case), "smartly")
+    second = run_flow(build_case(case), "smartly")
+    assert first.optimized_area == second.optimized_area
+    assert first.original_area == second.original_area

@@ -1,0 +1,73 @@
+"""Tests for the cell library metadata."""
+
+import pytest
+
+from repro.ir import (
+    BITWISE_BINARY_TYPES,
+    COMBINATIONAL_TYPES,
+    COMPARE_TYPES,
+    CellType,
+    MUX_TYPES,
+    SINGLE_BIT_OUTPUT_TYPES,
+    UNARY_TYPES,
+    expected_width,
+    input_ports,
+    output_ports,
+    port_spec,
+)
+
+
+def test_every_cell_type_has_a_port_spec():
+    for ctype in CellType:
+        spec = port_spec(ctype)
+        assert spec, ctype
+        names = [name for name, _d, _w in spec]
+        assert len(names) == len(set(names))
+
+
+def test_dff_is_only_sequential_type():
+    assert CellType.DFF not in COMBINATIONAL_TYPES
+    assert len(COMBINATIONAL_TYPES) == len(CellType) - 1
+
+
+def test_input_output_partition():
+    for ctype in CellType:
+        ins, outs = input_ports(ctype), output_ports(ctype)
+        assert set(ins).isdisjoint(outs)
+        assert len(outs) == 1  # every cell has exactly one output port
+
+
+def test_expected_widths_mux():
+    assert expected_width(CellType.MUX, "A", 8) == 8
+    assert expected_width(CellType.MUX, "S", 8) == 1
+    assert expected_width(CellType.MUX, "Y", 8) == 8
+
+
+def test_expected_widths_pmux():
+    assert expected_width(CellType.PMUX, "B", 8, n=3) == 24
+    assert expected_width(CellType.PMUX, "S", 8, n=3) == 3
+    assert expected_width(CellType.PMUX, "A", 8, n=3) == 8
+
+
+def test_expected_widths_compare_and_reduce():
+    for ctype in COMPARE_TYPES:
+        assert expected_width(ctype, "Y", 8) == 1
+    for ctype in UNARY_TYPES - {CellType.NOT}:
+        assert expected_width(ctype, "Y", 8) == 1
+    assert expected_width(CellType.NOT, "Y", 8) == 8
+
+
+def test_expected_width_shift_amount():
+    assert expected_width(CellType.SHL, "B", 8, n=3) == 3
+
+
+def test_expected_width_unknown_port_raises():
+    with pytest.raises(KeyError):
+        expected_width(CellType.AND, "Z", 4)
+
+
+def test_type_sets_are_consistent():
+    assert MUX_TYPES == {CellType.MUX, CellType.PMUX}
+    assert CellType.EQ in SINGLE_BIT_OUTPUT_TYPES
+    assert CellType.AND in BITWISE_BINARY_TYPES
+    assert str(CellType.REDUCE_OR) == "reduce_or"

@@ -1,0 +1,58 @@
+"""Design container tests."""
+
+import pytest
+
+from repro.ir import Design, Module
+
+
+def test_empty_design_has_no_top():
+    design = Design()
+    with pytest.raises(ValueError):
+        design.top
+
+
+def test_first_module_becomes_top():
+    design = Design()
+    a = design.add_module(Module("a"))
+    design.add_module(Module("b"))
+    assert design.top is a
+
+
+def test_explicit_top_flag():
+    design = Design()
+    design.add_module(Module("a"))
+    b = design.add_module(Module("b"), top=True)
+    assert design.top is b
+
+
+def test_set_top_by_name():
+    design = Design()
+    design.add_module(Module("a"))
+    b = design.add_module(Module("b"))
+    design.set_top("b")
+    assert design.top is b
+
+
+def test_set_top_unknown_rejected():
+    design = Design()
+    design.add_module(Module("a"))
+    with pytest.raises(KeyError):
+        design.set_top("zzz")
+
+
+def test_duplicate_module_rejected():
+    design = Design()
+    design.add_module(Module("a"))
+    with pytest.raises(ValueError):
+        design.add_module(Module("a"))
+
+
+def test_constructor_top():
+    top = Module("main")
+    design = Design(top)
+    assert design.top is top
+
+
+def test_repr_mentions_top():
+    design = Design(Module("main"))
+    assert "main" in repr(design)

@@ -1,0 +1,81 @@
+"""SigMap union-find: property-based invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import BIT0, BIT1, Module, SigBit, SigMap, SigSpec, Wire
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_aliases_form_equivalence_classes(data):
+    n_wires = data.draw(st.integers(2, 10))
+    wires = [Wire(f"w{i}", 1) for i in range(n_wires)]
+    bits = [SigBit(w, 0) for w in wires]
+    sigmap = SigMap()
+    pairs = data.draw(
+        st.lists(
+            st.tuples(st.integers(0, n_wires - 1), st.integers(0, n_wires - 1)),
+            max_size=15,
+        )
+    )
+    # model the classes with a reference union-find
+    parent = list(range(n_wires))
+
+    def find(i):
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    for a, b in pairs:
+        sigmap.add(bits[a], bits[b])
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+
+    for i in range(n_wires):
+        for j in range(n_wires):
+            same_class = find(i) == find(j)
+            same_rep = sigmap.map_bit(bits[i]) == sigmap.map_bit(bits[j])
+            assert same_class == same_rep, (i, j)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_constants_always_win_as_representatives(data):
+    n_wires = data.draw(st.integers(1, 6))
+    wires = [Wire(f"w{i}", 1) for i in range(n_wires)]
+    bits = [SigBit(w, 0) for w in wires]
+    sigmap = SigMap()
+    # chain all wires together, then tie one to a constant
+    for a, b in zip(bits, bits[1:]):
+        sigmap.add(a, b)
+    const = data.draw(st.sampled_from([BIT0, BIT1]))
+    chosen = data.draw(st.integers(0, n_wires - 1))
+    sigmap.add(bits[chosen], const)
+    for bit in bits:
+        assert sigmap.map_bit(bit) == const
+
+
+def test_map_spec_is_elementwise():
+    w1, w2 = Wire("a", 2), Wire("b", 2)
+    module = Module("m")
+    module.wires = {"a": w1, "b": w2}
+    sigmap = SigMap()
+    sigmap.add(SigBit(w1, 0), SigBit(w2, 0))
+    spec = SigSpec([SigBit(w1, 0), SigBit(w1, 1)])
+    mapped = sigmap.map_spec(spec)
+    assert mapped[0] == sigmap.map_bit(SigBit(w1, 0))
+    assert mapped[1] == SigBit(w1, 1)
+
+
+def test_module_sigmap_reflects_connections():
+    module = Module("m")
+    a = module.add_wire("a", 2, port_input=True)
+    mid = module.add_wire("mid", 2)
+    out = module.add_wire("y", 2, port_output=True)
+    module.connect(mid, a)
+    module.connect(out, mid)
+    sigmap = module.sigmap()
+    for i in range(2):
+        assert sigmap.map_bit(SigBit(out, i)) == sigmap.map_bit(SigBit(a, i))

@@ -1,0 +1,90 @@
+"""Structural validation tests."""
+
+import pytest
+
+from repro.ir import (
+    CellType,
+    Circuit,
+    Module,
+    SigSpec,
+    ValidationError,
+    check_module,
+    validate_module,
+)
+
+
+def test_valid_module_passes():
+    c = Circuit("ok")
+    a = c.input("a", 4)
+    c.output("y", c.not_(a))
+    validate_module(c.module)
+    assert check_module(c.module) == []
+
+
+def test_unconnected_port_reported():
+    m = Module("bad")
+    a = m.add_wire("a", 2)
+    cell = m.add_cell(CellType.NOT, A=a)
+    del cell.connections["A"]
+    problems = check_module(m)
+    assert any("unconnected" in p for p in problems)
+
+
+def test_width_mismatch_reported():
+    m = Module("bad")
+    a = m.add_wire("a", 2)
+    cell = m.add_cell(CellType.NOT, A=a)
+    cell.connections["A"] = SigSpec.from_wire(m.add_wire("narrow", 1))
+    problems = check_module(m)
+    assert any("width" in p for p in problems)
+
+
+def test_undriven_output_reported():
+    m = Module("bad")
+    m.add_wire("y", 1, port_output=True)
+    problems = check_module(m)
+    assert any("undriven" in p for p in problems)
+
+
+def test_input_driven_output_ok():
+    m = Module("ok")
+    a = m.add_wire("a", 1, port_input=True)
+    y = m.add_wire("y", 1, port_output=True)
+    m.connect(y, a)
+    assert check_module(m) == []
+
+
+def test_comb_loop_reported():
+    m = Module("bad")
+    a = m.add_wire("a", 1)
+    b = m.add_wire("b", 1)
+    m.add_cell(CellType.NOT, A=a, Y=b)
+    m.add_cell(CellType.NOT, A=b, Y=a)
+    problems = check_module(m)
+    assert any("loop" in p for p in problems)
+
+
+def test_double_driver_reported():
+    m = Module("bad")
+    a = m.add_wire("a", 1, port_input=True)
+    y = m.add_wire("y", 1)
+    m.add_cell(CellType.NOT, A=a, Y=y)
+    m.add_cell(CellType.NOT, name="dup", A=a, Y=y)
+    problems = check_module(m)
+    assert any("driven by both" in p for p in problems)
+
+
+def test_validate_module_raises():
+    m = Module("bad")
+    m.add_wire("y", 1, port_output=True)
+    with pytest.raises(ValidationError):
+        validate_module(m)
+
+
+def test_unknown_port_reported():
+    m = Module("bad")
+    a = m.add_wire("a", 1)
+    cell = m.add_cell(CellType.NOT, A=a)
+    cell.connections["Z"] = SigSpec.from_wire(a)
+    problems = check_module(m)
+    assert any("unknown ports" in p for p in problems)

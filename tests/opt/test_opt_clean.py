@@ -1,0 +1,91 @@
+"""Dead logic removal."""
+
+from repro.ir import CellType, Circuit
+from repro.opt import OptClean
+from repro.equiv import assert_equivalent
+
+
+def test_removes_unreachable_cells():
+    c = Circuit("t")
+    a = c.input("a", 4)
+    b = c.input("b", 4)
+    c.output("y", c.and_(a, b))
+    c.xor(a, b)  # dangling
+    m = c.module
+    gold = m.clone()
+    result = OptClean().run(m)
+    assert result.stats["cells_removed"] == 1
+    assert m.stats()["_cells"] == 1
+    assert_equivalent(gold, m)
+
+
+def test_keeps_cells_feeding_outputs_transitively():
+    c = Circuit("t")
+    a = c.input("a", 4)
+    inner = c.not_(a)
+    c.output("y", c.not_(inner))
+    m = c.module
+    result = OptClean().run(m)
+    assert not result.changed
+    assert m.stats()["_cells"] == 2
+
+
+def test_keeps_dff_and_its_cone():
+    c = Circuit("t")
+    clk = c.input("clk")
+    d = c.input("d", 2)
+    cone = c.add(d, 1)
+    c.dff(clk, cone)  # Q drives nothing, but state must be preserved
+    m = c.module
+    OptClean().run(m)
+    assert len(list(m.cells_of_type(CellType.DFF))) == 1
+    assert len(list(m.cells_of_type(CellType.ADD))) == 1
+
+
+def test_removes_unused_wires_but_keeps_ports():
+    c = Circuit("t")
+    a = c.input("a", 2)
+    c.wire("scratch", 4)
+    c.output("y", c.not_(a))
+    m = c.module
+    OptClean().run(m)
+    assert "scratch" not in m.wires
+    assert "a" in m.wires and "y" in m.wires
+
+
+def test_connection_chains_survive_when_live():
+    c = Circuit("t")
+    a = c.input("a", 2)
+    mid = c.wire("mid", 2)
+    m = c.module
+    m.connect(mid, a)
+    out = m.add_wire("y", 2, port_output=True)
+    m.connect(out, mid)
+    OptClean().run(m)
+    from repro.sim import Simulator
+
+    assert Simulator(m).run({"a": 3})["y"] == 3
+
+
+def test_dead_connection_dropped():
+    c = Circuit("t")
+    a = c.input("a", 2)
+    dead = c.wire("dead", 2)
+    m = c.module
+    m.connect(dead, a)
+    c.output("y", c.not_(a))
+    OptClean().run(m)
+    assert all("dead" not in (w.name for w in lhs.wires())
+               for lhs, _rhs in m.connections)
+
+
+def test_cascade_removal():
+    c = Circuit("t")
+    a = c.input("a", 4)
+    lvl1 = c.not_(a)
+    lvl2 = c.and_(lvl1, a)
+    c.xor(lvl2, a)  # whole chain dangles
+    c.output("y", a)
+    m = c.module
+    result = OptClean().run(m)
+    assert result.stats["cells_removed"] == 3

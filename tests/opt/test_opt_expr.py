@@ -1,0 +1,156 @@
+"""Constant folding and identity rewrites."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.equiv import assert_equivalent
+from repro.ir import BIT0, BIT1, CellType, Circuit, SigSpec
+from repro.opt import OptClean, OptExpr
+from repro.sim import Simulator
+from tests.conftest import random_circuit
+
+
+def _run(module):
+    gold = module.clone()
+    result = OptExpr().run(module)
+    OptClean().run(module)
+    assert_equivalent(gold, module)
+    return result
+
+
+def test_folds_fully_constant_cells():
+    c = Circuit("t")
+    c.output("y", c.add(c.const(3, 4), c.const(4, 4)))
+    m = c.module
+    _run(m)
+    assert m.stats()["_cells"] == 0
+    assert Simulator(m).run({})["y"] == 7
+
+
+def test_and_with_zero_folds():
+    c = Circuit("t")
+    a = c.input("a", 4)
+    c.output("y", c.and_(a, c.const(0, 4)))
+    m = c.module
+    _run(m)
+    assert m.stats()["_cells"] == 0
+
+
+def test_or_with_all_ones_folds():
+    c = Circuit("t")
+    a = c.input("a", 4)
+    c.output("y", c.or_(a, c.const(0xF, 4)))
+    m = c.module
+    _run(m)
+    assert m.stats()["_cells"] == 0
+
+
+def test_xor_self_is_zero():
+    c = Circuit("t")
+    a = c.input("a", 4)
+    c.output("y", c.xor(a, a))
+    m = c.module
+    result = _run(m)
+    assert result.stats.get("identity", 0) == 1
+    assert Simulator(m).run({"a": 9})["y"] == 0
+
+
+def test_eq_self_is_one():
+    c = Circuit("t")
+    a = c.input("a", 4)
+    c.output("y", c.eq(a, a))
+    m = c.module
+    _run(m)
+    assert Simulator(m).run({"a": 9})["y"] == 1
+
+
+def test_sub_self_is_zero():
+    c = Circuit("t")
+    a = c.input("a", 4)
+    c.output("y", c.sub(a, a))
+    _run(c.module)
+    assert c.module.stats()["_cells"] == 0
+
+
+def test_add_zero_passthrough():
+    c = Circuit("t")
+    a = c.input("a", 4)
+    c.output("y", c.add(a, c.const(0, 4)))
+    m = c.module
+    _run(m)
+    assert m.stats()["_cells"] == 0
+    assert Simulator(m).run({"a": 9})["y"] == 9
+
+
+def test_mux_same_operands():
+    c = Circuit("t")
+    a = c.input("a", 4)
+    s = c.input("s")
+    c.output("y", c.mux(a, a, s))
+    m = c.module
+    result = _run(m)
+    assert result.stats.get("mux_same", 0) == 1
+
+
+def test_mux_constant_select():
+    c = Circuit("t")
+    a, b = c.input("a", 4), c.input("b", 4)
+    c.output("y", c.mux(a, b, SigSpec([BIT1])))
+    m = c.module
+    _run(m)
+    assert Simulator(m).run({"a": 1, "b": 2})["y"] == 2
+
+
+def test_bool_mux_becomes_select():
+    c = Circuit("t")
+    s = c.input("s")
+    c.output("y", c.mux(c.const(0, 1), c.const(1, 1), s))
+    m = c.module
+    result = _run(m)
+    assert result.stats.get("mux_to_sel", 0) == 1
+    assert Simulator(m).run({"s": 1})["y"] == 1
+
+
+def test_pmux_dead_branch_dropped():
+    c = Circuit("t")
+    d = c.input("d", 4)
+    x = c.input("x", 4)
+    s = c.input("s")
+    c.output("y", c.pmux(d, [(SigSpec([BIT0]), x), (s, x)]))
+    m = c.module
+    result = _run(m)
+    # one branch had a constant-0 select: pmux becomes a plain mux
+    assert result.stats.get("pmux_to_mux", 0) == 1
+
+
+def test_pmux_decided_branch():
+    c = Circuit("t")
+    d = c.input("d", 4)
+    x = c.input("x", 4)
+    c.output("y", c.pmux(d, [(SigSpec([BIT1]), x)]))
+    m = c.module
+    _run(m)
+    assert Simulator(m).run({"d": 3, "x": 9})["y"] == 9
+    assert m.stats()["_cells"] == 0
+
+
+def test_constant_propagation_chains():
+    c = Circuit("t")
+    a = c.input("a", 4)
+    k = c.add(c.const(1, 4), c.const(2, 4))   # 3
+    k2 = c.xor(k, c.const(3, 4))              # 0
+    c.output("y", c.or_(a, k2))               # a
+    m = c.module
+    _run(m)
+    assert m.stats()["_cells"] == 0
+    assert Simulator(m).run({"a": 11})["y"] == 11
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 100000))
+def test_random_circuits_preserved(seed):
+    module = random_circuit(seed, n_ops=10)
+    gold = module.clone()
+    OptExpr().run(module)
+    OptClean().run(module)
+    assert_equivalent(gold, module)

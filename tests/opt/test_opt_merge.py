@@ -1,0 +1,97 @@
+"""Structural deduplication."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.equiv import assert_equivalent
+from repro.ir import CellType, Circuit
+from repro.opt import OptClean, OptMerge
+from tests.conftest import random_circuit
+
+
+def test_identical_cells_merge():
+    c = Circuit("t")
+    a, b = c.input("a", 4), c.input("b", 4)
+    c.output("y1", c.and_(a, b))
+    c.output("y2", c.and_(a, b))
+    m = c.module
+    gold = m.clone()
+    result = OptMerge().run(m)
+    OptClean().run(m)
+    assert result.stats["cells_merged"] == 1
+    assert m.stats()["_cells"] == 1
+    assert_equivalent(gold, m)
+
+
+def test_commutative_inputs_merge():
+    c = Circuit("t")
+    a, b = c.input("a", 4), c.input("b", 4)
+    c.output("y1", c.and_(a, b))
+    c.output("y2", c.and_(b, a))
+    m = c.module
+    result = OptMerge().run(m)
+    assert result.stats["cells_merged"] == 1
+
+
+def test_noncommutative_not_merged():
+    c = Circuit("t")
+    a, b = c.input("a", 4), c.input("b", 4)
+    c.output("y1", c.sub(a, b))
+    c.output("y2", c.sub(b, a))
+    m = c.module
+    result = OptMerge().run(m)
+    assert result.stats.get("cells_merged", 0) == 0
+
+
+def test_merge_cascades():
+    c = Circuit("t")
+    a, b = c.input("a", 4), c.input("b", 4)
+    x1 = c.and_(a, b)
+    x2 = c.and_(a, b)
+    c.output("y1", c.not_(x1))
+    c.output("y2", c.not_(x2))
+    m = c.module
+    gold = m.clone()
+    result = OptMerge().run(m)
+    OptClean().run(m)
+    # merging the ANDs makes the NOTs identical too
+    assert result.stats["cells_merged"] == 2
+    assert m.stats()["_cells"] == 2
+    assert_equivalent(gold, m)
+
+
+def test_different_widths_not_merged():
+    c = Circuit("t")
+    a = c.input("a", 4)
+    b = c.input("b", 2)
+    c.output("y1", c.not_(a))
+    c.output("y2", c.not_(b))
+    result = OptMerge().run(c.module)
+    assert result.stats.get("cells_merged", 0) == 0
+
+
+def test_dff_merge_toggle():
+    def build():
+        c = Circuit("t")
+        clk = c.input("clk")
+        d = c.input("d", 2)
+        q1 = c.dff(clk, d)
+        q2 = c.dff(clk, d)
+        c.output("y", c.xor(q1, q2))
+        return c.module
+
+    merged = build()
+    OptMerge(merge_dff=True).run(merged)
+    assert len(list(merged.cells_of_type(CellType.DFF))) == 1
+    kept = build()
+    OptMerge(merge_dff=False).run(kept)
+    assert len(list(kept.cells_of_type(CellType.DFF))) == 2
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 100000))
+def test_random_circuits_preserved(seed):
+    module = random_circuit(seed, n_ops=12)
+    gold = module.clone()
+    OptMerge().run(module)
+    OptClean().run(module)
+    assert_equivalent(gold, module)

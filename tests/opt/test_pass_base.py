@@ -1,0 +1,136 @@
+"""Pass framework: results, registry, manager fixpoint behaviour."""
+
+import pytest
+
+from repro.ir import Circuit, Module
+from repro.opt import (
+    Pass,
+    PassManager,
+    PassResult,
+    known_passes,
+    make_pass,
+    register_pass,
+)
+
+
+class TestPassResult:
+    def test_bump_sets_changed(self):
+        result = PassResult("p")
+        assert not result.changed
+        result.bump("things")
+        assert result.changed and result.stats["things"] == 1
+
+    def test_bump_zero_does_not_set_changed(self):
+        result = PassResult("p")
+        result.bump("things", 0)
+        assert not result.changed
+
+    def test_merge_accumulates(self):
+        a = PassResult("a")
+        a.bump("x", 2)
+        b = PassResult("b")
+        b.bump("x", 3)
+        b.bump("y")
+        a.merge(b)
+        assert a.stats == {"x": 5, "y": 1}
+        assert a.changed
+
+
+class TestRegistry:
+    def test_known_passes_include_standard_set(self):
+        names = known_passes()
+        for expected in ("opt_clean", "opt_expr", "opt_merge", "opt_muxtree",
+                         "smartly", "smartly_sat", "smartly_rebuild"):
+            assert expected in names
+
+    def test_make_pass(self):
+        p = make_pass("opt_clean")
+        assert p.name == "opt_clean"
+
+    def test_make_pass_with_options(self):
+        p = make_pass("smartly_sat", k=2)
+        assert p.k == 2
+
+    def test_unknown_pass_rejected(self):
+        with pytest.raises(KeyError):
+            make_pass("nonsense")
+
+
+class _CountdownPass(Pass):
+    """Changes the module `n` times, then stabilises."""
+
+    name = "countdown"
+
+    def __init__(self, n):
+        self.remaining = n
+        self.invocations = 0
+
+    def execute(self, module, result):
+        self.invocations += 1
+        if self.remaining > 0:
+            self.remaining -= 1
+            result.bump("ticks")
+
+
+class TestManager:
+    def test_single_run(self):
+        p = _CountdownPass(5)
+        manager = PassManager([p])
+        assert manager.run(Module("m")) is True
+        assert p.invocations == 1
+
+    def test_fixpoint_stops_when_stable(self):
+        p = _CountdownPass(3)
+        manager = PassManager([p])
+        assert manager.run(Module("m"), fixpoint=True) is True
+        # 3 changing rounds + 1 quiet round
+        assert p.invocations == 4
+
+    def test_fixpoint_respects_max_rounds(self):
+        p = _CountdownPass(100)
+        manager = PassManager([p])
+        manager.run(Module("m"), fixpoint=True, max_rounds=5)
+        assert p.invocations == 5
+
+    def test_no_change_returns_false(self):
+        manager = PassManager([_CountdownPass(0)])
+        assert manager.run(Module("m")) is False
+
+    def test_total_stats_namespaced(self):
+        p = _CountdownPass(2)
+        manager = PassManager([p])
+        manager.run(Module("m"), fixpoint=True)
+        assert manager.total_stats() == {"countdown.ticks": 2}
+
+    def test_runtime_recorded(self):
+        p = _CountdownPass(1)
+        manager = PassManager([p])
+        manager.run(Module("m"))
+        assert manager.history[0].runtime_s >= 0
+
+
+def test_cli_write_roundtrip(tmp_path, capsys):
+    from repro.cli import main
+    from repro.equiv import assert_equivalent
+    from repro.frontend import compile_verilog
+
+    src = tmp_path / "demo.v"
+    src.write_text(
+        """
+        module demo(input [1:0] s, input [7:0] a, b, output reg [7:0] y);
+          always @* begin
+            case (s)
+              2'b00: y = a;
+              2'b01: y = b;
+              2'b10: y = a;
+              default: y = b;
+            endcase
+          end
+        endmodule
+        """
+    )
+    out = tmp_path / "opt.v"
+    assert main(["write", str(src), "-o", str(out)]) == 0
+    original = compile_verilog(src.read_text()).top
+    optimized = compile_verilog(out.read_text()).top
+    assert_equivalent(original, optimized)

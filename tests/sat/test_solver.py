@@ -1,0 +1,188 @@
+"""CDCL solver unit + property tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sat import CNF, Solver, luby
+
+
+class TestBasics:
+    def test_empty_formula_is_sat(self):
+        assert Solver().solve() is True
+
+    def test_unit_clauses(self):
+        s = Solver()
+        a = s.new_var()
+        s.add_clause([a])
+        assert s.solve() is True
+        assert s.model_value(a) is True
+
+    def test_contradiction(self):
+        s = Solver()
+        a = s.new_var()
+        s.add_clause([a])
+        assert s.add_clause([-a]) is False
+        assert s.solve() is False
+
+    def test_tautology_ignored(self):
+        s = Solver()
+        a = s.new_var()
+        assert s.add_clause([a, -a]) is True
+        assert s.solve() is True
+
+    def test_duplicate_literals_collapse(self):
+        s = Solver()
+        a = s.new_var()
+        s.add_clause([a, a, a])
+        assert s.solve() is True and s.model_value(a) is True
+
+    def test_zero_literal_rejected(self):
+        with pytest.raises(ValueError):
+            Solver().add_clause([0])
+
+    def test_implication_chain(self):
+        s = Solver()
+        vs = [s.new_var() for _ in range(20)]
+        for x, y in zip(vs, vs[1:]):
+            s.add_clause([-x, y])
+        s.add_clause([vs[0]])
+        assert s.solve() is True
+        assert all(s.model_value(v) for v in vs)
+
+    def test_model_satisfies_formula(self):
+        rng = random.Random(5)
+        cnf = CNF(8)
+        for _ in range(30):
+            clause = [rng.choice([1, -1]) * rng.randint(1, 8) for _ in range(3)]
+            cnf.add_clause(clause)
+        solver = cnf.to_solver()
+        if solver.solve():
+            model = [solver.model_value(v) for v in range(1, 9)]
+            assert cnf.evaluate(model)
+
+
+class TestAssumptions:
+    def test_assumptions_restrict(self):
+        s = Solver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([a, b])
+        assert s.solve([-a]) is True
+        assert s.model_value(b) is True
+        assert s.solve([-a, -b]) is False
+        # solver state is reusable after UNSAT-under-assumptions
+        assert s.solve() is True
+
+    def test_contradictory_assumptions(self):
+        s = Solver()
+        a = s.new_var()
+        assert s.solve([a, -a]) is False
+
+    def test_assumption_of_fixed_literal(self):
+        s = Solver()
+        a = s.new_var()
+        s.add_clause([a])
+        assert s.solve([a]) is True
+        assert s.solve([-a]) is False
+
+    def test_incremental_clause_addition(self):
+        s = Solver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([a, b])
+        assert s.solve([-a]) is True
+        s.add_clause([-b])
+        assert s.solve([-a]) is False
+        assert s.solve() is True
+        assert s.model_value(a) is True
+
+
+class TestHardInstances:
+    @pytest.mark.parametrize("n", [3, 4, 5, 6])
+    def test_pigeonhole_unsat(self, n):
+        s = Solver()
+        var = {}
+        for p in range(n + 1):
+            for h in range(n):
+                var[p, h] = s.new_var()
+        for p in range(n + 1):
+            s.add_clause([var[p, h] for h in range(n)])
+        for h in range(n):
+            for p1 in range(n + 1):
+                for p2 in range(p1 + 1, n + 1):
+                    s.add_clause([-var[p1, h], -var[p2, h]])
+        assert s.solve() is False
+        assert s.stats.conflicts > 0
+
+    def test_budget_returns_none(self):
+        s = Solver()
+        var = {}
+        n = 8
+        for p in range(n + 1):
+            for h in range(n):
+                var[p, h] = s.new_var()
+        for p in range(n + 1):
+            s.add_clause([var[p, h] for h in range(n)])
+        for h in range(n):
+            for p1 in range(n + 1):
+                for p2 in range(p1 + 1, n + 1):
+                    s.add_clause([-var[p1, h], -var[p2, h]])
+        assert s.solve(max_conflicts=5) is None
+
+    def test_xor_chain_unsat(self):
+        # x1 ^ x2, x2 ^ x3, ..., with parity forcing a contradiction
+        s = Solver()
+        n = 12
+        vs = [s.new_var() for _ in range(n)]
+        for x, y in zip(vs, vs[1:]):
+            s.add_clause([x, y])
+            s.add_clause([-x, -y])  # x != y
+        s.add_clause([vs[0]])
+        s.add_clause([vs[-1]] if n % 2 == 0 else [-vs[-1]])
+        assert s.solve() is False
+
+
+def test_luby_sequence_prefix():
+    expected = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]
+    assert [luby(i) for i in range(15)] == expected
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.data())
+def test_random_cnf_vs_brute_force(data):
+    n_vars = data.draw(st.integers(2, 8))
+    n_clauses = data.draw(st.integers(1, 4 * n_vars))
+    cnf = CNF(n_vars)
+    for _ in range(n_clauses):
+        size = data.draw(st.integers(1, 3))
+        clause = [
+            data.draw(st.integers(1, n_vars)) * data.draw(st.sampled_from([1, -1]))
+            for _ in range(size)
+        ]
+        cnf.add_clause(clause)
+    assert cnf.solve() == cnf.brute_force_satisfiable()
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.data())
+def test_assumptions_equal_unit_clauses(data):
+    n_vars = data.draw(st.integers(2, 6))
+    cnf = CNF(n_vars)
+    for _ in range(data.draw(st.integers(1, 15))):
+        clause = [
+            data.draw(st.integers(1, n_vars)) * data.draw(st.sampled_from([1, -1]))
+            for _ in range(data.draw(st.integers(1, 3)))
+        ]
+        cnf.add_clause(clause)
+    assumptions = [
+        v * data.draw(st.sampled_from([1, -1]))
+        for v in data.draw(
+            st.lists(st.integers(1, n_vars), unique=True, max_size=n_vars)
+        )
+    ]
+    under_assumptions = cnf.to_solver().solve(assumptions)
+    with_units = CNF(cnf.num_vars)
+    with_units.extend(cnf.clauses)
+    for lit in assumptions:
+        with_units.add_clause([lit])
+    assert under_assumptions == with_units.solve()

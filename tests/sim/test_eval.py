@@ -1,0 +1,209 @@
+"""Cross-domain cell evaluator checks: ternary vs mask vs Python ints.
+
+For every combinational cell type we build a one-cell module and verify the
+mask evaluator and the ternary evaluator agree with a Python-level golden
+model on exhaustive/randomised inputs.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import CellType, Circuit, Module, SigSpec, State
+from repro.sim import Simulator
+from repro.sim.eval import eval_cell_masks, eval_cell_ternary
+from repro.sim.ternary import to_states
+
+WIDTH = 4
+MASK = (1 << WIDTH) - 1
+
+
+def golden(ctype: CellType, a: int, b: int, s: int = 0, n: int = 1) -> int:
+    """Python reference semantics for each cell type (width 4)."""
+    if ctype is CellType.NOT:
+        return ~a & MASK
+    if ctype is CellType.AND:
+        return a & b
+    if ctype is CellType.OR:
+        return a | b
+    if ctype is CellType.XOR:
+        return a ^ b
+    if ctype is CellType.XNOR:
+        return ~(a ^ b) & MASK
+    if ctype is CellType.NAND:
+        return ~(a & b) & MASK
+    if ctype is CellType.NOR:
+        return ~(a | b) & MASK
+    if ctype is CellType.ADD:
+        return (a + b) & MASK
+    if ctype is CellType.SUB:
+        return (a - b) & MASK
+    if ctype is CellType.EQ:
+        return int(a == b)
+    if ctype is CellType.NE:
+        return int(a != b)
+    if ctype is CellType.LT:
+        return int(a < b)
+    if ctype is CellType.LE:
+        return int(a <= b)
+    if ctype is CellType.SHL:
+        return (a << b) & MASK
+    if ctype is CellType.SHR:
+        return a >> b
+    if ctype is CellType.MUX:
+        return b if s else a
+    if ctype is CellType.REDUCE_AND:
+        return int(a == MASK)
+    if ctype in (CellType.REDUCE_OR, CellType.REDUCE_BOOL):
+        return int(a != 0)
+    if ctype is CellType.REDUCE_XOR:
+        return bin(a).count("1") % 2
+    if ctype is CellType.LOGIC_NOT:
+        return int(a == 0)
+    if ctype is CellType.LOGIC_AND:
+        return int(a != 0 and b != 0)
+    if ctype is CellType.LOGIC_OR:
+        return int(a != 0 or b != 0)
+    raise NotImplementedError(ctype)
+
+
+TWO_INPUT = [
+    CellType.AND, CellType.OR, CellType.XOR, CellType.XNOR, CellType.NAND,
+    CellType.NOR, CellType.ADD, CellType.SUB, CellType.EQ, CellType.NE,
+    CellType.LT, CellType.LE, CellType.LOGIC_AND, CellType.LOGIC_OR,
+]
+ONE_INPUT = [
+    CellType.NOT, CellType.REDUCE_AND, CellType.REDUCE_OR, CellType.REDUCE_XOR,
+    CellType.REDUCE_BOOL, CellType.LOGIC_NOT,
+]
+
+
+def _make_cell(ctype, n=1):
+    m = Module("t")
+    a = m.add_wire("a", WIDTH)
+    kwargs = {"A": a}
+    if ctype in TWO_INPUT:
+        kwargs["B"] = m.add_wire("b", WIDTH)
+    if ctype is CellType.MUX:
+        kwargs["B"] = m.add_wire("b", WIDTH)
+        kwargs["S"] = m.add_wire("s", 1)
+    if ctype in (CellType.SHL, CellType.SHR):
+        kwargs["B"] = m.add_wire("b", 2)
+        return m.add_cell(ctype, n=2, **kwargs)
+    return m.add_cell(ctype, **kwargs)
+
+
+@pytest.mark.parametrize("ctype", TWO_INPUT + ONE_INPUT + [CellType.MUX])
+def test_ternary_matches_golden_exhaustively(ctype):
+    cell = _make_cell(ctype)
+    for a in range(16):
+        b_range = range(16) if "B" in cell.connections else [0]
+        for b in b_range:
+            s_range = range(2) if "S" in cell.connections else [0]
+            for s in s_range:
+                inputs = {"A": to_states(a, WIDTH)}
+                if "B" in cell.connections:
+                    inputs["B"] = to_states(b, WIDTH)
+                if "S" in cell.connections:
+                    inputs["S"] = to_states(s, 1)
+                out = eval_cell_ternary(cell, inputs)["Y"]
+                got = sum((bit is State.S1) << i for i, bit in enumerate(out))
+                assert got == golden(ctype, a, b, s), (ctype, a, b, s)
+
+
+@pytest.mark.parametrize("ctype", TWO_INPUT + ONE_INPUT + [CellType.MUX])
+def test_mask_matches_golden_random(ctype):
+    cell = _make_cell(ctype)
+    rng = random.Random(hash(ctype.value) & 0xFFFF)
+    nvec = 32
+    mask = (1 << nvec) - 1
+    vec_a = [rng.getrandbits(16) for _ in range(nvec)]
+    vec_b = [rng.getrandbits(16) for _ in range(nvec)]
+    vec_s = [rng.getrandbits(1) for _ in range(nvec)]
+
+    def column(values, width):
+        return [
+            sum(((values[v] >> bit) & 1) << v for v in range(nvec))
+            for bit in range(width)
+        ]
+
+    inputs = {"A": column(vec_a, WIDTH)}
+    if "B" in cell.connections:
+        inputs["B"] = column(vec_b, WIDTH)
+    if "S" in cell.connections:
+        inputs["S"] = column(vec_s, 1)
+    out = eval_cell_masks(cell, inputs, mask)["Y"]
+    for v in range(nvec):
+        got = sum(((out[i] >> v) & 1) << i for i in range(len(out)))
+        expect = golden(
+            ctype, vec_a[v] & MASK, vec_b[v] & MASK, vec_s[v]
+        )
+        assert got == expect, (ctype, v)
+
+
+@pytest.mark.parametrize("ctype", [CellType.SHL, CellType.SHR])
+@given(a=st.integers(0, 15), b=st.integers(0, 3))
+@settings(max_examples=32, deadline=None)
+def test_shift_both_domains(ctype, a, b):
+    cell = _make_cell(ctype)
+    out = eval_cell_ternary(
+        cell, {"A": to_states(a, WIDTH), "B": to_states(b, 2)}
+    )["Y"]
+    got = sum((bit is State.S1) << i for i, bit in enumerate(out))
+    assert got == golden(ctype, a, b)
+    mask_out = eval_cell_masks(
+        cell,
+        {"A": [(a >> i) & 1 for i in range(WIDTH)],
+         "B": [(b >> i) & 1 for i in range(2)]},
+        1,
+    )["Y"]
+    got_mask = sum((m & 1) << i for i, m in enumerate(mask_out))
+    assert got_mask == golden(ctype, a, b)
+
+
+class TestPmuxPriority:
+    def _cell(self):
+        m = Module("t")
+        a = m.add_wire("a", 2)
+        b = m.add_wire("b", 6)
+        s = m.add_wire("s", 3)
+        return m.add_cell(CellType.PMUX, n=3, A=a, B=b, S=s)
+
+    def test_ternary_priority(self):
+        cell = self._cell()
+        inputs = {
+            "A": to_states(0, 2),
+            "B": to_states(0b11_10_01, 6),  # branch0=01 branch1=10 branch2=11
+            "S": to_states(0b011, 3),       # s0 and s1 both hot
+        }
+        out = eval_cell_ternary(cell, inputs)["Y"]
+        got = sum((bit is State.S1) << i for i, bit in enumerate(out))
+        assert got == 0b01  # lowest select index wins
+
+    def test_mask_priority_matches_ternary(self):
+        cell = self._cell()
+        for s in range(8):
+            tern = eval_cell_ternary(
+                cell,
+                {"A": to_states(0, 2), "B": to_states(0b111001, 6),
+                 "S": to_states(s, 3)},
+            )["Y"]
+            expect = sum((bit is State.S1) << i for i, bit in enumerate(tern))
+            masks = eval_cell_masks(
+                cell,
+                {"A": [0, 0], "B": [(0b111001 >> i) & 1 for i in range(6)],
+                 "S": [(s >> i) & 1 for i in range(3)]},
+                1,
+            )["Y"]
+            got = sum((m & 1) << i for i, m in enumerate(masks))
+            assert got == expect, s
+
+    def test_x_select_propagates(self):
+        cell = self._cell()
+        out = eval_cell_ternary(
+            cell,
+            {"A": to_states(0, 2), "B": to_states(0b111111, 6),
+             "S": [State.Sx, State.S0, State.S0]},
+        )["Y"]
+        assert out[0] is State.Sx  # a=0 vs branch=1 under unknown select

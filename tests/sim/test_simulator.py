@@ -1,0 +1,119 @@
+"""Module-level simulator tests (integer, ternary and mask domains)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import BIT0, Circuit, SigBit, SigSpec, State
+from repro.sim import Simulator, exhaustive_patterns
+from tests.conftest import random_circuit
+
+
+def _adder():
+    c = Circuit("t")
+    a = c.input("a", 4)
+    b = c.input("b", 4)
+    c.output("sum", c.add(a, b))
+    return c.module
+
+
+class TestRun:
+    @given(st.integers(0, 15), st.integers(0, 15))
+    def test_integer_api(self, a, b):
+        sim = Simulator(_adder())
+        assert sim.run({"a": a, "b": b})["sum"] == (a + b) % 16
+
+    def test_missing_inputs_default_to_zero(self):
+        sim = Simulator(_adder())
+        assert sim.run({})["sum"] == 0
+
+    def test_alias_chain_through_connections(self):
+        c = Circuit("t")
+        a = c.input("a", 4)
+        mid = c.wire("mid", 4)
+        c.module.connect(mid, a)
+        c.output("y", c.not_(mid))
+        assert Simulator(c.module).run({"a": 5})["y"] == 10
+
+
+class TestRunStates:
+    def test_partial_assignment_yields_x(self):
+        c = Circuit("t")
+        a, b = c.input("a"), c.input("b")
+        y = c.and_(a, b)
+        c.output("y", y)
+        sim = Simulator(c.module)
+        a_bit = SigBit(c.module.wire("a"), 0)
+        values = sim.run_states({a_bit: State.S1})
+        [y_state] = sim.spec_states(y, values)
+        assert y_state is State.Sx
+
+    def test_controlling_value_dominates(self):
+        c = Circuit("t")
+        a, b = c.input("a"), c.input("b")
+        y = c.and_(a, b)
+        c.output("y", y)
+        sim = Simulator(c.module)
+        a_bit = SigBit(c.module.wire("a"), 0)
+        values = sim.run_states({a_bit: State.S0})
+        [y_state] = sim.spec_states(y, values)
+        assert y_state is State.S0
+
+
+class TestMasks:
+    def test_exhaustive_patterns_cover_all_combinations(self):
+        c = Circuit("t")
+        a = c.input("a", 3)
+        c.output("y", c.reduce_and(a))
+        sim = Simulator(c.module)
+        sources = sim.source_bits()
+        masks, nvec = exhaustive_patterns(sources)
+        assert nvec == 8
+        values = sim.run_masks(masks, nvec)
+        y_wire = c.module.wire("y")
+        y_mask = values[sim.index.sigmap.map_bit(SigBit(y_wire, 0))]
+        # reduce_and over 3 bits is true in exactly one of 8 vectors
+        assert bin(y_mask).count("1") == 1
+
+    def test_random_masks_deterministic(self):
+        sim = Simulator(_adder())
+        m1, v1 = sim.random_masks(nvec=16, seed=3)
+        m2, v2 = sim.random_masks(nvec=16, seed=3)
+        assert m1 == m2 and v1 == v2
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10000))
+    def test_mask_sim_agrees_with_integer_sim(self, seed):
+        module = random_circuit(seed, n_ops=8)
+        sim = Simulator(module)
+        sources = sim.source_bits()
+        masks, _ = sim.random_masks(nvec=8, seed=seed)
+        values = sim.run_masks(masks, 8)
+        for vector in range(8):
+            assignment = {}
+            for bit in sources:
+                assignment[bit] = State.from_bool((masks[bit] >> vector) & 1 == 1)
+            states = sim.run_states(assignment)
+            for wire in module.outputs:
+                for i in range(wire.width):
+                    bit = sim.index.sigmap.map_bit(SigBit(wire, i))
+                    state = states.get(bit, State.Sx)
+                    if bit.is_const:
+                        continue
+                    got = (values[bit] >> vector) & 1
+                    assert state is not State.Sx
+                    assert got == (1 if state is State.S1 else 0)
+
+
+def test_source_bits_cover_inputs_and_dff():
+    c = Circuit("t")
+    clk = c.input("clk")
+    d = c.input("d", 2)
+    q = c.dff(clk, d)
+    c.output("y", c.add(q, d))
+    sim = Simulator(c.module)
+    names = set()
+    for bit in sim.source_bits():
+        names.add(bit.wire.name.split(".")[0].split("$")[0])
+    assert any("d" == n for n in names)
+    # dff Q wires count as sources
+    assert any("dff" in n for n in names)

@@ -1,0 +1,114 @@
+"""Kleene three-valued logic primitives."""
+
+from hypothesis import given, strategies as st
+
+from repro.ir import State
+from repro.sim import (
+    from_states,
+    t_add,
+    t_and,
+    t_eq,
+    t_lt,
+    t_mux,
+    t_not,
+    t_or,
+    t_reduce_and,
+    t_reduce_or,
+    t_reduce_xor,
+    t_xnor,
+    t_xor,
+    to_states,
+)
+
+S0, S1, Sx = State.S0, State.S1, State.Sx
+states = st.sampled_from([S0, S1, Sx])
+
+
+class TestTruthTables:
+    def test_and(self):
+        assert t_and(S0, Sx) is S0
+        assert t_and(Sx, S0) is S0
+        assert t_and(S1, S1) is S1
+        assert t_and(S1, Sx) is Sx
+
+    def test_or(self):
+        assert t_or(S1, Sx) is S1
+        assert t_or(Sx, S1) is S1
+        assert t_or(S0, S0) is S0
+        assert t_or(S0, Sx) is Sx
+
+    def test_xor_propagates_x(self):
+        assert t_xor(S1, S0) is S1
+        assert t_xor(S1, S1) is S0
+        assert t_xor(S1, Sx) is Sx
+        assert t_xnor(S1, S1) is S1
+
+    def test_not(self):
+        assert t_not(S0) is S1 and t_not(S1) is S0 and t_not(Sx) is Sx
+
+    def test_mux(self):
+        assert t_mux(S0, S1, S0) is S0
+        assert t_mux(S0, S1, S1) is S1
+        assert t_mux(S0, S1, Sx) is Sx
+        # agreeing data dominates an unknown select
+        assert t_mux(S1, S1, Sx) is S1
+        assert t_mux(Sx, Sx, Sx) is Sx
+
+
+@given(states, states)
+def test_de_morgan(a, b):
+    assert t_not(t_and(a, b)) is t_or(t_not(a), t_not(b))
+
+
+@given(states, states)
+def test_commutativity(a, b):
+    assert t_and(a, b) is t_and(b, a)
+    assert t_or(a, b) is t_or(b, a)
+    assert t_xor(a, b) is t_xor(b, a)
+
+
+@given(st.lists(states, min_size=1, max_size=6))
+def test_reductions_match_folds(bits):
+    expect_and = bits[0]
+    expect_or = bits[0]
+    expect_xor = bits[0]
+    for bit in bits[1:]:
+        expect_and = t_and(expect_and, bit)
+        expect_or = t_or(expect_or, bit)
+        expect_xor = t_xor(expect_xor, bit)
+    assert t_reduce_and(bits) is expect_and
+    assert t_reduce_or(bits) is expect_or
+    assert t_reduce_xor(bits) is expect_xor
+
+
+class TestVectorOps:
+    def test_eq_defined(self):
+        assert t_eq(to_states(5, 4), to_states(5, 4)) is S1
+        assert t_eq(to_states(5, 4), to_states(6, 4)) is S0
+
+    def test_eq_short_circuits_on_definite_mismatch(self):
+        a = [S1, Sx]
+        b = [S0, Sx]
+        assert t_eq(a, b) is S0
+
+    def test_eq_unknown(self):
+        assert t_eq([S1, Sx], [S1, S0]) is Sx
+
+    def test_lt(self):
+        assert t_lt(to_states(3, 4), to_states(5, 4)) is S1
+        assert t_lt(to_states(5, 4), to_states(3, 4)) is S0
+        assert t_lt(to_states(5, 4), to_states(5, 4)) is S0
+        assert t_lt([Sx, S0], [S0, S0]) is Sx
+
+    @given(st.integers(0, 15), st.integers(0, 15))
+    def test_add_matches_python(self, a, b):
+        result = t_add(to_states(a, 4), to_states(b, 4))
+        assert from_states(result) == (a + b) % 16
+
+    def test_add_with_x_is_partial(self):
+        result = t_add([Sx, S0], [S1, S0])
+        assert from_states(result) is None
+
+    @given(st.integers(0, 255), st.integers(1, 8))
+    def test_to_from_states_roundtrip(self, value, width):
+        assert from_states(to_states(value % (1 << width), width)) == value % (1 << width)

@@ -1,0 +1,87 @@
+"""Named benchmark models: allocation, determinism, paper data sanity."""
+
+import pytest
+
+from repro.aig import aig_map
+from repro.ir import validate_module
+from repro.workloads import (
+    CASE_NAMES,
+    PAPER_TABLE2,
+    SCALED_TARGET,
+    allocate_units,
+    build_case,
+)
+from repro.workloads.industrial import INDUSTRIAL_POINTS, build_point
+
+
+class TestPaperData:
+    def test_all_ten_cases_present(self):
+        assert len(CASE_NAMES) == 10
+        assert "top_cache_axi" in CASE_NAMES and "ac97_ctrl" in CASE_NAMES
+
+    def test_table2_row_consistency(self):
+        for name, row in PAPER_TABLE2.items():
+            assert row.smartly < row.yosys < row.original, name
+            implied = 100.0 * (row.yosys - row.smartly) / row.yosys
+            assert implied == pytest.approx(row.ratio_pct, abs=0.02), name
+
+    def test_paper_average_ratio(self):
+        ratios = [row.ratio_pct for row in PAPER_TABLE2.values()]
+        assert sum(ratios) / len(ratios) == pytest.approx(8.95, abs=0.15)
+
+
+class TestAllocation:
+    def test_every_case_allocates_something(self):
+        for name in CASE_NAMES:
+            allocation = allocate_units(name)
+            assert sum(allocation.counts.values()) > 0, name
+
+    def test_allocation_tracks_target_size(self):
+        for name in CASE_NAMES:
+            allocation = allocate_units(name)
+            target = SCALED_TARGET[name]
+            assert allocation.total("orig") == pytest.approx(target, rel=0.30), name
+
+    def test_sat_heavy_case_gets_dependent_units(self):
+        counts = allocate_units("wb_conmax").counts
+        assert any(counts[k] for k in ("dep8", "dep4", "dep2", "dep1"))
+
+    def test_rebuild_heavy_case_gets_case_units(self):
+        counts = allocate_units("top_cache_axi").counts
+        assert any(counts[k] for k in ("case5", "case4", "case3"))
+
+    def test_saturated_case_is_mostly_shared(self):
+        counts = allocate_units("mem_ctrl").counts
+        shared = sum(counts[k] for k in ("shared16", "shared8", "shared4", "shared2"))
+        assert shared >= 3
+
+
+class TestBuild:
+    def test_build_case_deterministic(self):
+        a = build_case("ac97_ctrl")
+        b = build_case("ac97_ctrl")
+        assert a.stats() == b.stats()
+        assert aig_map(a).num_ands == aig_map(b).num_ands
+
+    def test_unknown_case_rejected(self):
+        with pytest.raises(KeyError):
+            build_case("nonexistent")
+
+    @pytest.mark.parametrize("name", ["ac97_ctrl", "pci_bridge32", "wb_conmax"])
+    def test_cases_are_valid_netlists(self, name):
+        module = build_case(name)
+        validate_module(module)
+        area = aig_map(module).num_ands
+        assert area == pytest.approx(SCALED_TARGET[name], rel=0.35)
+
+
+class TestIndustrial:
+    def test_large_fraction_matches_paper(self):
+        large = sum(1 for p in INDUSTRIAL_POINTS if p.is_large)
+        assert large / len(INDUSTRIAL_POINTS) == pytest.approx(0.375)
+
+    def test_point_builds_and_validates(self):
+        module = build_point(INDUSTRIAL_POINTS[0])
+        validate_module(module)
+        stats = module.stats()
+        assert stats.get("pmux", 0) > 0  # selection-dominated
