@@ -16,20 +16,17 @@ import pytest
 from repro.flow import render_industrial
 from repro.workloads.industrial import INDUSTRIAL_POINTS
 
-from conftest import cached_flow, get_module
+from conftest import cached_flow, run_case
 
 POINT_NAMES = [p.name for p in INDUSTRIAL_POINTS]
 
 
 @pytest.mark.parametrize("point", POINT_NAMES)
 def test_industrial_point(benchmark, point):
-    from repro.flow import run_flow
-
     from conftest import _flow_cache
 
-    module = get_module(point)
     result = benchmark.pedantic(
-        lambda: run_flow(module, "smartly"), rounds=1, iterations=1
+        lambda: run_case(point, "smartly"), rounds=1, iterations=1
     )
     _flow_cache.setdefault((point, "smartly"), result)
     yosys = cached_flow(point, "yosys")

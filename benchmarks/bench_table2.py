@@ -13,20 +13,15 @@ import pytest
 from repro.flow import render_table2
 from repro.workloads import CASE_NAMES, PAPER_TABLE2
 
-from conftest import cached_flow, get_module
+from conftest import cached_flow, run_case
 
 
 @pytest.mark.parametrize("case", CASE_NAMES)
 def test_smartly_flow(benchmark, case):
     """Times the full smaRTLy pipeline per case; checks Table II shape."""
-    module = get_module(case)
-
-    def run_once():
-        from repro.flow import run_flow
-
-        return run_flow(module, "smartly")
-
-    result = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    result = benchmark.pedantic(
+        lambda: run_case(case, "smartly"), rounds=1, iterations=1
+    )
     # memoise for the table/other benches
     from conftest import _flow_cache
 

@@ -24,13 +24,10 @@ VARIANTS = ("smartly-sat", "smartly-rebuild", "smartly")
 @pytest.mark.parametrize("variant", ("smartly-sat", "smartly-rebuild"))
 def test_variant_flows(benchmark, case, variant):
     """Times the individual technique pipelines on representative cases."""
-    from repro.flow import run_flow
+    from conftest import _flow_cache, run_case
 
-    from conftest import _flow_cache, get_module
-
-    module = get_module(case)
     result = benchmark.pedantic(
-        lambda: run_flow(module, variant), rounds=1, iterations=1
+        lambda: run_case(case, variant), rounds=1, iterations=1
     )
     _flow_cache.setdefault((case, variant), result)
     assert result.optimized_area <= cached_flow(case, "yosys").optimized_area

@@ -1,9 +1,10 @@
 """Shared benchmark infrastructure.
 
-``flow_cache`` memoises (case, optimizer) flow runs for the whole pytest
-session so Table II, Table III and the ablations do not re-optimize the
-same circuits; tables print at session end through the ``table_report``
-collector.
+``flow_cache`` memoises (case, flow) runs for the whole pytest session so
+Table II, Table III and the ablations do not re-optimize the same circuits;
+tables print at session end through the ``table_report`` collector.  Flows
+run through the :mod:`repro.api` Session layer (each run on a private clone
+of the cached module, like the legacy ``run_flow`` did).
 """
 
 from __future__ import annotations
@@ -12,12 +13,12 @@ from typing import Dict, Tuple
 
 import pytest
 
-from repro.flow import run_flow
-from repro.flow.pipeline import FlowResult
+from repro.api import Session
+from repro.flow.session import RunReport
 from repro.workloads import build_case
 from repro.workloads.industrial import INDUSTRIAL_POINTS, build_point
 
-_flow_cache: Dict[Tuple[str, str], FlowResult] = {}
+_flow_cache: Dict[Tuple[str, str], RunReport] = {}
 _module_cache: Dict[str, object] = {}
 
 
@@ -31,10 +32,15 @@ def get_module(name: str):
     return _module_cache[name]
 
 
-def cached_flow(case: str, optimizer: str) -> FlowResult:
-    key = (case, optimizer)
+def run_case(name: str, flow: str) -> RunReport:
+    """One (case, flow) measurement on a private clone of the cached module."""
+    return Session(get_module(name).clone()).run(flow)
+
+
+def cached_flow(case: str, flow: str) -> RunReport:
+    key = (case, flow)
     if key not in _flow_cache:
-        _flow_cache[key] = run_flow(get_module(case), optimizer)
+        _flow_cache[key] = run_case(case, flow)
     return _flow_cache[key]
 
 

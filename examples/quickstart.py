@@ -1,12 +1,14 @@
 #!/usr/bin/env python3
-"""Quickstart: build a netlist, optimize it with smaRTLy, verify, measure.
+"""Quickstart: build a netlist, optimize it through the Session API, verify.
+
+Shows the declarative surface: a ``Session`` owning the design, the
+``smartly`` preset (and an equivalent explicit ``FlowSpec`` script), the
+structured event channel, and the JSON-serializable ``RunReport``.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.aig import aig_map, aig_stats
-from repro.core import run_smartly
-from repro.equiv import check_equivalence
+from repro.api import EventLog, FlowSpec, Session
 from repro.ir import Circuit
 
 
@@ -36,26 +38,35 @@ def build_demo():
 
 
 def main():
-    module = build_demo()
-    golden = module.clone()
+    # the "smartly" preset is exactly this script:
+    spec = FlowSpec.parse(
+        "fixpoint max_rounds=4; opt_expr; opt_merge; smartly; opt_clean"
+    )
+    print(f"flow script         : {spec}")
 
-    before = aig_stats(aig_map(module.clone()))
-    print(f"before optimization : {before}")
+    session = Session(build_demo())
+    log = session.subscribe(EventLog())
 
-    manager = run_smartly(module, verbose=False)
-    after = aig_stats(aig_map(module))
-    print(f"after  smaRTLy      : {after}")
-    reduction = 100 * (1 - after.num_ands / before.num_ands)
-    print(f"AIG area reduction  : {reduction:.1f}%")
+    # check=True SAT-proves the optimized netlist equivalent to the original
+    report = session.run(spec, check=True)
+
+    print(f"before optimization : {report.original_area} AND gates")
+    print(f"after  smaRTLy      : {report.stats}")
+    print(f"AIG area reduction  : {100 * report.reduction_vs_original:.1f}%")
+    print(f"converged in        : {report.rounds} round(s)")
 
     print("\npass statistics:")
-    for key, value in sorted(manager.total_stats().items()):
+    for key, value in sorted(report.pass_stats.items()):
         print(f"  {key:56s} {value}")
 
-    result = check_equivalence(golden, module)
-    assert result.equivalent, result.counterexample
-    print("\nequivalence check   : PASSED "
-          f"(method={result.method}, conflicts={result.sat_conflicts})")
+    finished = log.of_kind("pass_finished")
+    print(f"\nstructured events   : {len(log)} total, "
+          f"{len(finished)} pass_finished")
+    print(f"equivalence check   : "
+          f"{'PASSED' if report.equivalence_checked else 'SKIPPED'}")
+
+    # reports serialize cleanly for dashboards / CI artifacts
+    print(f"report JSON bytes   : {len(report.to_json())}")
 
 
 if __name__ == "__main__":

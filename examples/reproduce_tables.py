@@ -1,21 +1,23 @@
 #!/usr/bin/env python3
 """Regenerate the paper's Tables II/III and the industrial summary.
 
-Equivalent to ``smartly bench table2|table3|industrial`` but in one script,
-with optional equivalence checking of every optimized netlist.
+Equivalent to ``smartly bench table2|table3|industrial`` but in one script:
+one parallel ``Session.run_suite`` per table, structured progress events on
+stderr, optional equivalence checking of every optimized netlist.
 
-Run:  python examples/reproduce_tables.py [--check] [--fast]
+Run:  python examples/reproduce_tables.py [--check] [--fast] [--jobs N]
 """
 
 import argparse
 import sys
-import time
 
-from repro.flow import (
+from repro.api import (
+    PrintObserver,
+    Session,
     render_industrial,
     render_table2,
     render_table3,
-    run_flow,
+    suite_cases,
 )
 from repro.workloads import CASE_NAMES, build_case, build_industrial
 
@@ -29,19 +31,20 @@ def main(argv=None):
     parser.add_argument("--fast", action="store_true",
                         help="only run four representative cases")
     parser.add_argument("--skip-industrial", action="store_true")
+    parser.add_argument("-j", "--jobs", type=int, default=None,
+                        help="parallel suite workers (default: auto)")
     args = parser.parse_args(argv)
 
-    cases = FAST_CASES if args.fast else CASE_NAMES
-    optimizers = ("yosys", "smartly-sat", "smartly-rebuild", "smartly")
+    session = Session()
+    session.subscribe(PrintObserver(stream=sys.stderr))
 
-    results = {}
-    start = time.time()
-    for name in cases:
-        module = build_case(name)
-        results[name] = {
-            opt: run_flow(module, opt, check=args.check) for opt in optimizers
-        }
-        print(f"  {name}: done ({time.time() - start:.0f}s)", file=sys.stderr)
+    cases = FAST_CASES if args.fast else CASE_NAMES
+    results = session.run_suite(
+        suite_cases(cases, build_case),
+        ("yosys", "smartly-sat", "smartly-rebuild", "smartly"),
+        max_workers=args.jobs,
+        check=args.check,
+    )
 
     print()
     print("Table II — AIG area, measured vs paper")
@@ -51,14 +54,12 @@ def main(argv=None):
     print(render_table3(results))
 
     if not args.skip_industrial:
-        industrial = {}
-        for name, module in build_industrial().items():
-            industrial[name] = {
-                opt: run_flow(module, opt, check=args.check)
-                for opt in ("yosys", "smartly")
-            }
-            print(f"  {name}: done ({time.time() - start:.0f}s)",
-                  file=sys.stderr)
+        industrial = session.run_suite(
+            build_industrial(),
+            ("yosys", "smartly"),
+            max_workers=args.jobs,
+            check=args.check,
+        )
         print()
         print("Industrial benchmark (§IV-B)")
         print(render_industrial(industrial))

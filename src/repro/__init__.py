@@ -1,6 +1,19 @@
 """smaRTLy reproduction — RTL multiplexer optimization with logic
 inferencing and structural rebuilding (DAC 2025).
 
+Public API
+----------
+``repro.api``
+    The stable surface: :class:`~repro.flow.session.Session` (owns a design,
+    caches baselines, runs flows, parallel ``run_suite``),
+    :class:`~repro.flow.spec.FlowSpec` (declarative pipelines parsed from
+    Yosys-like scripts, with the legacy optimizer names as presets), the
+    JSON-serializable :class:`~repro.flow.session.RunReport`, and the
+    structured event channel from :mod:`repro.events`.
+
+    >>> from repro.api import Session
+    >>> report = Session.from_verilog(src).run("opt_expr; smartly k=6; opt_clean")
+
 Subpackages
 -----------
 ``repro.ir``
@@ -25,7 +38,10 @@ Subpackages
     Synthetic benchmark circuit generators (IWLS-2005/RISC-V models and the
     industrial benchmark).
 ``repro.flow``
-    End-to-end synthesis flows and the Table II/III report renderers.
+    FlowSpec/Session implementation, legacy ``run_flow`` shims, and the
+    Table II/III report renderers.
+``repro.events``
+    Structured progress events (bus, log, print/JSON-lines observers).
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"

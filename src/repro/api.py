@@ -1,0 +1,76 @@
+"""``repro.api`` — the stable public surface of the library.
+
+Everything a tool builder needs in one import::
+
+    from repro.api import FlowSpec, Session
+
+    session = Session.from_verilog(source)
+    report = session.run(FlowSpec.parse("opt_expr; smartly k=6; opt_clean"),
+                         check=True)
+    print(report.to_json(indent=2))
+
+* :class:`FlowSpec` — declarative pipelines: parse Yosys-like scripts,
+  compose programmatically, or pick one of the five presets
+  (:data:`PRESET_NAMES`).
+* :class:`Session` — owns a :class:`~repro.ir.design.Design`, caches
+  pre-optimization baselines, runs flows over modules, returns
+  :class:`RunReport` records, and fans suites out in parallel via
+  :meth:`Session.run_suite`.
+* :mod:`repro.events` re-exports — the structured progress channel
+  (:class:`EventBus`, :class:`EventLog`, :class:`PrintObserver`).
+
+Legacy entry points (``repro.flow.run_flow``, ``repro.flow.optimize``,
+``repro.core.run_smartly``) remain as deprecated shims over this layer.
+"""
+
+from .core.smartly import SmartlyOptions
+from .events import (
+    EventBus,
+    EventLog,
+    FlowEvent,
+    JsonLinesObserver,
+    PrintObserver,
+)
+from .flow.reports import render_industrial, render_table2, render_table3
+from .flow.session import (
+    EquivalenceError,
+    PassRecord,
+    RunReport,
+    Session,
+    SuiteReport,
+    suite_cases,
+)
+from .flow.spec import (
+    FlowScriptError,
+    FlowSpec,
+    PassStep,
+    PRESET_NAMES,
+    PRESETS,
+    resolve_flow,
+)
+from .ir.design import Design
+
+__all__ = [
+    "Design",
+    "EquivalenceError",
+    "EventBus",
+    "EventLog",
+    "FlowEvent",
+    "FlowScriptError",
+    "FlowSpec",
+    "JsonLinesObserver",
+    "PRESETS",
+    "PRESET_NAMES",
+    "PassRecord",
+    "PassStep",
+    "PrintObserver",
+    "RunReport",
+    "Session",
+    "SmartlyOptions",
+    "SuiteReport",
+    "render_industrial",
+    "render_table2",
+    "render_table3",
+    "resolve_flow",
+    "suite_cases",
+]

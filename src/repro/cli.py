@@ -2,30 +2,34 @@
 
 ::
 
-    smartly opt design.v [--top NAME] [--optimizer smartly] [--check]
+    smartly opt design.v [--top NAME] [--optimizer smartly] [--check] [--json]
+    smartly script "opt_expr; smartly k=6; opt_clean" design.v [--check] [--json]
     smartly stats design.v
-    smartly bench table2 | table3 | industrial
+    smartly bench table2 | table3 | industrial [--jobs N]
     smartly aig design.v -o design.aag
     smartly write design.v -o optimized.v [--optimizer smartly]
     smartly equiv gold.v gate.v
 
-The ``bench`` subcommands regenerate the paper's tables on the synthetic
-benchmark suite and print measured-vs-paper columns.
+``opt``/``script`` run declarative flows through the :mod:`repro.api`
+Session layer; ``script`` accepts any Yosys-like flow script.  The ``bench``
+subcommands regenerate the paper's tables on the synthetic benchmark suite
+in parallel (``--jobs``), with structured progress events rendered to
+stderr.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Dict, Optional
+from typing import Optional
 
 from .aig import aig_map, aig_stats, write_aiger
+from .api import PrintObserver, Session, suite_cases
 from .flow import (
     OPTIMIZERS,
     render_industrial,
     render_table2,
     render_table3,
-    run_flow,
 )
 from .frontend import compile_verilog
 from .workloads import CASE_NAMES, build_case, build_industrial
@@ -43,19 +47,46 @@ def _load_module(path: str, top: Optional[str]):
     return design.top
 
 
-def cmd_opt(args: argparse.Namespace) -> int:
-    module = _load_module(args.source, args.top)
-    result = run_flow(module, args.optimizer, check=args.check)
+def _run_and_report(module, flow, check: bool, as_json: bool,
+                    verbose: bool = False) -> int:
+    session = Session(module)
+    if verbose:
+        session.subscribe(PrintObserver(stream=sys.stderr, verbose=True))
+    report = session.run(flow, check=check)
+    if as_json:
+        print(report.to_json(indent=2))
+        return 0
     print(
-        f"{module.name}: original AIG area {result.original_area} -> "
-        f"{result.optimized_area} ({100 * result.reduction_vs_original:.2f}% "
-        f"reduction, {args.optimizer})"
+        f"{report.case_name}: original AIG area {report.original_area} -> "
+        f"{report.optimized_area} "
+        f"({100 * report.reduction_vs_original:.2f}% reduction, {report.flow})"
     )
-    if args.check:
+    if check:
         print("equivalence check: PASSED")
-    for key, value in sorted(result.pass_stats.items()):
+    for key, value in sorted(report.pass_stats.items()):
         print(f"  {key} = {value}")
     return 0
+
+
+def cmd_opt(args: argparse.Namespace) -> int:
+    module = _load_module(args.source, args.top)
+    return _run_and_report(module, args.optimizer, args.check, args.json,
+                           args.verbose)
+
+
+def cmd_script(args: argparse.Namespace) -> int:
+    from .flow import FlowScriptError, FlowSpec
+
+    try:
+        spec = FlowSpec.parse(args.flow)
+        if not spec.steps:
+            raise FlowScriptError("empty flow script (no pass statements)")
+        spec.validate()
+    except FlowScriptError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    module = _load_module(args.source, args.top)
+    return _run_and_report(module, spec, args.check, args.json, args.verbose)
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
@@ -77,17 +108,6 @@ def cmd_aig(args: argparse.Namespace) -> int:
     else:
         write_aiger(aig, sys.stdout)
     return 0
-
-
-def _run_suite(cases: Dict[str, object], optimizers) -> Dict[str, Dict]:
-    results: Dict[str, Dict] = {}
-    for name, module in cases.items():
-        per = {}
-        for optimizer in optimizers:
-            per[optimizer] = run_flow(module, optimizer)
-        results[name] = per
-        print(f"  {name}: done", file=sys.stderr)
-    return results
 
 
 def cmd_write(args: argparse.Namespace) -> int:
@@ -123,18 +143,27 @@ def cmd_equiv(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    session = Session()
+    session.subscribe(PrintObserver(stream=sys.stderr))
+    jobs = args.jobs
+
     if args.table == "table2":
-        cases = {name: build_case(name) for name in CASE_NAMES}
-        results = _run_suite(cases, ("yosys", "smartly"))
+        results = session.run_suite(
+            suite_cases(CASE_NAMES, build_case), ("yosys", "smartly"),
+            max_workers=jobs,
+        )
         print(render_table2(results))
     elif args.table == "table3":
-        cases = {name: build_case(name) for name in CASE_NAMES}
-        results = _run_suite(
-            cases, ("yosys", "smartly-sat", "smartly-rebuild", "smartly")
+        results = session.run_suite(
+            suite_cases(CASE_NAMES, build_case),
+            ("yosys", "smartly-sat", "smartly-rebuild", "smartly"),
+            max_workers=jobs,
         )
         print(render_table3(results))
     elif args.table == "industrial":
-        results = _run_suite(build_industrial(), ("yosys", "smartly"))
+        results = session.run_suite(
+            build_industrial(), ("yosys", "smartly"), max_workers=jobs
+        )
         print(render_industrial(results))
     else:
         raise ValueError(f"unknown bench {args.table!r}")
@@ -154,7 +183,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_opt.add_argument("--optimizer", choices=OPTIMIZERS, default="smartly")
     p_opt.add_argument("--check", action="store_true",
                        help="prove equivalence of the optimized netlist")
+    p_opt.add_argument("--json", action="store_true",
+                       help="print the RunReport as JSON")
+    p_opt.add_argument("-v", "--verbose", action="store_true",
+                       help="stream per-pass progress events to stderr")
     p_opt.set_defaults(func=cmd_opt)
+
+    p_script = sub.add_parser(
+        "script",
+        help='run a flow script, e.g. "opt_expr; smartly k=6; opt_clean"',
+    )
+    p_script.add_argument("flow", help="semicolon-separated pass statements")
+    p_script.add_argument("source")
+    p_script.add_argument("--top", default=None)
+    p_script.add_argument("--check", action="store_true",
+                          help="prove equivalence of the optimized netlist")
+    p_script.add_argument("--json", action="store_true",
+                          help="print the RunReport as JSON")
+    p_script.add_argument("-v", "--verbose", action="store_true",
+                          help="stream per-pass progress events to stderr")
+    p_script.set_defaults(func=cmd_script)
 
     p_stats = sub.add_parser("stats", help="print cell and AIG statistics")
     p_stats.add_argument("source")
@@ -186,6 +234,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_bench = sub.add_parser("bench", help="regenerate a paper table")
     p_bench.add_argument("table", choices=("table2", "table3", "industrial"))
+    p_bench.add_argument("-j", "--jobs", type=int, default=None,
+                         help="parallel suite workers (default: auto)")
     p_bench.set_defaults(func=cmd_bench)
     return parser
 

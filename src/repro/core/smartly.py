@@ -15,8 +15,8 @@ baseline, so area comparisons isolate the muxtree strategy itself.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass, fields, replace
+from typing import Optional
 
 from ..ir.module import Module
 from ..opt.opt_clean import OptClean
@@ -63,10 +63,14 @@ class Smartly(Pass):
 
     def __init__(self, options: Optional[SmartlyOptions] = None, **overrides):
         base = options if options is not None else SmartlyOptions()
-        for key, value in overrides.items():
-            if not hasattr(base, key):
-                raise TypeError(f"unknown smaRTLy option {key!r}")
-            setattr(base, key, value)
+        if overrides:
+            known = {f.name for f in fields(SmartlyOptions)}
+            for key in overrides:
+                if key not in known:
+                    raise TypeError(f"unknown smaRTLy option {key!r}")
+            # never mutate the caller's options object: the same
+            # SmartlyOptions instance must be reusable across runs
+            base = replace(base, **overrides)
         self.options = base
 
     def execute(self, module: Module, result: PassResult) -> None:
@@ -112,7 +116,14 @@ def run_smartly(
     verbose: bool = False,
     **overrides,
 ) -> PassManager:
-    """Run the full smaRTLy flow (cleanup + selected stages) to a fixpoint."""
+    """Run the full smaRTLy flow (cleanup + selected stages) to a fixpoint.
+
+    .. deprecated::
+        Legacy entry point, kept as a thin shim.  New code should use
+        :class:`repro.api.Session` with the ``smartly`` preset (or a
+        custom :class:`repro.api.FlowSpec`), which adds baseline caching,
+        structured events and JSON-serializable reports.
+    """
     smartly = Smartly(options, **overrides)
     manager = PassManager(
         [OptExpr(), OptMerge(), smartly, OptClean()], verbose=verbose

@@ -1,14 +1,43 @@
-"""End-to-end flows and the Table II/III/industrial report renderers."""
+"""Flows: the declarative Session/FlowSpec API, legacy shims, and the
+Table II/III/industrial report renderers."""
 
 from .pipeline import OPTIMIZERS, FlowResult, optimize, run_flow
 from .reports import render_industrial, render_table2, render_table3
+from .session import (
+    EquivalenceError,
+    PassRecord,
+    RunReport,
+    Session,
+    SuiteReport,
+    suite_cases,
+)
+from .spec import (
+    FlowScriptError,
+    FlowSpec,
+    PassStep,
+    PRESET_NAMES,
+    PRESETS,
+    resolve_flow,
+)
 
 __all__ = [
+    "EquivalenceError",
     "FlowResult",
+    "FlowScriptError",
+    "FlowSpec",
     "OPTIMIZERS",
+    "PRESETS",
+    "PRESET_NAMES",
+    "PassRecord",
+    "PassStep",
+    "RunReport",
+    "Session",
+    "SuiteReport",
     "optimize",
     "render_industrial",
     "render_table2",
     "render_table3",
+    "resolve_flow",
     "run_flow",
+    "suite_cases",
 ]

@@ -1,4 +1,11 @@
-"""Text renderers for the paper's tables (measured vs published)."""
+"""Text renderers for the paper's tables (measured vs published).
+
+Each renderer consumes ``results[case][flow] -> record`` where the record
+only needs ``original_area`` / ``optimized_area`` attributes — both the
+legacy :class:`~repro.flow.pipeline.FlowResult` and the Session API's
+:class:`~repro.flow.session.RunReport` (and a whole
+:class:`~repro.flow.session.SuiteReport`, which is such a mapping) work.
+"""
 
 from __future__ import annotations
 

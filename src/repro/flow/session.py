@@ -1,0 +1,394 @@
+"""The Session API: run declarative flows over a design, get reports.
+
+A :class:`Session` owns a :class:`~repro.ir.design.Design` (not a lone
+module), runs :class:`~repro.flow.spec.FlowSpec` pipelines over all its
+modules or a selected one, caches the pre-optimization AIG baseline per
+module, and emits structured progress on a shared
+:class:`~repro.events.EventBus`.  Every run returns a JSON-serializable
+:class:`RunReport`; suites of (case × flow) jobs run in parallel through
+:meth:`Session.run_suite` and come back as a :class:`SuiteReport` that the
+table renderers in :mod:`repro.flow.reports` consume directly.
+
+Quickstart::
+
+    from repro.api import Session
+
+    session = Session.from_verilog(open("design.v").read())
+    report = session.run("opt_expr; smartly k=6; opt_clean", check=True)
+    print(report.to_json())
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor, as_completed
+from dataclasses import asdict, dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Union,
+)
+
+from ..aig.aigmap import aig_map
+from ..aig.stats import AigStats, aig_stats
+from ..core.smartly import SmartlyOptions
+from ..equiv.cec import check_equivalence
+from ..events import EventBus, Observer
+from ..ir.design import Design
+from ..ir.module import Module
+from ..opt.pass_base import PassManager
+from .spec import FlowSpec, resolve_flow
+
+#: a suite case: a ready module or a zero-argument factory producing one
+CaseSource = Union[Module, Callable[[], Module]]
+
+
+class EquivalenceError(AssertionError):
+    """An optimized module is not equivalent to its pre-flow snapshot."""
+
+
+@dataclass(frozen=True)
+class PassRecord:
+    """One pass invocation inside a flow run (JSON-serializable)."""
+
+    pass_name: str
+    round: int
+    changed: bool
+    stats: Dict[str, int]
+    runtime_s: float
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Everything measured about one (module, flow) run.
+
+    Replaces the ad-hoc dict / :class:`~repro.flow.pipeline.FlowResult`
+    plumbing: the report is a frozen, JSON-serializable record carrying
+    per-pass statistics, areas, runtimes and the equivalence status.
+    """
+
+    case_name: str
+    flow: str
+    flow_script: str
+    original_area: int
+    optimized_area: int
+    stats: AigStats
+    passes: List[PassRecord] = field(default_factory=list)
+    pass_stats: Dict[str, int] = field(default_factory=dict)
+    rounds: int = 0
+    runtime_s: float = 0.0
+    equivalence_checked: bool = False
+
+    @property
+    def optimizer(self) -> str:
+        """Legacy alias: the flow's label."""
+        return self.flow
+
+    @property
+    def reduction_vs_original(self) -> float:
+        if self.original_area == 0:
+            return 0.0
+        return 1.0 - self.optimized_area / self.original_area
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    def to_json(self, **kwargs: Any) -> str:
+        kwargs.setdefault("sort_keys", True)
+        return json.dumps(self.to_dict(), **kwargs)
+
+
+@dataclass(frozen=True)
+class SuiteReport(Mapping):
+    """Results of a suite run: ``report[case][flow_label] -> RunReport``.
+
+    Implements the mapping protocol the table renderers expect, so
+    ``render_table2(suite_report)`` works unchanged.
+    """
+
+    results: Dict[str, Dict[str, RunReport]]
+    runtime_s: float = 0.0
+
+    def __getitem__(self, case: str) -> Dict[str, RunReport]:
+        return self.results[case]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def reports(self) -> Iterator[RunReport]:
+        for per_flow in self.results.values():
+            yield from per_flow.values()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "runtime_s": self.runtime_s,
+            "results": {
+                case: {flow: report.to_dict() for flow, report in per.items()}
+                for case, per in self.results.items()
+            },
+        }
+
+    def to_json(self, **kwargs: Any) -> str:
+        kwargs.setdefault("sort_keys", True)
+        return json.dumps(self.to_dict(), **kwargs)
+
+
+class Session:
+    """Owns a design, a tuning-options object, and an event channel.
+
+    The session caches each module's pre-optimization AIG baseline the
+    first time it is needed (``aig_map`` never mutates the module, so the
+    baseline is computed directly on the working copy — no clone).
+    Flows then mutate the session's modules in place, Yosys-style; use
+    :func:`repro.flow.pipeline.run_flow` or clone before constructing the
+    session if the caller's module must stay pristine.
+
+    ``options`` seeds the *presets* (``smartly``/``smartly-sat``/…), which
+    take their tuning from one :class:`SmartlyOptions` object.  Explicit
+    flow scripts and :class:`FlowSpec` objects are authoritative as
+    written — a script's ``smartly`` statement uses the paper defaults
+    plus whatever ``key=value`` options the statement itself carries.
+    """
+
+    def __init__(
+        self,
+        design: Optional[Union[Design, Module]] = None,
+        *,
+        options: Optional[SmartlyOptions] = None,
+        events: Optional[EventBus] = None,
+    ):
+        if design is None:
+            design = Design()
+        elif isinstance(design, Module):
+            design = Design(design)
+        self.design = design
+        self.options = options
+        self.events = events if events is not None else EventBus()
+        self._baselines: Dict[str, int] = {}
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def from_verilog(cls, source: str, top: Optional[str] = None,
+                     **kwargs: Any) -> "Session":
+        """Compile Verilog source text into a fresh session."""
+        from ..frontend import compile_verilog
+
+        return cls(compile_verilog(source, top=top), **kwargs)
+
+    # -- observation -----------------------------------------------------------
+
+    def subscribe(self, observer: Observer) -> Observer:
+        """Attach a structured-event observer (see :mod:`repro.events`)."""
+        return self.events.subscribe(observer)
+
+    # -- baselines -------------------------------------------------------------
+
+    def baseline_area(self, module: Optional[str] = None) -> int:
+        """Pre-optimization AIG area, cached per module name."""
+        mod = self._module(module)
+        if mod.name not in self._baselines:
+            self._baselines[mod.name] = aig_map(mod).num_ands
+        return self._baselines[mod.name]
+
+    # -- running flows ---------------------------------------------------------
+
+    def _module(self, name: Optional[str]) -> Module:
+        if name is None:
+            return self.design.top
+        if name not in self.design:
+            raise KeyError(f"no module named {name!r}")
+        return self.design[name]
+
+    def run(
+        self,
+        flow: Union[str, FlowSpec] = "smartly",
+        *,
+        module: Optional[str] = None,
+        check: bool = False,
+    ) -> RunReport:
+        """Run one flow over one module (the top by default).
+
+        ``flow`` is a preset name (``none``/``yosys``/``smartly-sat``/
+        ``smartly-rebuild``/``smartly``), a flow-script string, or a
+        :class:`FlowSpec`.  With ``check=True`` the optimized module is
+        SAT-proven equivalent to its pre-flow state (raises
+        :class:`EquivalenceError` otherwise).
+        """
+        spec = resolve_flow(flow, options=self.options)
+        mod = self._module(module)
+        original_area = self.baseline_area(mod.name)
+        golden = mod.clone() if (check and spec.steps) else None
+        self.events.emit("flow_started", case=mod.name, flow=spec.label)
+        manager = PassManager(spec.build(), events=self.events, name=spec.label)
+        start = time.perf_counter()
+        manager.run(mod, fixpoint=spec.fixpoint, max_rounds=spec.max_rounds)
+        runtime = time.perf_counter() - start
+        stats = aig_stats(aig_map(mod))
+        checked = False
+        if golden is not None:
+            result = check_equivalence(golden, mod)
+            if not result.equivalent:
+                raise EquivalenceError(
+                    f"{spec.label} broke {mod.name!r}: "
+                    f"counterexample {result.counterexample}"
+                )
+            checked = True
+        self.events.emit(
+            "flow_finished",
+            case=mod.name,
+            flow=spec.label,
+            original_area=original_area,
+            optimized_area=stats.num_ands,
+            runtime_s=runtime,
+        )
+        return RunReport(
+            case_name=mod.name,
+            flow=spec.label,
+            flow_script=str(spec),
+            original_area=original_area,
+            optimized_area=stats.num_ands,
+            stats=stats,
+            passes=[
+                PassRecord(
+                    pass_name=res.pass_name,
+                    round=idx // max(1, len(spec.steps)),
+                    changed=res.changed,
+                    stats=dict(res.stats),
+                    runtime_s=res.runtime_s,
+                )
+                for idx, res in enumerate(manager.history)
+            ],
+            pass_stats=manager.total_stats(),
+            rounds=manager.rounds_run,
+            runtime_s=runtime,
+            equivalence_checked=checked,
+        )
+
+    def run_all(
+        self,
+        flow: Union[str, FlowSpec] = "smartly",
+        *,
+        check: bool = False,
+    ) -> Dict[str, RunReport]:
+        """Run one flow over every module in the design."""
+        return {
+            name: self.run(flow, module=name, check=check)
+            for name in list(self.design.modules)
+        }
+
+    # -- suites ----------------------------------------------------------------
+
+    def run_suite(
+        self,
+        cases: Mapping[str, CaseSource],
+        flows: Sequence[Union[str, FlowSpec]] = ("smartly",),
+        *,
+        max_workers: Optional[int] = None,
+        check: bool = False,
+    ) -> SuiteReport:
+        """Run every (case × flow) job, in parallel, with structured progress.
+
+        ``cases`` maps case names to modules **or** zero-argument factories
+        (factories are invoked once per flow inside the worker, so expensive
+        circuit construction also parallelizes); :func:`suite_cases` builds
+        such a mapping from names + a builder.  Module values are cloned
+        per job; the inputs are never mutated.  Jobs fan out on a
+        ``concurrent.futures`` thread pool (``max_workers=1`` forces serial
+        execution); progress is emitted as ``suite_started`` /
+        ``case_started`` / ``case_finished`` / ``suite_finished`` events on
+        the session's bus rather than printed.
+
+        Threads keep the shared event bus and report assembly trivial, but
+        CPython's GIL means pure-Python optimization work only overlaps
+        where passes release the interpreter; on CPython treat
+        ``max_workers`` as job scheduling, not a linear speedup knob.
+        """
+        specs = [resolve_flow(flow, options=self.options) for flow in flows]
+        labels = [spec.label for spec in specs]
+        duplicates = {label for label in labels if labels.count(label) > 1}
+        if duplicates:
+            raise ValueError(
+                f"duplicate flow labels {sorted(duplicates)}: results are "
+                f"keyed by label, so each flow needs a distinct name "
+                f"(FlowSpec(..., name=...))"
+            )
+        jobs = [
+            (case_name, source, spec)
+            for case_name, source in cases.items()
+            for spec in specs
+        ]
+        self.events.emit(
+            "suite_started",
+            cases=list(cases),
+            flows=[spec.label for spec in specs],
+            jobs=len(jobs),
+            max_workers=max_workers,
+        )
+        start = time.perf_counter()
+
+        def run_one(case_name: str, source: CaseSource,
+                    spec: FlowSpec) -> RunReport:
+            module = source() if callable(source) else source.clone()
+            self.events.emit("case_started", case=case_name, flow=spec.label)
+            sub = Session(module, options=self.options, events=self.events)
+            report = sub.run(spec, check=check)
+            self.events.emit(
+                "case_finished",
+                case=case_name,
+                flow=spec.label,
+                original_area=report.original_area,
+                optimized_area=report.optimized_area,
+                runtime_s=report.runtime_s,
+            )
+            return report
+
+        results: Dict[str, Dict[str, RunReport]] = {name: {} for name in cases}
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            futures = {
+                pool.submit(run_one, *job): (job[0], job[2].label)
+                for job in jobs
+            }
+            for future in as_completed(futures):
+                case_name, flow_label = futures[future]
+                results[case_name][flow_label] = future.result()
+        runtime = time.perf_counter() - start
+        self.events.emit("suite_finished", jobs=len(jobs), runtime_s=runtime)
+        return SuiteReport(results=results, runtime_s=runtime)
+
+    def __repr__(self) -> str:
+        return f"Session({self.design!r})"
+
+
+def suite_cases(
+    names: Sequence[str], build: Callable[[str], Module]
+) -> Dict[str, Callable[[], Module]]:
+    """Build a :meth:`Session.run_suite` case mapping from names + builder.
+
+    Each factory calls ``build(name)`` inside the worker, so construction
+    parallelizes and no late-binding lambda pitfalls leak to callers::
+
+        Session().run_suite(suite_cases(CASE_NAMES, build_case), flows)
+    """
+    return {name: (lambda n=name: build(n)) for name in names}
+
+
+__all__ = [
+    "CaseSource",
+    "EquivalenceError",
+    "PassRecord",
+    "RunReport",
+    "Session",
+    "SuiteReport",
+    "suite_cases",
+]

@@ -2,15 +2,16 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Iterator, Optional
 
 from .module import Module
 
 
 class Design:
-    """A collection of modules.  Flows in this library are single-module;
-    the container exists so frontends can hold several parsed modules and
-    select a top."""
+    """A collection of modules with a designated top.
+
+    Frontends produce designs; :class:`repro.flow.session.Session` owns one
+    and runs flows over its modules (all of them or a selected top)."""
 
     def __init__(self, top: Optional[Module] = None):
         self.modules: Dict[str, Module] = {}
@@ -36,6 +37,29 @@ class Design:
         if name not in self.modules:
             raise KeyError(f"no module named {name!r}")
         self._top_name = name
+
+    @property
+    def top_name(self) -> Optional[str]:
+        return self._top_name
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self.modules.values())
+
+    def __len__(self) -> int:
+        return len(self.modules)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.modules
+
+    def __getitem__(self, name: str) -> Module:
+        return self.modules[name]
+
+    def clone(self) -> "Design":
+        """Deep-copy every module, preserving the top selection."""
+        copy = Design()
+        for name, module in self.modules.items():
+            copy.add_module(module.clone(), top=(name == self._top_name))
+        return copy
 
     def __repr__(self) -> str:
         return f"Design({list(self.modules)}, top={self._top_name!r})"

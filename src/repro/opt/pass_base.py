@@ -87,28 +87,100 @@ def known_passes() -> List[str]:
 
 
 class PassManager:
-    """Runs a pipeline of passes, optionally to a fixpoint."""
+    """Runs a pipeline of passes, optionally to a fixpoint.
 
-    def __init__(self, passes: Sequence[Pass], verbose: bool = False):
+    Progress is reported through a structured :class:`~repro.events.EventBus`
+    (``pipeline_started`` / ``pass_started`` / ``pass_finished`` /
+    ``round_finished`` / ``round_converged`` / ``pipeline_finished``) instead
+    of prints; ``verbose=True`` is a convenience that attaches a
+    :class:`~repro.events.PrintObserver` reproducing the legacy per-pass
+    print lines over that same channel.
+    """
+
+    def __init__(
+        self,
+        passes: Sequence[Pass],
+        verbose: bool = False,
+        events: Optional["EventBus"] = None,
+        name: str = "pipeline",
+    ):
+        from ..events import EventBus, PrintObserver
+
         self.passes = list(passes)
         self.verbose = verbose
+        self.name = name
         self.history: List[PassResult] = []
+        #: rounds executed by the most recent :meth:`run`
+        self.rounds_run = 0
+        self.events = events if events is not None else EventBus()
+        if verbose:
+            import sys
+
+            self.events.subscribe(PrintObserver(stream=sys.stdout, verbose=True))
 
     def run(self, module: Module, fixpoint: bool = False, max_rounds: int = 16) -> bool:
         """Run the pipeline once, or until nothing changes.  Returns whether
         anything changed at all."""
+        emit = self.events.emit
+        emit(
+            "pipeline_started",
+            pipeline=self.name,
+            passes=[pass_.name for pass_ in self.passes],
+            fixpoint=fixpoint,
+            max_rounds=max_rounds if fixpoint else 1,
+            module=module.name,
+        )
         any_change = False
-        for _round in range(max_rounds if fixpoint else 1):
+        rounds = 0
+        for round_no in range(max_rounds if fixpoint else 1):
             round_change = False
             for pass_ in self.passes:
+                emit(
+                    "pass_started",
+                    pipeline=self.name,
+                    **{"pass": pass_.name},
+                    round=round_no,
+                    module=module.name,
+                )
                 result = pass_.run(module)
                 self.history.append(result)
-                if self.verbose and (result.changed or result.stats):
-                    print(f"[{result.pass_name}] {result.stats}")
+                emit(
+                    "pass_finished",
+                    pipeline=self.name,
+                    **{"pass": result.pass_name},
+                    round=round_no,
+                    module=module.name,
+                    changed=result.changed,
+                    stats=dict(result.stats),
+                    runtime_s=result.runtime_s,
+                )
                 round_change = round_change or result.changed
+            rounds = round_no + 1
+            emit(
+                "round_finished",
+                pipeline=self.name,
+                round=round_no,
+                module=module.name,
+                changed=round_change,
+            )
             any_change = any_change or round_change
             if not round_change:
+                if fixpoint:
+                    emit(
+                        "round_converged",
+                        pipeline=self.name,
+                        rounds=rounds,
+                        module=module.name,
+                    )
                 break
+        self.rounds_run = rounds
+        emit(
+            "pipeline_finished",
+            pipeline=self.name,
+            rounds=rounds,
+            module=module.name,
+            changed=any_change,
+        )
         return any_change
 
     def total_stats(self) -> Dict[str, int]:

@@ -120,3 +120,15 @@ def test_strash_shares_across_cells():
 def test_random_circuits_match_simulator(seed):
     module = random_circuit(seed, n_ops=10)
     _assert_matches_sim(module, n_vectors=16, seed=seed)
+
+
+def test_aig_map_does_not_mutate_module():
+    """The Session baseline cache maps the working module directly (no
+    clone) — sound only while aigmap stays read-only."""
+    c = Circuit("t")
+    a, b, s = c.input("a", 4), c.input("b", 4), c.input("s")
+    c.output("y", c.mux(a, b, s))
+    module = c.module
+    before = (module.stats(), sorted(module.cells), sorted(module.wires))
+    aig_map(module)
+    assert (module.stats(), sorted(module.cells), sorted(module.wires)) == before

@@ -1,0 +1,95 @@
+"""The structured event channel: bus, log, observers."""
+
+import io
+import json
+
+from repro.events import (
+    EventBus,
+    EventLog,
+    FlowEvent,
+    JsonLinesObserver,
+    PrintObserver,
+)
+
+
+class TestEventBus:
+    def test_subscribe_and_emit(self):
+        bus = EventBus()
+        log = bus.subscribe(EventLog())
+        event = bus.emit("pass_finished", **{"pass": "opt_expr"}, changed=True)
+        assert event.kind == "pass_finished"
+        assert log.kinds() == ["pass_finished"]
+        assert log.events[0]["pass"] == "opt_expr"
+
+    def test_multiple_subscribers(self):
+        bus = EventBus()
+        a, b = bus.subscribe(EventLog()), bus.subscribe(EventLog())
+        bus.emit("flow_started", case="x", flow="yosys")
+        assert len(a) == len(b) == 1
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        log = bus.subscribe(EventLog())
+        bus.unsubscribe(log)
+        bus.emit("flow_started", case="x", flow="yosys")
+        assert len(log) == 0
+
+
+class TestFlowEvent:
+    def test_mapping_helpers(self):
+        event = FlowEvent("case_finished", {"case": "a", "runtime_s": 0.5})
+        assert event["case"] == "a"
+        assert event.get("missing", 7) == 7
+
+    def test_json(self):
+        event = FlowEvent("suite_started", {"jobs": 4, "cases": ["a"]})
+        data = json.loads(event.to_json())
+        assert data == {"kind": "suite_started", "jobs": 4, "cases": ["a"]}
+
+
+class TestEventLog:
+    def test_of_kind_and_clear(self):
+        log = EventLog()
+        log(FlowEvent("a", {}))
+        log(FlowEvent("b", {}))
+        log(FlowEvent("a", {}))
+        assert len(log.of_kind("a")) == 2
+        log.clear()
+        assert len(log) == 0
+
+
+class TestObservers:
+    def test_print_observer_verbose_pass_line(self):
+        stream = io.StringIO()
+        obs = PrintObserver(stream=stream, verbose=True)
+        obs(FlowEvent("pass_finished", {
+            "pipeline": "p", "pass": "opt_expr", "round": 0, "module": "m",
+            "changed": True, "stats": {"folded": 2}, "runtime_s": 0.0,
+        }))
+        assert stream.getvalue() == "[opt_expr] {'folded': 2}\n"
+
+    def test_print_observer_quiet_skips_pass_lines(self):
+        stream = io.StringIO()
+        obs = PrintObserver(stream=stream, verbose=False)
+        obs(FlowEvent("pass_finished", {
+            "pipeline": "p", "pass": "opt_expr", "round": 0, "module": "m",
+            "changed": True, "stats": {}, "runtime_s": 0.0,
+        }))
+        assert stream.getvalue() == ""
+
+    def test_print_observer_case_finished(self):
+        stream = io.StringIO()
+        PrintObserver(stream=stream)(FlowEvent("case_finished", {
+            "case": "wb_dma", "flow": "smartly",
+            "original_area": 100, "optimized_area": 80, "runtime_s": 1.25,
+        }))
+        assert "wb_dma: smartly 100 -> 80 (1.25s)" in stream.getvalue()
+
+    def test_jsonlines_observer(self):
+        stream = io.StringIO()
+        JsonLinesObserver(stream=stream)(FlowEvent("flow_finished", {
+            "case": "m", "flow": "yosys",
+            "original_area": 10, "optimized_area": 9, "runtime_s": 0.1,
+        }))
+        line = json.loads(stream.getvalue())
+        assert line["kind"] == "flow_finished" and line["case"] == "m"

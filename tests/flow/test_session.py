@@ -1,0 +1,226 @@
+"""Session API: preset equivalence with the legacy flow, events, suites."""
+
+import json
+
+import pytest
+
+from repro.aig import aig_map
+from repro.api import (
+    EventBus,
+    EventLog,
+    FlowSpec,
+    RunReport,
+    Session,
+    SmartlyOptions,
+)
+from repro.core.smartly import run_smartly
+from repro.events import EventLog as TopLevelEventLog
+from repro.flow import render_table2, run_flow
+from repro.ir import Circuit
+from repro.opt import run_baseline_opt
+from repro.workloads import build_case
+
+
+def _circuit(name="demo"):
+    c = Circuit(name)
+    sel = c.input("sel", 2)
+    S, R = c.input("S"), c.input("R")
+    d = [c.input(f"d{i}", 8) for i in range(3)]
+    case_part = c.case_(sel, [(0, d[0]), (1, d[1]), (2, d[0])], d[1])
+    inner = c.mux(d[1], d[0], c.or_(S, R))
+    c.output("y", c.xor(case_part, c.mux(d[2], inner, S)))
+    return c.module
+
+
+def _seed_run_flow(module, optimizer):
+    """The seed repo's run_flow measurement protocol, reimplemented verbatim:
+    clone, run the historic pipeline entry points, measure AIG areas."""
+    original_area = aig_map(module.clone()).num_ands
+    work = module.clone()
+    if optimizer == "yosys":
+        run_baseline_opt(work)
+    elif optimizer == "smartly-sat":
+        run_smartly(work, rebuild=False)
+    elif optimizer == "smartly-rebuild":
+        run_smartly(work, sat=False)
+    elif optimizer == "smartly":
+        run_smartly(work)
+    return original_area, aig_map(work).num_ands
+
+
+PRESET_EQUIV_JOBS = [
+    ("ac97_ctrl", "yosys"),
+    ("ac97_ctrl", "smartly"),
+    ("wb_conmax", "yosys"),
+    ("wb_conmax", "smartly-sat"),
+    ("wb_conmax", "smartly"),
+]
+
+
+@pytest.fixture(scope="module")
+def workload_modules():
+    return {name: build_case(name) for name in ("ac97_ctrl", "wb_conmax")}
+
+
+class TestPresetEquivalence:
+    """Session presets must reproduce the legacy flows byte-for-byte."""
+
+    @pytest.mark.parametrize("case,preset", PRESET_EQUIV_JOBS)
+    def test_preset_matches_seed_pipeline(self, workload_modules, case, preset):
+        module = workload_modules[case]
+        seed_original, seed_optimized = _seed_run_flow(module, preset)
+        report = Session(module.clone()).run(preset)
+        assert report.original_area == seed_original
+        assert report.optimized_area == seed_optimized
+
+    def test_shim_run_flow_matches_session(self, workload_modules):
+        module = workload_modules["ac97_ctrl"]
+        legacy = run_flow(module, "smartly")
+        report = Session(module.clone()).run("smartly")
+        assert legacy.original_area == report.original_area
+        assert legacy.optimized_area == report.optimized_area
+
+
+class TestSessionBasics:
+    def test_none_flow_measures_original(self):
+        session = Session(_circuit())
+        report = session.run("none")
+        assert report.optimized_area == report.original_area
+        assert report.reduction_vs_original == 0.0
+
+    def test_script_flow_end_to_end(self):
+        session = Session(_circuit())
+        report = session.run("opt_expr; smartly k=6; opt_clean", check=True)
+        assert report.optimized_area < report.original_area
+        assert report.equivalence_checked
+        assert report.flow == "opt_expr; smartly k=6; opt_clean"
+
+    def test_baseline_cached_before_optimization(self):
+        session = Session(_circuit())
+        baseline = session.baseline_area()
+        session.run("smartly")
+        # flows mutate the session's module, not the cached baseline
+        assert session.baseline_area() == baseline
+        assert aig_map(session.design.top).num_ands < baseline
+
+    def test_unknown_module_rejected(self):
+        with pytest.raises(KeyError):
+            Session(_circuit()).run("none", module="ghost")
+
+    def test_run_all_covers_every_module(self):
+        from repro.ir.design import Design
+
+        design = Design(_circuit("alpha"))
+        design.add_module(_circuit("beta"))
+        reports = Session(design).run_all("yosys")
+        assert set(reports) == {"alpha", "beta"}
+
+    def test_shared_options_reusable_across_runs(self):
+        opts = SmartlyOptions()
+        session = Session(_circuit(), options=opts)
+        session.run("smartly-sat")
+        assert opts.rebuild is True and opts.sat is True
+
+    def test_report_json_round_trip(self):
+        report = Session(_circuit()).run("smartly")
+        data = json.loads(report.to_json())
+        assert data["case_name"] == "demo"
+        assert data["optimized_area"] == report.optimized_area
+        assert data["pass_stats"] == report.pass_stats
+        assert data["passes"] and data["rounds"] >= 1
+
+    def test_from_verilog(self):
+        report = Session.from_verilog(
+            "module m(input a, b, s, output y);\n"
+            "  assign y = s ? a : (s ? b : a);\n"
+            "endmodule\n"
+        ).run("smartly", check=True)
+        assert report.case_name == "m"
+        assert report.equivalence_checked
+
+
+class TestEventChannel:
+    def test_run_emits_structured_events_and_never_prints(self, capsys):
+        session = Session(_circuit(), events=EventBus())
+        log = session.subscribe(EventLog())
+        session.run("smartly")
+        kinds = log.kinds()
+        assert kinds[0] == "flow_started" and kinds[-1] == "flow_finished"
+        assert "pass_started" in kinds and "pass_finished" in kinds
+        assert "round_converged" in kinds  # fixpoint preset converges
+        out = capsys.readouterr()
+        assert out.out == "" and out.err == ""
+
+    def test_pass_finished_carries_stats(self):
+        session = Session(_circuit())
+        log = session.subscribe(EventLog())
+        session.run("smartly")
+        finished = log.of_kind("pass_finished")
+        merged = {}
+        for event in finished:
+            merged.update(event["stats"])
+        assert merged  # pass counters (incl. SAT query budgets) flow through
+
+    def test_event_log_alias_is_shared_implementation(self):
+        assert EventLog is TopLevelEventLog
+
+
+class TestRunSuite:
+    CASES = {
+        "alpha": lambda: _circuit("alpha"),
+        "beta": lambda: _circuit("beta"),
+    }
+
+    def test_parallel_matches_sequential(self):
+        suite = Session().run_suite(
+            self.CASES, ("yosys", "smartly"), max_workers=2
+        )
+        for name, factory in self.CASES.items():
+            for flow in ("yosys", "smartly"):
+                expected = Session(factory()).run(flow)
+                got = suite[name][flow]
+                assert isinstance(got, RunReport)
+                assert got.optimized_area == expected.optimized_area
+                assert got.original_area == expected.original_area
+
+    def test_module_inputs_are_not_mutated(self):
+        module = _circuit("gamma")
+        before = module.stats()
+        Session().run_suite({"gamma": module}, ("smartly",), max_workers=1)
+        assert module.stats() == before
+
+    def test_suite_events(self):
+        session = Session()
+        log = session.subscribe(EventLog())
+        session.run_suite(self.CASES, ("yosys",), max_workers=2)
+        kinds = log.kinds()
+        assert kinds[0] == "suite_started" and kinds[-1] == "suite_finished"
+        assert len(log.of_kind("case_finished")) == 2
+
+    def test_suite_report_mapping_feeds_renderers(self):
+        suite = Session().run_suite(
+            self.CASES, ("yosys", "smartly"), max_workers=2
+        )
+        assert set(suite) == {"alpha", "beta"} and len(suite) == 2
+        text = render_table2(suite)
+        assert "alpha" in text and "Average" in text
+        json.loads(suite.to_json())
+
+    def test_custom_spec_flows(self):
+        spec = FlowSpec.parse("opt_expr; opt_clean")
+        suite = Session().run_suite({"a": self.CASES["alpha"]}, (spec,))
+        assert suite["a"][spec.label].flow == "opt_expr; opt_clean"
+
+    def test_duplicate_flow_labels_rejected(self):
+        with pytest.raises(ValueError, match="duplicate flow labels"):
+            Session().run_suite(
+                {"a": self.CASES["alpha"]},
+                ("smartly", FlowSpec.preset("smartly", k=6)),
+            )
+
+    def test_suite_cases_helper_binds_names(self):
+        from repro.api import suite_cases
+
+        cases = suite_cases(["alpha", "beta"], lambda name: _circuit(name))
+        assert cases["alpha"]().name == "alpha"
+        assert cases["beta"]().name == "beta"
