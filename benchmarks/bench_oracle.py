@@ -1,0 +1,102 @@
+"""Incremental SAT oracle vs fresh-solver-per-query on the paper suites.
+
+Two claims, both load-bearing for the oracle rewire:
+
+1. **Transparency** — every flow preset produces byte-identical final
+   areas with the oracle on and off, on the Table II cases (the oracle is
+   a pure acceleration, never a behavioural change);
+2. **Speed** — with the sub-graph ladder forced onto SAT
+   (``sim_threshold=0``), the redundancy-phase SAT wall-clock over the
+   whole suite drops by at least 25% (measured ~60%: fixpoint rounds
+   re-ask every undecided control query, and rounds 2+ answer from the
+   verdict cache).
+"""
+
+import pytest
+
+from repro.api import Session
+from repro.core.smartly import SmartlyOptions
+from repro.flow.spec import PRESET_NAMES
+from repro.workloads import CASE_NAMES
+
+from conftest import get_module
+
+#: flows whose pipelines contain the SAT stage at all
+SAT_FLOWS = ("smartly-sat", "smartly")
+
+
+def _run(case, flow, use_oracle, sim_threshold=None):
+    options = SmartlyOptions(use_oracle=use_oracle)
+    if sim_threshold is not None:
+        options = SmartlyOptions(use_oracle=use_oracle,
+                                 sim_threshold=sim_threshold)
+    return Session(get_module(case).clone(), options=options).run(flow)
+
+
+@pytest.mark.parametrize("case", CASE_NAMES)
+@pytest.mark.parametrize("flow", PRESET_NAMES)
+def test_oracle_preserves_preset_areas(case, flow):
+    """Byte-identical Table II/III results with and without the oracle."""
+    fresh = _run(case, flow, use_oracle=False)
+    oracle = _run(case, flow, use_oracle=True)
+    assert oracle.optimized_area == fresh.optimized_area, (case, flow)
+    assert oracle.original_area == fresh.original_area
+    if flow in SAT_FLOWS:
+        # the oracle run must actually have gone through the oracle when
+        # any SAT query was posed at all
+        posed = oracle.pass_stats.get("smartly.smartly_sat.sat_queries", 0)
+        assert (oracle.oracle_stats.get("queries", 0) > 0) == (posed > 0)
+        assert not fresh.oracle_stats
+
+
+def test_oracle_sat_wallclock_reduction(benchmark, table_report):
+    """>= 25% less redundancy-phase SAT wall-clock across the suite."""
+
+    def measure(use_oracle):
+        total_us = 0
+        per_case = {}
+        counters = {}
+        for case in CASE_NAMES:
+            report = _run(case, "smartly-sat", use_oracle, sim_threshold=0)
+            us = report.pass_stats.get(
+                "smartly.smartly_sat.sat_wallclock_us", 0
+            )
+            per_case[case] = (us, report.optimized_area)
+            total_us += us
+            for key, value in report.oracle_stats.items():
+                counters[key] = counters.get(key, 0) + value
+        return total_us, per_case, counters
+
+    fresh_us, fresh_cases, _ = measure(False)
+    oracle_us, oracle_cases, counters = benchmark.pedantic(
+        lambda: measure(True), rounds=1, iterations=1
+    )
+
+    for case in CASE_NAMES:
+        assert oracle_cases[case][1] == fresh_cases[case][1], case
+
+    lines = [f"{'Case':<16}{'fresh us':>10}{'oracle us':>11}{'area':>7}"]
+    lines.append("-" * len(lines[0]))
+    for case in CASE_NAMES:
+        lines.append(
+            f"{case:<16}{fresh_cases[case][0]:>10}"
+            f"{oracle_cases[case][0]:>11}{oracle_cases[case][1]:>7}"
+        )
+    reduction = 100.0 * (1.0 - oracle_us / max(fresh_us, 1))
+    queries = max(1, counters.get("queries", 0))
+    lines.append("-" * len(lines[0]))
+    lines.append(
+        f"total {fresh_us}us -> {oracle_us}us ({reduction:.1f}% less); "
+        f"cache hits {counters.get('cache_hits', 0)}/{queries} "
+        f"({100.0 * counters.get('cache_hits', 0) / queries:.0f}%)"
+    )
+    table_report.add(
+        "SAT oracle — redundancy-phase wall-clock (sim_threshold=0)",
+        "\n".join(lines),
+    )
+
+    assert counters.get("cache_hits", 0) > 0
+    assert oracle_us <= 0.75 * fresh_us, (
+        f"oracle SAT wall-clock {oracle_us}us vs fresh {fresh_us}us "
+        f"({reduction:.1f}% reduction; need >= 25%)"
+    )

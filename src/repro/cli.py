@@ -9,12 +9,15 @@
     smartly aig design.v -o design.aag
     smartly write design.v -o optimized.v [--optimizer smartly]
     smartly equiv gold.v gate.v
+    smartly fuzz [--iterations N] [--seed-base S] [--json]
 
 ``opt``/``script`` run declarative flows through the :mod:`repro.api`
 Session layer; ``script`` accepts any Yosys-like flow script.  The ``bench``
 subcommands regenerate the paper's tables on the synthetic benchmark suite
 in parallel (``--jobs``), with structured progress events rendered to
-stderr.
+stderr.  ``fuzz`` runs the differential-testing harness: random modules ×
+every flow preset, each result SAT-proven equivalent to its unoptimized
+original (exit status 1 when any check fails).
 """
 
 from __future__ import annotations
@@ -65,6 +68,12 @@ def _run_and_report(module, flow, check: bool, as_json: bool,
         print("equivalence check: PASSED")
     for key, value in sorted(report.pass_stats.items()):
         print(f"  {key} = {value}")
+    if report.oracle_stats:
+        summary = ", ".join(
+            f"{key}={value}"
+            for key, value in sorted(report.oracle_stats.items())
+        )
+        print(f"  sat-oracle: {summary}")
     return 0
 
 
@@ -140,6 +149,46 @@ def cmd_equiv(args: argparse.Namespace) -> int:
     for name, value in sorted(result.counterexample.items()):
         print(f"  {name} = {value}")
     return 1
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from .equiv.differential import CI_CORPUS, run_differential
+
+    if args.iterations is None:
+        seeds = list(CI_CORPUS)
+    else:
+        seeds = list(range(args.seed_base, args.seed_base + args.iterations))
+
+    def progress(result) -> None:
+        status = "ok" if result.ok else "FAIL"
+        print(
+            f"  seed {result.seed} {result.flow}: "
+            f"{result.original_area} -> {result.optimized_area} [{status}]",
+            file=sys.stderr,
+        )
+
+    report = run_differential(
+        seeds, on_result=progress if args.verbose else None
+    )
+    if args.json:
+        print(report.to_json(indent=2))
+    else:
+        summary = report.summary()
+        print(
+            f"fuzz: {summary['checks']} checks over {summary['cases']} "
+            f"modules, {summary['failures']} failure(s)"
+        )
+        oracle = summary["oracle"]
+        print(
+            f"  cec-oracle: queries={oracle.get('queries', 0)} "
+            f"conflicts={oracle.get('conflicts', 0)}"
+        )
+        for failure in report.failures:
+            print(
+                f"  FAIL seed={failure.seed} flow={failure.flow} "
+                f"method={failure.method} cex={failure.counterexample}"
+            )
+    return 0 if report.ok else 1
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -237,6 +286,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("-j", "--jobs", type=int, default=None,
                          help="parallel suite workers (default: auto)")
     p_bench.set_defaults(func=cmd_bench)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differential-test all flow presets on random modules",
+    )
+    p_fuzz.add_argument(
+        "-n", "--iterations", type=int, default=None,
+        help="number of random seeds (default: the fixed CI corpus)")
+    p_fuzz.add_argument(
+        "--seed-base", type=int, default=2000,
+        help="first seed when --iterations is given (default: 2000)")
+    p_fuzz.add_argument("--json", action="store_true",
+                        help="print the fuzz report as JSON")
+    p_fuzz.add_argument("-v", "--verbose", action="store_true",
+                        help="stream per-check progress to stderr")
+    p_fuzz.set_defaults(func=cmd_fuzz)
     return parser
 
 

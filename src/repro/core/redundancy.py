@@ -23,6 +23,7 @@ observed.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, FrozenSet, Optional, Tuple
 
 from ..ir.module import Module
@@ -30,6 +31,7 @@ from ..ir.signals import SigBit, State
 from ..ir.walker import NetIndex
 from ..opt.pass_base import PassResult, register_pass
 from ..opt.opt_muxtree import OptMuxtree
+from ..sat.oracle import SatOracle
 from ..sat.solver import Solver
 from ..sat.tseitin import CircuitEncoder
 from ..sim.eval import eval_cell_masks
@@ -41,7 +43,21 @@ _FactsKey = Tuple[SigBit, FrozenSet[Tuple[SigBit, bool]]]
 
 @register_pass
 class SatRedundancy(OptMuxtree):
-    """Muxtree pruning with logic inferencing over sub-graphs + SAT."""
+    """Muxtree pruning with logic inferencing over sub-graphs + SAT.
+
+    SAT queries go through a persistent :class:`~repro.sat.oracle.SatOracle`
+    (``use_oracle=True``, the default): sub-graph CNF is encoded once per
+    distinct sub-graph, repeated queries hit the verdict cache, and learned
+    clauses carry over between queries.  ``use_oracle=False`` keeps the
+    historic fresh-``Solver``-per-query path as the reference
+    implementation the oracle is differentially tested against.  An
+    ``oracle`` instance may be injected (the :class:`~repro.core.smartly.
+    Smartly` wrapper does, so counters and contexts persist across
+    optimization rounds on the same module); otherwise one is created per
+    module on first use.  Oracle counters are reported as ``oracle_*``
+    entries in the pass stats, alongside ``sat_wallclock_us`` (total time
+    spent inside SAT decisions, either path).
+    """
 
     name = "smartly_sat"
 
@@ -54,6 +70,8 @@ class SatRedundancy(OptMuxtree):
         max_conflicts: int = 2000,
         max_gates: int = 500,
         data_inference: bool = True,
+        use_oracle: bool = True,
+        oracle: Optional[SatOracle] = None,
     ):
         self.k = k
         self.data_k = data_k
@@ -62,11 +80,35 @@ class SatRedundancy(OptMuxtree):
         self.max_conflicts = max_conflicts
         self.max_gates = max_gates
         self.data_inference = data_inference
+        self.use_oracle = use_oracle
+        self._oracle = oracle
         self._data_cache: Dict[_FactsKey, Optional[bool]] = {}
+        self._sat_time = 0.0
+        self._generation_open = False
 
     def execute(self, module: Module, result: PassResult) -> None:
         self._data_cache.clear()
+        self._sat_time = 0.0
+        self._generation_open = False
+        oracle_base: Optional[Dict[str, int]] = None
+        if self.use_oracle:
+            if self._oracle is None or self._oracle.module is not module:
+                self._oracle = SatOracle(module)
+            oracle_base = self._oracle.stats.as_dict()
+        else:
+            self._oracle = None
         super().execute(module, result)
+        if self._oracle is not None and oracle_base is not None:
+            for key, value in self._oracle.stats.delta(oracle_base).items():
+                if value:
+                    # plain assignment: counters must not flag the module
+                    # as changed (result.bump would)
+                    stat = f"oracle_{key}"
+                    result.stats[stat] = result.stats.get(stat, 0) + value
+        if self._sat_time:
+            result.stats["sat_wallclock_us"] = result.stats.get(
+                "sat_wallclock_us", 0
+            ) + int(self._sat_time * 1e6)
 
     # -- hook overrides -----------------------------------------------------------
 
@@ -219,6 +261,33 @@ class SatRedundancy(OptMuxtree):
     def _sat_decide(
         self, subgraph: SubGraph, facts: Dict[SigBit, bool]
     ) -> Optional[bool]:
+        start = time.perf_counter()
+        try:
+            if self._oracle is not None:
+                if not self._generation_open:
+                    # the sigmap snapshot only exists once the base-class
+                    # execute() has run, so the generation opens lazily
+                    self._oracle.begin_pass(self.sigmap)
+                    self._generation_open = True
+                decision = self._oracle.decide(
+                    subgraph, max_conflicts=self.max_conflicts
+                )
+                if decision.dead and facts:
+                    self.result.bump("dead_paths")
+                return decision.value
+            return self._sat_decide_fresh(subgraph, facts)
+        finally:
+            self._sat_time += time.perf_counter() - start
+
+    def _sat_decide_fresh(
+        self, subgraph: SubGraph, facts: Dict[SigBit, bool]
+    ) -> Optional[bool]:
+        """Reference implementation: fresh solver + re-encoding per query.
+
+        Kept as the ground truth the oracle path is differentially tested
+        against (``tests/sat/test_oracle.py``) and benchmarked against
+        (``benchmarks/bench_oracle.py``).
+        """
         solver = Solver()
         encoder = CircuitEncoder(solver, self.sigmap)
         for cell in subgraph.cells:

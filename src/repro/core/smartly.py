@@ -23,6 +23,7 @@ from ..opt.opt_clean import OptClean
 from ..opt.opt_expr import OptExpr
 from ..opt.opt_merge import OptMerge
 from ..opt.pass_base import Pass, PassManager, PassResult, register_pass
+from ..sat.oracle import SatOracle
 from .redundancy import SatRedundancy
 from .restructure import MuxtreeRestructure
 
@@ -47,6 +48,9 @@ class SmartlyOptions:
     max_conflicts: int = 2000
     #: raw neighbourhood cap before Theorem II.1 reduction
     max_gates: int = 500
+    #: answer SAT queries through the persistent incremental oracle
+    #: (False = historic fresh-solver-per-query reference path)
+    use_oracle: bool = True
     #: largest case-selector width restructuring will tabulate
     max_sel_width: int = 12
     #: minimum estimated AIG gain before a tree is rebuilt
@@ -72,6 +76,9 @@ class Smartly(Pass):
             # SmartlyOptions instance must be reusable across runs
             base = replace(base, **overrides)
         self.options = base
+        #: persistent per-module SAT oracle, shared by every optimization
+        #: round so counters (and clause reuse within a round) accumulate
+        self._oracle: Optional[SatOracle] = None
 
     def execute(self, module: Module, result: PassResult) -> None:
         opts = self.options
@@ -85,6 +92,10 @@ class Smartly(Pass):
                 )
             )
         if opts.sat:
+            if opts.use_oracle and (
+                self._oracle is None or self._oracle.module is not module
+            ):
+                self._oracle = SatOracle(module)
             passes.append(
                 SatRedundancy(
                     k=opts.k,
@@ -93,6 +104,8 @@ class Smartly(Pass):
                     sat_threshold=opts.sat_threshold,
                     max_conflicts=opts.max_conflicts,
                     max_gates=opts.max_gates,
+                    use_oracle=opts.use_oracle,
+                    oracle=self._oracle if opts.use_oracle else None,
                 )
             )
         else:

@@ -4,6 +4,17 @@
 equivalence checking": a fast random-simulation filter finds most
 non-equivalences; the SAT check on the miter then proves equivalence or
 produces a concrete counterexample assignment.
+
+The SAT step runs through a :class:`~repro.sat.oracle.SatOracle` — pass
+one in (``oracle=...``) to accumulate query/conflict counters across many
+checks, e.g. a fuzzing session or ``Session.run_suite(check=True)``.
+
+Conflict-budget exhaustion is a first-class outcome: the returned
+:class:`EquivResult` has ``equivalent=False`` **and** ``undecided=True``
+(``method="budget"``), which is distinct from a proven non-equivalence
+(``undecided=False`` with a counterexample).  Callers that need a hard
+verdict should treat ``undecided`` results as failures, as
+:func:`assert_equivalent` does.
 """
 
 from __future__ import annotations
@@ -12,8 +23,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from ..aig.cnf import aig_to_solver
 from ..ir.module import Module
+from ..sat.oracle import SatOracle
 from .miter import build_miter
 
 
@@ -22,11 +33,16 @@ class EquivResult:
     """Outcome of an equivalence check."""
 
     equivalent: bool
-    #: "sim" when random simulation found the mismatch, "sat" otherwise
+    #: "sim" when random simulation found the mismatch, "fold" when the
+    #: miter folded to a constant, "budget" when the conflict budget ran
+    #: out before a verdict, "sat" otherwise
     method: str = "sat"
     #: input-bit-name -> value for the distinguishing assignment (if any)
     counterexample: Dict[str, int] = field(default_factory=dict)
     sat_conflicts: int = 0
+    #: True when the solver exhausted its conflict budget: neither proven
+    #: equivalent nor refuted (no counterexample exists in this result)
+    undecided: bool = False
 
     def __bool__(self) -> bool:
         return self.equivalent
@@ -38,11 +54,14 @@ def check_equivalence(
     random_vectors: int = 256,
     seed: int = 0,
     max_conflicts: Optional[int] = None,
+    oracle: Optional[SatOracle] = None,
 ) -> EquivResult:
     """Prove or refute combinational equivalence of two modules.
 
-    Raises :class:`TimeoutError` when ``max_conflicts`` is given and the
-    solver cannot settle the question within the budget.
+    When ``max_conflicts`` is given and the solver cannot settle the
+    question within the budget, the result is *undecided*
+    (``EquivResult(False, method="budget", undecided=True)``) rather than
+    a claim in either direction.
     """
     aig, miter_lit = build_miter(gold, gate)
 
@@ -70,32 +89,41 @@ def check_equivalence(
             return EquivResult(False, method="sim", counterexample=cex)
 
     # 2. SAT proof on the miter
-    solver, var_map = aig_to_solver(aig)
-    const_var = var_map[0]
     if miter_lit >> 1 == 0:
         # miter folded to a constant during construction
         miter_is_true = miter_lit & 1 == 1
         return EquivResult(not miter_is_true, method="fold")
-    assumption = var_map[miter_lit >> 1]
-    if miter_lit & 1:
-        assumption = -assumption
-    result = solver.solve([assumption], max_conflicts=max_conflicts)
-    if result is None:
-        raise TimeoutError("equivalence check exceeded the conflict budget")
-    if result is False:
-        return EquivResult(True, method="sat", sat_conflicts=solver.stats.conflicts)
-    cex = {}
-    for i, name in enumerate(aig.input_names):
-        value = solver.model_value(var_map[i + 1])
-        cex[name] = int(bool(value))
+    if oracle is None:
+        oracle = SatOracle()
+    conflicts_before = oracle.stats.conflicts
+    verdict, model = oracle.solve_miter(aig, miter_lit, max_conflicts)
+    conflicts = oracle.stats.conflicts - conflicts_before
+    if verdict is None:
+        return EquivResult(
+            False, method="budget", sat_conflicts=conflicts, undecided=True
+        )
+    if verdict is False:
+        return EquivResult(True, method="sat", sat_conflicts=conflicts)
+    cex = {
+        name: int(model.get(i + 1, False))
+        for i, name in enumerate(aig.input_names)
+    }
     return EquivResult(
-        False, method="sat", counterexample=cex, sat_conflicts=solver.stats.conflicts
+        False, method="sat", counterexample=cex, sat_conflicts=conflicts
     )
 
 
 def assert_equivalent(gold: Module, gate: Module, **kwargs) -> None:
-    """Raise AssertionError with the counterexample when not equivalent."""
+    """Raise AssertionError unless the modules are *proven* equivalent.
+
+    Both a found counterexample and an exhausted conflict budget raise —
+    an undecided check is not a pass."""
     result = check_equivalence(gold, gate, **kwargs)
+    if result.undecided:
+        raise AssertionError(
+            f"equivalence of {gold.name!r} and {gate.name!r} is UNDECIDED: "
+            f"conflict budget exhausted after {result.sat_conflicts} conflicts"
+        )
     if not result.equivalent:
         raise AssertionError(
             f"modules {gold.name!r} and {gate.name!r} are NOT equivalent "

@@ -1,0 +1,209 @@
+"""Differential testing of optimization flows against the CEC oracle.
+
+The harness closes the loop the paper relies on ("all results passed
+equivalence checking") and makes it continuous: generate a random
+combinational module from the :mod:`repro.workloads.generators` circuit
+families, run every optimization flow preset over a private clone, and
+SAT-prove the result equivalent to the unoptimized original.  Any
+non-equivalence is a genuine optimizer bug, reported with the flow, the
+generator seed (which reproduces the module exactly) and the concrete
+counterexample assignment.
+
+Used three ways:
+
+* ``tests/fuzz/test_differential.py`` runs a fixed seed corpus in CI and
+  extends it locally via ``pytest --fuzz-iterations=N``;
+* ``python -m repro.cli fuzz --iterations N`` runs it standalone;
+* libraries can call :func:`run_differential` with their own seeds/flows.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+from ..flow.spec import PRESET_NAMES, FlowSpec
+from ..ir.builder import Circuit
+from ..ir.module import Module
+from ..sat.oracle import SatOracle
+from ..workloads.generators import (
+    InputPool,
+    unit_case_chain,
+    unit_datapath,
+    unit_dataport_redundancy,
+    unit_dependent_ctrl_tree,
+    unit_obfuscated_select,
+    unit_onehot_pmux,
+    unit_priority_if_chain,
+    unit_shared_ctrl_tree,
+)
+
+
+def _unit_menu(rng: random.Random) -> List[Callable[[Circuit, InputPool], Any]]:
+    """Scaled-down unit builders (sizes drawn from ``rng``)."""
+    return [
+        lambda c, p: unit_shared_ctrl_tree(c, p, depth=rng.randint(2, 5)),
+        lambda c, p: unit_dependent_ctrl_tree(
+            c, p, depth=rng.randint(2, 4),
+            variant=rng.choice(["or", "and"]),
+        ),
+        lambda c, p: unit_case_chain(
+            c, p, sel_width=rng.randint(2, 4),
+            distinct_values=rng.randint(2, 4),
+        ),
+        lambda c, p: unit_onehot_pmux(
+            c, p, n_requesters=rng.randint(2, 4), nest=rng.random() < 0.5
+        ),
+        lambda c, p: unit_obfuscated_select(
+            c, p, n_requesters=rng.randint(2, 3), cone_ops=1
+        ),
+        lambda c, p: unit_dataport_redundancy(c, p, depth=rng.randint(2, 3)),
+        lambda c, p: unit_datapath(c, p, ops=rng.randint(2, 5)),
+        lambda c, p: unit_priority_if_chain(c, p, depth=rng.randint(2, 4)),
+    ]
+
+
+def random_module(
+    seed: int,
+    width: int = 4,
+    n_units: int = 3,
+    name: Optional[str] = None,
+) -> Module:
+    """A random combinational module built from the workload unit families.
+
+    Deterministic per ``seed`` — a failing seed is a complete repro.
+    """
+    rng = random.Random(seed)
+    circuit = Circuit(name or f"fuzz{seed}")
+    pool = InputPool(circuit, rng, width, n_words=6, n_ctrl=5)
+    menu = _unit_menu(rng)
+    for i in range(n_units):
+        unit = rng.choice(menu)
+        circuit.output(f"u{i}", unit(circuit, pool))
+    return circuit.module
+
+
+@dataclass(frozen=True)
+class DifferentialResult:
+    """One (seed, flow) verdict."""
+
+    seed: int
+    flow: str
+    case_name: str
+    original_area: int
+    optimized_area: int
+    equivalent: bool
+    #: True when the CEC ran out of conflict budget — neither a pass nor
+    #: a counterexample; treated as a failure by :attr:`DifferentialReport.ok`
+    undecided: bool
+    method: str
+    counterexample: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.equivalent and not self.undecided
+
+
+@dataclass
+class DifferentialReport:
+    """All verdicts of one harness run plus the shared oracle's counters."""
+
+    results: List[DifferentialResult] = field(default_factory=list)
+    oracle_stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def failures(self) -> List[DifferentialResult]:
+        return [r for r in self.results if not r.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "cases": len({r.seed for r in self.results}),
+            "checks": len(self.results),
+            "failures": len(self.failures),
+            "oracle": dict(self.oracle_stats),
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "summary": self.summary(),
+            "failures": [asdict(r) for r in self.failures],
+        }
+
+    def to_json(self, **kwargs: Any) -> str:
+        kwargs.setdefault("sort_keys", True)
+        return json.dumps(self.to_dict(), **kwargs)
+
+
+def run_differential(
+    seeds: Iterable[int],
+    flows: Sequence[Union[str, FlowSpec]] = PRESET_NAMES,
+    *,
+    width: int = 4,
+    n_units: int = 3,
+    random_vectors: int = 64,
+    max_conflicts: Optional[int] = None,
+    oracle: Optional[SatOracle] = None,
+    on_result: Optional[Callable[[DifferentialResult], None]] = None,
+) -> DifferentialReport:
+    """Run the differential harness over ``seeds`` × ``flows``.
+
+    Every flow runs on a private clone; the unoptimized module is the
+    golden reference for every check, so flows cannot mask each other's
+    bugs.  A shared :class:`~repro.sat.oracle.SatOracle` accumulates
+    CEC counters for the whole session (reported in the result).
+    """
+    from ..flow.session import Session  # local import: flow layer is optional
+    from .cec import check_equivalence
+
+    if oracle is None:
+        oracle = SatOracle()
+    report = DifferentialReport()
+    for seed in seeds:
+        golden = random_module(seed, width=width, n_units=n_units)
+        for flow in flows:
+            module = golden.clone()
+            run = Session(module).run(flow)
+            equiv = check_equivalence(
+                golden,
+                module,
+                random_vectors=random_vectors,
+                seed=seed,
+                max_conflicts=max_conflicts,
+                oracle=oracle,
+            )
+            result = DifferentialResult(
+                seed=seed,
+                flow=run.flow,
+                case_name=golden.name,
+                original_area=run.original_area,
+                optimized_area=run.optimized_area,
+                equivalent=equiv.equivalent,
+                undecided=equiv.undecided,
+                method=equiv.method,
+                counterexample=dict(equiv.counterexample),
+            )
+            report.results.append(result)
+            if on_result is not None:
+                on_result(result)
+    report.oracle_stats = oracle.stats.as_dict()
+    return report
+
+
+#: the fixed corpus CI replays (keep stable: appending is fine, renumbering
+#: invalidates triage history)
+CI_CORPUS = tuple(range(1000, 1024))
+
+
+__all__ = [
+    "CI_CORPUS",
+    "DifferentialReport",
+    "DifferentialResult",
+    "random_module",
+    "run_differential",
+]

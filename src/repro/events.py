@@ -20,7 +20,11 @@ Event kinds (``FlowEvent.kind``) and their payload keys:
 ``pass_started``       pipeline, pass, round, module
 ``pass_finished``      pipeline, pass, round, module, changed, stats,
                        runtime_s — ``stats`` carries the pass's counters,
-                       including the SAT stage's query/budget numbers
+                       including the SAT stage's query/budget numbers and
+                       the incremental oracle's ``oracle_*`` session
+                       counters (queries, cache_hits, conflicts, ...; see
+                       :class:`repro.sat.oracle.OracleStats`) plus its
+                       ``sat_wallclock_us`` timing
 ``round_finished``     pipeline, round, module, changed
 ``round_converged``    pipeline, rounds, module
 ``pipeline_finished``  pipeline, rounds, module, changed

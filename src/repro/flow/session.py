@@ -50,6 +50,17 @@ from .spec import FlowSpec, resolve_flow
 CaseSource = Union[Module, Callable[[], Module]]
 
 
+def _aggregate_oracle_stats(pass_stats: Mapping[str, int]) -> Dict[str, int]:
+    """Collapse ``<pass path>.oracle_<counter>`` entries by counter name."""
+    totals: Dict[str, int] = {}
+    for key, value in pass_stats.items():
+        tail = key.rsplit(".", 1)[-1]
+        if tail.startswith("oracle_"):
+            name = tail[len("oracle_"):]
+            totals[name] = totals.get(name, 0) + value
+    return totals
+
+
 class EquivalenceError(AssertionError):
     """An optimized module is not equivalent to its pre-flow snapshot."""
 
@@ -85,6 +96,10 @@ class RunReport:
     rounds: int = 0
     runtime_s: float = 0.0
     equivalence_checked: bool = False
+    #: aggregated SAT-oracle counters (queries, cache_hits, conflicts, ...)
+    #: from every ``oracle_*`` pass stat; empty when no oracle-backed pass
+    #: ran (see :class:`repro.sat.oracle.OracleStats`)
+    oracle_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def optimizer(self) -> str:
@@ -252,6 +267,7 @@ class Session:
             optimized_area=stats.num_ands,
             runtime_s=runtime,
         )
+        pass_stats = manager.total_stats()
         return RunReport(
             case_name=mod.name,
             flow=spec.label,
@@ -269,10 +285,11 @@ class Session:
                 )
                 for idx, res in enumerate(manager.history)
             ],
-            pass_stats=manager.total_stats(),
+            pass_stats=pass_stats,
             rounds=manager.rounds_run,
             runtime_s=runtime,
             equivalence_checked=checked,
+            oracle_stats=_aggregate_oracle_stats(pass_stats),
         )
 
     def run_all(

@@ -21,9 +21,15 @@ class Cell:
 
     ``width`` is the cell's data width ``W``; ``n`` is the pmux branch count
     or the shift-amount width (1 for everything else).
+
+    ``version`` counts port rewires (every :meth:`set_port`); caches keyed
+    on cell content — e.g. the :class:`~repro.sat.oracle.SatOracle` CNF
+    contexts — use ``(name, version)`` pairs to detect stale entries after
+    an optimization pass mutates the netlist mid-flight.
     """
 
-    __slots__ = ("name", "type", "width", "n", "connections", "attributes")
+    __slots__ = ("name", "type", "width", "n", "connections", "attributes",
+                 "version")
 
     def __init__(self, name: str, ctype: CellType, width: int, n: int = 1):
         if width < 1:
@@ -36,6 +42,7 @@ class Cell:
         self.n = n
         self.connections: Dict[str, SigSpec] = {}
         self.attributes: dict = {}
+        self.version = 0
 
     def port(self, name: str) -> SigSpec:
         """The SigSpec connected to the given port."""
@@ -58,6 +65,7 @@ class Cell:
                 f"{want}, got {len(sig)}"
             )
         self.connections[name] = sig
+        self.version += 1
 
     @property
     def is_combinational(self) -> bool:

@@ -233,13 +233,33 @@ class OptMuxtree(Pass):
 
     def _descend(self, parent: Cell, data_spec: SigSpec, facts: Dict[SigBit, bool]) -> None:
         """Recurse into the internal mux driving ``data_spec``, if any."""
+        child_name = self._internal_child(parent, data_spec)
+        if child_name is not None:
+            self._traverse(self.module.cells[child_name], facts)
+
+    def _internal_child(self, parent: Cell, data_spec: SigSpec) -> Optional[str]:
+        """Name of the internal mux whose edge into ``parent`` is exactly
+        ``data_spec``, or None (driver shared with another tree, or not a
+        mux)."""
         child_name = self.y_of.get(tuple(self.sigmap.map_spec(data_spec)))
         if child_name is None or child_name not in self.muxes:
-            return
+            return None
         edge = self.parent_edge.get(child_name)
         if edge is None or edge[0].name != parent.name:
-            return  # shared with another tree: path facts do not apply
-        self._traverse(self.module.cells[child_name], facts)
+            return None  # shared with another tree: path facts do not apply
+        return child_name
+
+    def _substitutable(self, data_spec: SigSpec) -> bool:
+        """Whether a data operand may be rewritten bit-wise (Figure 2).
+
+        Operands that are exactly a mux output are left untouched: the
+        driving mux is (or may later become, once other readers die) a
+        muxtree edge, and substituting even one bit of its Y breaks that
+        edge permanently — trading a whole-branch bypass in this or a
+        later round for a one-bit constant.  The child's own traversal
+        performs the same substitutions one level deeper, so nothing
+        decidable is lost."""
+        return self.y_of.get(tuple(self.sigmap.map_spec(data_spec))) is None
 
     def _traverse_mux(self, mux: Cell, facts: Dict[SigBit, bool]) -> None:
         s_bit = self.sigmap.map_bit(mux.connections["S"][0])
@@ -252,12 +272,12 @@ class OptMuxtree(Pass):
             branch_facts = dict(facts)
             if not s_bit.is_const:
                 branch_facts[s_bit] = s_known
-            new_spec, substituted = self._substitute(
-                mux.connections[pname], branch_facts
-            )
-            if substituted:
-                mux.set_port(pname, new_spec)
-                self.result.bump("dataport_bits_substituted", substituted)
+            new_spec = mux.connections[pname]
+            if self._substitutable(new_spec):
+                new_spec, substituted = self._substitute(new_spec, branch_facts)
+                if substituted:
+                    mux.set_port(pname, new_spec)
+                    self.result.bump("dataport_bits_substituted", substituted)
             self._descend(mux, new_spec, branch_facts)
 
     def _traverse_pmux(self, mux: Cell, facts: Dict[SigBit, bool]) -> None:
@@ -294,14 +314,15 @@ class OptMuxtree(Pass):
                     branch_facts[s_bits[j]] = False
             if not s_bits[i].is_const:
                 branch_facts[s_bits[i]] = True
-            slice_spec = mux.pmux_branch(i)
-            new_spec, substituted = self._substitute(slice_spec, branch_facts)
-            if substituted:
-                b = mux.connections["B"]
-                mux.set_port(
-                    "B", b[: i * width].concat(new_spec, b[(i + 1) * width:])
-                )
-                self.result.bump("dataport_bits_substituted", substituted)
+            new_spec = mux.pmux_branch(i)
+            if self._substitutable(new_spec):
+                new_spec, substituted = self._substitute(new_spec, branch_facts)
+                if substituted:
+                    b = mux.connections["B"]
+                    mux.set_port(
+                        "B", b[: i * width].concat(new_spec, b[(i + 1) * width:])
+                    )
+                    self.result.bump("dataport_bits_substituted", substituted)
             self._descend(mux, new_spec, branch_facts)
         if decided is not None:
             return  # the default operand is unreachable on this path
@@ -309,10 +330,12 @@ class OptMuxtree(Pass):
         for s_bit in s_bits:
             if not s_bit.is_const:
                 default_facts[s_bit] = False
-        new_spec, substituted = self._substitute(mux.connections["A"], default_facts)
-        if substituted:
-            mux.set_port("A", new_spec)
-            self.result.bump("dataport_bits_substituted", substituted)
+        new_spec = mux.connections["A"]
+        if self._substitutable(new_spec):
+            new_spec, substituted = self._substitute(new_spec, default_facts)
+            if substituted:
+                mux.set_port("A", new_spec)
+                self.result.bump("dataport_bits_substituted", substituted)
         self._descend(mux, new_spec, default_facts)
 
     def _shrink_pmux(self, mux: Cell, keep: List[int]) -> None:

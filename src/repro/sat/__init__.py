@@ -1,7 +1,9 @@
-"""MiniSAT-style CDCL SAT solving, CNF containers and Tseitin encoding."""
+"""MiniSAT-style CDCL SAT solving, CNF containers, Tseitin encoding, and
+the incremental :class:`~repro.sat.oracle.SatOracle`."""
 
 from .cnf import CNF
 from .dimacs import dimacs_str, read_dimacs, write_dimacs
+from .oracle import Decision, OracleStats, SatOracle
 from .solver import Clause, Solver, SolverStats, luby
 from .tseitin import CircuitEncoder, encode_module
 
@@ -9,6 +11,9 @@ __all__ = [
     "CNF",
     "CircuitEncoder",
     "Clause",
+    "Decision",
+    "OracleStats",
+    "SatOracle",
     "Solver",
     "SolverStats",
     "dimacs_str",

@@ -15,6 +15,16 @@ import pytest
 from repro.ir import Circuit, Module, SigSpec
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--fuzz-iterations",
+        type=int,
+        default=0,
+        help="run N extra random differential-fuzz seeds beyond the fixed "
+        "CI corpus (tests/fuzz/test_differential.py)",
+    )
+
+
 def random_circuit(
     seed: int,
     n_inputs: int = 4,

@@ -114,11 +114,44 @@ def test_optimized_random_circuits_stay_equivalent():
         assert_equivalent(gold, module)
 
 
-def test_timeout_budget():
-    gold, gate = _mux_pair()
-    # tiny budget on an equivalent pair: either proves quickly or raises
-    try:
-        result = check_equivalence(gold, gate, random_vectors=0, max_conflicts=1)
+def _hard_pair(width=16):
+    """An equivalent pair whose miter needs real CDCL search: structural
+    hashing cannot fold ``(a - b) == 0`` against ``a == b``."""
+    c1 = Circuit("m")
+    a, b = c1.input("a", width), c1.input("b", width)
+    c1.output("y", c1.eq(c1.sub(a, b), 0))
+    c2 = Circuit("m")
+    a, b = c2.input("a", width), c2.input("b", width)
+    c2.output("y", c2.eq(a, b))
+    return c1.module, c2.module
+
+
+def test_budget_exhaustion_is_undecided_not_nonequivalent():
+    """Regression: an exhausted conflict budget used to raise
+    TimeoutError; it must surface as a distinct *undecided* result, never
+    as a "not equivalent" claim (and never with a counterexample)."""
+    gold, gate = _hard_pair()
+    result = check_equivalence(gold, gate, random_vectors=0, max_conflicts=1)
+    if result.undecided:
+        assert not result.equivalent
+        assert result.method == "budget"
+        assert result.counterexample == {}
+        assert bool(result) is False
+        # the same pair *is* provable without a budget
+        assert check_equivalence(gold, gate, random_vectors=0).equivalent
+        # and assert_equivalent treats undecided as a failure, with a
+        # message distinct from the non-equivalence one
+        with pytest.raises(AssertionError, match="UNDECIDED"):
+            assert_equivalent(gold, gate, random_vectors=0, max_conflicts=1)
+    else:
+        # budget large enough after all: must then be a proven pass
         assert result.equivalent
-    except TimeoutError:
-        pass
+
+
+def test_decided_within_budget_reports_method_sat():
+    gold, gate = _hard_pair(width=4)
+    result = check_equivalence(gold, gate, random_vectors=0,
+                               max_conflicts=100000)
+    assert result.equivalent
+    assert result.method == "sat"
+    assert not result.undecided

@@ -224,3 +224,46 @@ class TestRunSuite:
         cases = suite_cases(["alpha", "beta"], lambda name: _circuit(name))
         assert cases["alpha"]().name == "alpha"
         assert cases["beta"]().name == "beta"
+
+
+class TestOracleStatsInReports:
+    def test_run_report_exposes_oracle_stats_in_json(self):
+        c = Circuit("chain")
+        sel = c.input("sel", 2)
+        d = [c.input(f"d{i}", 4) for i in range(3)]
+        c.output("y", c.case_(sel, [(0, d[0]), (1, d[1]), (2, d[0])], d[2]))
+        # sim_threshold=0 forces the decision ladder onto SAT
+        session = Session(c.module, options=SmartlyOptions(sim_threshold=0,
+                                                           rebuild=False))
+        report = session.run("smartly-sat")
+        data = json.loads(report.to_json())
+        assert "oracle_stats" in data
+        posed = report.pass_stats.get("smartly.smartly_sat.sat_queries", 0)
+        assert posed > 0, report.pass_stats
+        assert data["oracle_stats"]["queries"] > 0
+        assert data["oracle_stats"]["solver_calls"] > 0
+        # aggregation matches the raw oracle_* pass stats
+        for key, value in data["oracle_stats"].items():
+            raw = sum(
+                v for k, v in report.pass_stats.items()
+                if k.rsplit(".", 1)[-1] == f"oracle_{key}"
+            )
+            assert value == raw
+
+    def test_fresh_solver_reference_reports_no_oracle_stats(self):
+        c = Circuit("chain2")
+        sel = c.input("sel", 2)
+        d = [c.input(f"d{i}", 4) for i in range(3)]
+        c.output("y", c.case_(sel, [(0, d[0]), (1, d[1]), (2, d[0])], d[2]))
+        session = Session(
+            c.module,
+            options=SmartlyOptions(sim_threshold=0, rebuild=False,
+                                   use_oracle=False),
+        )
+        report = session.run("smartly-sat")
+        assert report.pass_stats.get("smartly.smartly_sat.sat_queries", 0) > 0
+        assert report.oracle_stats == {}
+        # the SAT time of either path is accounted
+        assert report.pass_stats.get(
+            "smartly.smartly_sat.sat_wallclock_us", 0
+        ) > 0

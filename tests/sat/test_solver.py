@@ -186,3 +186,121 @@ def test_assumptions_equal_unit_clauses(data):
     for lit in assumptions:
         with_units.add_clause([lit])
     assert under_assumptions == with_units.solve()
+
+
+class TestIncrementalClauseAddition:
+    """Clause addition between solve() calls — what the oracle's monotone
+    contexts rely on (encode more cells after earlier queries answered)."""
+
+    def test_add_clause_after_sat_solve(self):
+        s = Solver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([a, b])
+        assert s.solve() is True
+        assert s.add_clause([-a]) is True  # grows the formula post-solve
+        assert s.solve() is True
+        assert s.model_value(b) is True
+        assert s.add_clause([-b]) is False  # now contradictory at top level
+        assert s.solve() is False
+
+    def test_add_clause_after_unsat_assumptions_keeps_solver_usable(self):
+        s = Solver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([a, b])
+        assert s.solve([-a, -b]) is False  # UNSAT under assumptions only
+        assert s.ok  # ... but the formula itself stays satisfiable
+        c = s.new_var()
+        assert s.add_clause([-a, c]) is True
+        assert s.solve([a]) is True
+        assert s.model_value(c) is True
+
+    def test_add_unit_after_solve_propagates_at_top_level(self):
+        s = Solver()
+        a, b, c = s.new_var(), s.new_var(), s.new_var()
+        s.add_clause([-a, b])
+        s.add_clause([-b, c])
+        assert s.solve() is True
+        s.add_clause([a])  # unit: propagates a -> b -> c immediately
+        assert s.solve() is True
+        assert s.model_value(c) is True
+        assert s.solve([-c]) is False
+
+    def test_incremental_matches_monolithic(self):
+        """Clauses added across many solve() interleavings give the same
+        verdicts as one-shot encodings of the same prefix formulas."""
+        rng = random.Random(99)
+        for _trial in range(20):
+            n_vars = rng.randint(3, 7)
+            clauses = []
+            for _ in range(rng.randint(3, 25)):
+                size = rng.randint(1, 3)
+                clauses.append(
+                    [
+                        rng.randint(1, n_vars) * rng.choice([1, -1])
+                        for _ in range(size)
+                    ]
+                )
+            incremental = Solver()
+            for v in range(n_vars):
+                incremental.new_var()
+            alive = True
+            for i, clause in enumerate(clauses):
+                alive = incremental.add_clause(clause) and alive
+                if rng.random() < 0.4:
+                    expected_cnf = CNF(n_vars)
+                    expected_cnf.extend(clauses[: i + 1])
+                    expected = expected_cnf.solve()
+                    got = incremental.solve() if alive else False
+                    assert got == expected, (clauses[: i + 1], got, expected)
+                if not alive:
+                    break
+
+    def test_learned_clauses_persist_across_solves(self):
+        """Conflict-driven learning from one query must be retained (and
+        stay correct) for later queries — the clause-reuse payoff."""
+
+        def pigeonhole(solver, holes):
+            # holes+1 pigeons into `holes` holes: classic UNSAT core
+            var = {}
+            for p in range(holes + 1):
+                for h in range(holes):
+                    var[p, h] = solver.new_var()
+            for p in range(holes + 1):
+                solver.add_clause([var[p, h] for h in range(holes)])
+            for h in range(holes):
+                for p1 in range(holes + 1):
+                    for p2 in range(p1 + 1, holes + 1):
+                        solver.add_clause([-var[p1, h], -var[p2, h]])
+            return var
+
+        s = Solver()
+        pigeonhole(s, 4)
+        assert s.solve() is False
+        assert s.stats.conflicts > 0
+        # the constraints are unconditionally UNSAT, so the solver stays
+        # dead for every later query; the learned clauses derived during
+        # the first call remain attached and consistent
+        assert s.solve() is False
+
+    def test_learned_clauses_speed_up_repeat_assumption_queries(self):
+        """Same query twice on one solver: the replay must not need more
+        conflicts than the first run (learning is retained, not reset)."""
+        rng = random.Random(5)
+        s = Solver()
+        n_vars = 40
+        for _ in range(n_vars):
+            s.new_var()
+        for _ in range(170):
+            clause = [
+                rng.randint(1, n_vars) * rng.choice([1, -1]) for _ in range(3)
+            ]
+            s.add_clause(clause)
+        if not s.ok:
+            pytest.skip("random formula collapsed at top level")
+        assumptions = [1, -2, 3]
+        first = s.solve(assumptions)
+        conflicts_first = s.stats.conflicts
+        second = s.solve(assumptions)
+        conflicts_second = s.stats.conflicts - conflicts_first
+        assert second == first
+        assert conflicts_second <= conflicts_first
