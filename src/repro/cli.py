@@ -51,8 +51,9 @@ def _load_module(path: str, top: Optional[str]):
 
 
 def _run_and_report(module, flow, check: bool, as_json: bool,
-                    verbose: bool = False) -> int:
-    session = Session(module)
+                    verbose: bool = False,
+                    engine: str = "incremental") -> int:
+    session = Session(module, engine=engine)
     if verbose:
         session.subscribe(PrintObserver(stream=sys.stderr, verbose=True))
     report = session.run(flow, check=check)
@@ -64,6 +65,11 @@ def _run_and_report(module, flow, check: bool, as_json: bool,
         f"{report.optimized_area} "
         f"({100 * report.reduction_vs_original:.2f}% reduction, {report.flow})"
     )
+    if not report.converged:
+        print(
+            f"warning: round limit reached after {report.rounds} round(s) "
+            f"without convergence", file=sys.stderr,
+        )
     if check:
         print("equivalence check: PASSED")
     for key, value in sorted(report.pass_stats.items()):
@@ -80,7 +86,7 @@ def _run_and_report(module, flow, check: bool, as_json: bool,
 def cmd_opt(args: argparse.Namespace) -> int:
     module = _load_module(args.source, args.top)
     return _run_and_report(module, args.optimizer, args.check, args.json,
-                           args.verbose)
+                           args.verbose, args.engine)
 
 
 def cmd_script(args: argparse.Namespace) -> int:
@@ -95,7 +101,8 @@ def cmd_script(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     module = _load_module(args.source, args.top)
-    return _run_and_report(module, spec, args.check, args.json, args.verbose)
+    return _run_and_report(module, spec, args.check, args.json, args.verbose,
+                           args.engine)
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
@@ -195,23 +202,25 @@ def cmd_bench(args: argparse.Namespace) -> int:
     session = Session()
     session.subscribe(PrintObserver(stream=sys.stderr))
     jobs = args.jobs
+    executor = args.executor
 
     if args.table == "table2":
         results = session.run_suite(
             suite_cases(CASE_NAMES, build_case), ("yosys", "smartly"),
-            max_workers=jobs,
+            max_workers=jobs, executor=executor,
         )
         print(render_table2(results))
     elif args.table == "table3":
         results = session.run_suite(
             suite_cases(CASE_NAMES, build_case),
             ("yosys", "smartly-sat", "smartly-rebuild", "smartly"),
-            max_workers=jobs,
+            max_workers=jobs, executor=executor,
         )
         print(render_table3(results))
     elif args.table == "industrial":
         results = session.run_suite(
-            build_industrial(), ("yosys", "smartly"), max_workers=jobs
+            build_industrial(), ("yosys", "smartly"), max_workers=jobs,
+            executor=executor,
         )
         print(render_industrial(results))
     else:
@@ -236,6 +245,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the RunReport as JSON")
     p_opt.add_argument("-v", "--verbose", action="store_true",
                        help="stream per-pass progress events to stderr")
+    p_opt.add_argument("--engine", choices=("incremental", "eager"),
+                       default="incremental",
+                       help="pass engine: incremental dirty-set worklists "
+                            "(default) or eager whole-module sweeps")
     p_opt.set_defaults(func=cmd_opt)
 
     p_script = sub.add_parser(
@@ -251,6 +264,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="print the RunReport as JSON")
     p_script.add_argument("-v", "--verbose", action="store_true",
                           help="stream per-pass progress events to stderr")
+    p_script.add_argument("--engine", choices=("incremental", "eager"),
+                          default="incremental",
+                          help="pass engine: incremental dirty-set worklists "
+                               "(default) or eager whole-module sweeps")
     p_script.set_defaults(func=cmd_script)
 
     p_stats = sub.add_parser("stats", help="print cell and AIG statistics")
@@ -285,6 +302,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("table", choices=("table2", "table3", "industrial"))
     p_bench.add_argument("-j", "--jobs", type=int, default=None,
                          help="parallel suite workers (default: auto)")
+    p_bench.add_argument("--executor", choices=("thread", "process"),
+                         default="thread",
+                         help="worker pool: GIL-bound threads (default) or "
+                              "a process pool for real CPU parallelism")
     p_bench.set_defaults(func=cmd_bench)
 
     p_fuzz = sub.add_parser(

@@ -29,7 +29,7 @@ from typing import Dict, FrozenSet, Optional, Tuple
 from ..ir.module import Module
 from ..ir.signals import SigBit, State
 from ..ir.walker import NetIndex
-from ..opt.pass_base import PassResult, register_pass
+from ..opt.pass_base import DirtySet, PassResult, register_pass
 from ..opt.opt_muxtree import OptMuxtree
 from ..sat.oracle import SatOracle
 from ..sat.solver import Solver
@@ -85,8 +85,26 @@ class SatRedundancy(OptMuxtree):
         self._data_cache: Dict[_FactsKey, Optional[bool]] = {}
         self._sat_time = 0.0
         self._generation_open = False
+        #: a cell edit can change the verdict of any control whose
+        #: distance-k sub-graph contains it, i.e. of muxes up to k+1 hops
+        #: away — the incremental engine's closure must reach that far
+        self.dirty_radius = max(k, data_k) + 1
 
     def execute(self, module: Module, result: PassResult) -> None:
+        self._with_oracle(
+            module, result, lambda: OptMuxtree.execute(self, module, result)
+        )
+
+    def execute_incremental(
+        self, module: Module, result: PassResult, dirty: Optional[DirtySet]
+    ) -> None:
+        self._with_oracle(
+            module,
+            result,
+            lambda: OptMuxtree.execute_incremental(self, module, result, dirty),
+        )
+
+    def _with_oracle(self, module: Module, result: PassResult, body) -> None:
         self._data_cache.clear()
         self._sat_time = 0.0
         self._generation_open = False
@@ -97,7 +115,7 @@ class SatRedundancy(OptMuxtree):
             oracle_base = self._oracle.stats.as_dict()
         else:
             self._oracle = None
-        super().execute(module, result)
+        body()
         if self._oracle is not None and oracle_base is not None:
             for key, value in self._oracle.stats.delta(oracle_base).items():
                 if value:
@@ -157,42 +175,43 @@ class SatRedundancy(OptMuxtree):
         subgraph = extract_subgraph(
             self.index, target, facts, k=k, max_gates=self.max_gates
         )
-        self.result.stats.setdefault("subgraph_gates_before", 0)
-        self.result.stats["subgraph_gates_before"] += subgraph.gates_before
-        self.result.stats.setdefault("subgraph_gates_after", 0)
-        self.result.stats["subgraph_gates_after"] += subgraph.gates_after
+        # observation counters use note(): queries posed do not modify the
+        # netlist, and marking them as changes kept the fixpoint loop from
+        # ever detecting convergence (every round re-ran to max_rounds)
+        self.result.note("subgraph_gates_before", subgraph.gates_before)
+        self.result.note("subgraph_gates_after", subgraph.gates_after)
 
         # 1. inference rules (Table I)
         inference = infer(subgraph, self.index, subgraph.known)
         if inference.contradiction:
             if facts:
-                self.result.bump("dead_paths")
+                self.result.note("dead_paths")
                 return False  # path never active: either branch is sound
             return None
         value = inference.value_of(target)
         if value is not None:
-            self.result.bump("ctrl_inferred" if allow_solvers else "data_inferred")
+            self.result.note("ctrl_inferred" if allow_solvers else "data_inferred")
             return value
         if not allow_solvers:
             return None
 
         # 2. exhaustive simulation for small input counts
         if subgraph.num_inputs <= self.sim_threshold:
-            self.result.bump("sim_queries")
+            self.result.note("sim_queries")
             decided = self._simulate(subgraph, facts)
             if decided is not None:
-                self.result.bump("ctrl_sim_decided")
+                self.result.note("ctrl_sim_decided")
             return decided
 
         # 3. SAT for medium input counts
         if subgraph.num_inputs <= self.sat_threshold:
-            self.result.bump("sat_queries")
+            self.result.note("sat_queries")
             decided = self._sat_decide(subgraph, facts)
             if decided is not None:
-                self.result.bump("ctrl_sat_decided")
+                self.result.note("ctrl_sat_decided")
             return decided
 
-        self.result.bump("skipped_large")
+        self.result.note("skipped_large")
         return None
 
     # -- exhaustive simulation ------------------------------------------------------------
@@ -246,7 +265,7 @@ class SatRedundancy(OptMuxtree):
             selector &= computed if val else (~computed & mask)
         if selector == 0:
             if facts:
-                self.result.bump("dead_paths")
+                self.result.note("dead_paths")
                 return False
             return None
         target_mask = bit_mask(subgraph.target)
@@ -273,7 +292,7 @@ class SatRedundancy(OptMuxtree):
                     subgraph, max_conflicts=self.max_conflicts
                 )
                 if decision.dead and facts:
-                    self.result.bump("dead_paths")
+                    self.result.note("dead_paths")
                 return decision.value
             return self._sat_decide_fresh(subgraph, facts)
         finally:
@@ -307,7 +326,7 @@ class SatRedundancy(OptMuxtree):
                 assumptions + [-target_lit], max_conflicts=self.max_conflicts
             )
             if can_be_false is False and facts:
-                self.result.bump("dead_paths")
+                self.result.note("dead_paths")
             return False
         can_be_false = solver.solve(
             assumptions + [-target_lit], max_conflicts=self.max_conflicts

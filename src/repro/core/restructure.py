@@ -32,8 +32,14 @@ from ..ir.cells import CellType, input_ports
 from ..ir.module import Cell, Module
 from ..ir.signals import SigBit, SigSpec, State
 from ..ir.walker import NetIndex
-from ..opt.pass_base import Pass, PassResult, register_pass
-from ..opt.opt_muxtree import find_internal_edges
+from ..opt.pass_base import DirtySet, Pass, PassResult, register_pass
+from ..opt.opt_muxtree import (
+    LazyEdgeMap,
+    compute_internal_edge,
+    dirty_tree_roots,
+    find_internal_edges,
+    mux_of_spec,
+)
 from .add import ADD, ADDNode, case_table
 
 #: a cube over selector bits: bit -> required value
@@ -98,6 +104,11 @@ class MuxtreeRestructure(Pass):
     """Rebuild single-selector case muxtrees through an ADD."""
 
     name = "smartly_rebuild"
+    incremental_capable = True
+    #: eq-against-constant recognition looks through or-trees of eq cells —
+    #: a few hops above a mux select; 4 covers every pattern _pattern_of /
+    #: _disjunction_of can match plus a safety hop
+    dirty_radius = 4
 
     def __init__(
         self,
@@ -114,29 +125,67 @@ class MuxtreeRestructure(Pass):
     # -- pass entry ------------------------------------------------------------
 
     def execute(self, module: Module, result: PassResult) -> None:
+        self._optimize(module, result, NetIndex(module), dirty=None)
+
+    def execute_incremental(
+        self, module: Module, result: PassResult, dirty: Optional[DirtySet]
+    ) -> None:
+        index = module.net_index()
+        with index.frozen():
+            self._optimize(module, result, index, dirty=dirty)
+
+    def _optimize(
+        self,
+        module: Module,
+        result: PassResult,
+        index: NetIndex,
+        dirty: Optional[DirtySet],
+    ) -> None:
         self.module = module
-        index = NetIndex(module)
         self.index = index
         self.sigmap = index.sigmap
-        self.parent_edge = find_internal_edges(module, index)
-        self.muxes = {c.name: c for c in module.cells.values() if c.is_mux}
-        # canonical bits observable at module outputs (alias-aware)
-        self.output_bits = set()
-        for wire in module.outputs:
-            for i in range(wire.width):
-                self.output_bits.add(self.sigmap.map_bit(SigBit(wire, i)))
-        self.y_of = {
-            tuple(self.sigmap.map_spec(c.connections["Y"])): c.name
-            for c in self.muxes.values()
-        }
-
-        roots = [c for c in self.muxes.values() if c.name not in self.parent_edge]
+        self._result = result
+        if dirty is None:
+            self.parent_edge = find_internal_edges(module, index)
+            self.muxes = {c.name: c for c in module.cells.values() if c.is_mux}
+            roots = [
+                c for c in self.muxes.values() if c.name not in self.parent_edge
+            ]
+        else:
+            closure = dirty.closure(index, self.dirty_radius)
+            if not closure:
+                return
+            self.parent_edge = LazyEdgeMap(
+                lambda name: compute_internal_edge(module, index, name)
+            )
+            root_names = dirty_tree_roots(
+                index, module, self.parent_edge, closure
+            )
+            if not root_names:
+                return
+            self.muxes = {c.name: c for c in module.cells.values() if c.is_mux}
+            roots = [
+                c
+                for c in self.muxes.values()
+                if c.name in root_names
+                and self.parent_edge.get(c.name) is None
+            ]
+        # canonical bits observable at module outputs (alias-aware; the
+        # index maintains this set, so no per-entry rebuild)
+        self.output_bits = index.output_bits
+        if dirty is None:
+            self.y_of = {
+                tuple(self.sigmap.map_spec(c.connections["Y"])): c.name
+                for c in self.muxes.values()
+            }
+        else:
+            self.y_of = None  # resolve through the index (mux_of_spec)
         trees: List[CaseTree] = []
         for root in roots:
             tree = self._collect_tree(root)
             if tree is not None:
                 trees.append(tree)
-        result.stats["trees_found"] = len(trees)
+        result.note("trees_found", len(trees))
 
         for tree in trees:
             self._consider_rebuild(tree, result)
@@ -268,10 +317,10 @@ class MuxtreeRestructure(Pass):
 
     def _child_of(self, spec: SigSpec) -> Optional[Cell]:
         """The internal mux driving exactly this data operand, if any."""
-        name = self.y_of.get(tuple(self.sigmap.map_spec(spec)))
+        name = mux_of_spec(self.index, self.sigmap, spec, self.y_of)
         if name is None or name not in self.module.cells:
             return None
-        if name not in self.parent_edge:
+        if self.parent_edge.get(name) is None:
             return None  # shared: treat as opaque operand
         return self.module.cells[name]
 
@@ -447,5 +496,14 @@ class MuxtreeRestructure(Pass):
 
         new_root_spec = emit(add.root)
         old_y = tree.root.connections["Y"]
+        # the old root Y merges into the rebuilt tree's alias class; its
+        # true readers seed the next dirty round (see PassResult.touch_readers)
+        self._result.touch_readers(
+            reader.name
+            for bit in old_y
+            for reader, _port, _off in self.index.readers.get(
+                self.sigmap.map_bit(bit), ()
+            )
+        )
         self.module.remove_cell(tree.root)
         self.module.connect(old_y, new_root_spec)

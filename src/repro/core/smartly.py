@@ -22,7 +22,13 @@ from ..ir.module import Module
 from ..opt.opt_clean import OptClean
 from ..opt.opt_expr import OptExpr
 from ..opt.opt_merge import OptMerge
-from ..opt.pass_base import Pass, PassManager, PassResult, register_pass
+from ..opt.pass_base import (
+    DirtySet,
+    Pass,
+    PassManager,
+    PassResult,
+    register_pass,
+)
 from ..sat.oracle import SatOracle
 from .redundancy import SatRedundancy
 from .restructure import MuxtreeRestructure
@@ -64,6 +70,7 @@ class Smartly(Pass):
     """One optimization round: restructure, then SAT-prune, then clean."""
 
     name = "smartly"
+    incremental_capable = True
 
     def __init__(self, options: Optional[SmartlyOptions] = None, **overrides):
         base = options if options is not None else SmartlyOptions()
@@ -81,6 +88,20 @@ class Smartly(Pass):
         self._oracle: Optional[SatOracle] = None
 
     def execute(self, module: Module, result: PassResult) -> None:
+        self._execute(module, result, dirty=None, incremental=False)
+
+    def execute_incremental(
+        self, module: Module, result: PassResult, dirty: Optional[DirtySet]
+    ) -> None:
+        self._execute(module, result, dirty=dirty, incremental=True)
+
+    def _execute(
+        self,
+        module: Module,
+        result: PassResult,
+        dirty: Optional[DirtySet],
+        incremental: bool,
+    ) -> None:
         opts = self.options
         passes = []
         if opts.rebuild:
@@ -115,12 +136,22 @@ class Smartly(Pass):
             from ..opt.opt_muxtree import OptMuxtree
 
             passes.append(OptMuxtree())
+        seed = dirty
         for pass_ in passes:
-            sub = pass_.run(module)
+            sub = pass_.run(module, dirty=seed, incremental=incremental)
             result.changed = result.changed or sub.changed
+            result.touched_cells |= sub.touched_cells
+            result.touched_bits |= sub.touched_bits
+            result.touched_fanin_bits |= sub.touched_fanin_bits
             for key, value in sub.stats.items():
                 full = f"{sub.pass_name}.{key}"
                 result.stats[full] = result.stats.get(full, 0) + value
+            if incremental and seed is not None:
+                # a later stage must also see what the earlier stage edited
+                seed = seed.union(DirtySet(
+                    sub.touched_cells, sub.touched_bits,
+                    sub.touched_fanin_bits,
+                ))
 
 
 def run_smartly(

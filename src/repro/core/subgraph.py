@@ -216,7 +216,10 @@ def _reduce_by_support(
                     state[current.name] = 1
                     order.append(current)
 
-    for name in kept_names:
+    # deterministic root order: kept_names is a set, and string hashing is
+    # randomized per interpreter run — iterating it raw would make the topo
+    # order (and with it CNF variable numbering) differ run to run
+    for name in sorted(kept_names):
         if name not in state:
             visit(cells[name])
     return order

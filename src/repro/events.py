@@ -15,26 +15,34 @@ profiler, or a progress bar without the library printing anything itself.
 
 Event kinds (``FlowEvent.kind``) and their payload keys:
 
-=====================  ======================================================
-``pipeline_started``   pipeline, passes, fixpoint, max_rounds, module
-``pass_started``       pipeline, pass, round, module
-``pass_finished``      pipeline, pass, round, module, changed, stats,
-                       runtime_s — ``stats`` carries the pass's counters,
-                       including the SAT stage's query/budget numbers and
-                       the incremental oracle's ``oracle_*`` session
-                       counters (queries, cache_hits, conflicts, ...; see
-                       :class:`repro.sat.oracle.OracleStats`) plus its
-                       ``sat_wallclock_us`` timing
-``round_finished``     pipeline, round, module, changed
-``round_converged``    pipeline, rounds, module
-``pipeline_finished``  pipeline, rounds, module, changed
-``flow_started``       case, flow
-``flow_finished``      case, flow, original_area, optimized_area, runtime_s
-``suite_started``      cases, flows, jobs, max_workers
-``case_started``       case, flow
-``case_finished``      case, flow, original_area, optimized_area, runtime_s
-``suite_finished``     jobs, runtime_s
-=====================  ======================================================
+========================  ===================================================
+``pipeline_started``      pipeline, passes, fixpoint, max_rounds, module,
+                          engine (``"incremental"`` or ``"eager"``)
+``pass_started``          pipeline, pass, round, module
+``pass_finished``         pipeline, pass, round, module, changed, stats,
+                          runtime_s — ``stats`` carries the pass's counters,
+                          including the SAT stage's query/budget numbers and
+                          the incremental oracle's ``oracle_*`` session
+                          counters (queries, cache_hits, conflicts, ...; see
+                          :class:`repro.sat.oracle.OracleStats`) plus its
+                          ``sat_wallclock_us`` timing
+``round_finished``        pipeline, round, module, changed, touched_cells
+                          (size of the round's dirty-cell set)
+``round_converged``       pipeline, rounds, module
+``round_limit_reached``   pipeline, rounds, max_rounds, module — emitted
+                          when a fixpoint run exhausts ``max_rounds`` while
+                          passes were still changing the module (previously
+                          silent and indistinguishable from convergence)
+``pipeline_finished``     pipeline, rounds, module, changed, converged
+``flow_started``          case, flow
+``flow_finished``         case, flow, original_area, optimized_area,
+                          runtime_s
+``suite_started``         cases, flows, jobs, max_workers, executor
+``case_started``          case, flow
+``case_finished``         case, flow, original_area, optimized_area,
+                          runtime_s
+``suite_finished``        jobs, runtime_s
+========================  ===================================================
 """
 
 from __future__ import annotations
@@ -52,6 +60,7 @@ PASS_STARTED = "pass_started"
 PASS_FINISHED = "pass_finished"
 ROUND_FINISHED = "round_finished"
 ROUND_CONVERGED = "round_converged"
+ROUND_LIMIT_REACHED = "round_limit_reached"
 PIPELINE_FINISHED = "pipeline_finished"
 FLOW_STARTED = "flow_started"
 FLOW_FINISHED = "flow_finished"
@@ -173,6 +182,11 @@ class PrintObserver:
                 f"[{event['pipeline']}] converged after "
                 f"{event['rounds']} round(s)"
             )
+        elif event.kind == ROUND_LIMIT_REACHED:
+            self._line(
+                f"[{event['pipeline']}] warning: round limit "
+                f"({event['max_rounds']}) reached before convergence"
+            )
         elif event.kind == CASE_FINISHED:
             self._line(
                 f"  {event['case']}: {event['flow']} "
@@ -220,6 +234,7 @@ __all__ = [
     "PrintObserver",
     "ROUND_CONVERGED",
     "ROUND_FINISHED",
+    "ROUND_LIMIT_REACHED",
     "SUITE_FINISHED",
     "SUITE_STARTED",
 ]

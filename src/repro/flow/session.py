@@ -22,7 +22,11 @@ from __future__ import annotations
 
 import json
 import time
-from concurrent.futures import ThreadPoolExecutor, as_completed
+from concurrent.futures import (
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
 from dataclasses import asdict, dataclass, field
 from typing import (
     Any,
@@ -100,6 +104,17 @@ class RunReport:
     #: from every ``oracle_*`` pass stat; empty when no oracle-backed pass
     #: ran (see :class:`repro.sat.oracle.OracleStats`)
     oracle_stats: Dict[str, int] = field(default_factory=dict)
+    #: which pass engine ran the flow: ``"incremental"`` (dirty-set
+    #: worklists over the shared live NetIndex) or ``"eager"`` (historic
+    #: whole-module sweeps; the differential-testing escape hatch)
+    engine: str = "incremental"
+    #: False when the fixpoint loop exhausted ``max_rounds`` while passes
+    #: were still changing the module — the result is valid but NOT a
+    #: fixpoint, which used to be silently indistinguishable
+    converged: bool = True
+    #: dirty-set engine counters (full_rounds, incremental_rounds,
+    #: dirty_seed_cells, dirty_seed_bits)
+    dirty_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def optimizer(self) -> str:
@@ -181,13 +196,19 @@ class Session:
         *,
         options: Optional[SmartlyOptions] = None,
         events: Optional[EventBus] = None,
+        engine: str = "incremental",
     ):
+        if engine not in ("incremental", "eager"):
+            raise ValueError(
+                f"unknown engine {engine!r}; choose 'incremental' or 'eager'"
+            )
         if design is None:
             design = Design()
         elif isinstance(design, Module):
             design = Design(design)
         self.design = design
         self.options = options
+        self.engine = engine
         self.events = events if events is not None else EventBus()
         self._baselines: Dict[str, int] = {}
 
@@ -231,6 +252,7 @@ class Session:
         *,
         module: Optional[str] = None,
         check: bool = False,
+        engine: Optional[str] = None,
     ) -> RunReport:
         """Run one flow over one module (the top by default).
 
@@ -238,14 +260,25 @@ class Session:
         ``smartly-rebuild``/``smartly``), a flow-script string, or a
         :class:`FlowSpec`.  With ``check=True`` the optimized module is
         SAT-proven equivalent to its pre-flow state (raises
-        :class:`EquivalenceError` otherwise).
+        :class:`EquivalenceError` otherwise).  ``engine`` overrides the
+        session engine for this run (``"incremental"`` or ``"eager"``).
         """
+        engine = engine if engine is not None else self.engine
+        if engine not in ("incremental", "eager"):
+            raise ValueError(
+                f"unknown engine {engine!r}; choose 'incremental' or 'eager'"
+            )
         spec = resolve_flow(flow, options=self.options)
         mod = self._module(module)
         original_area = self.baseline_area(mod.name)
         golden = mod.clone() if (check and spec.steps) else None
         self.events.emit("flow_started", case=mod.name, flow=spec.label)
-        manager = PassManager(spec.build(), events=self.events, name=spec.label)
+        manager = PassManager(
+            spec.build(),
+            events=self.events,
+            name=spec.label,
+            incremental=(engine == "incremental"),
+        )
         start = time.perf_counter()
         manager.run(mod, fixpoint=spec.fixpoint, max_rounds=spec.max_rounds)
         runtime = time.perf_counter() - start
@@ -290,6 +323,9 @@ class Session:
             runtime_s=runtime,
             equivalence_checked=checked,
             oracle_stats=_aggregate_oracle_stats(pass_stats),
+            engine=engine,
+            converged=manager.converged,
+            dirty_stats=dict(manager.dirty_stats),
         )
 
     def run_all(
@@ -313,6 +349,7 @@ class Session:
         *,
         max_workers: Optional[int] = None,
         check: bool = False,
+        executor: str = "thread",
     ) -> SuiteReport:
         """Run every (case × flow) job, in parallel, with structured progress.
 
@@ -320,16 +357,22 @@ class Session:
         (factories are invoked once per flow inside the worker, so expensive
         circuit construction also parallelizes); :func:`suite_cases` builds
         such a mapping from names + a builder.  Module values are cloned
-        per job; the inputs are never mutated.  Jobs fan out on a
-        ``concurrent.futures`` thread pool (``max_workers=1`` forces serial
-        execution); progress is emitted as ``suite_started`` /
-        ``case_started`` / ``case_finished`` / ``suite_finished`` events on
-        the session's bus rather than printed.
+        per job; the inputs are never mutated.  Progress is emitted as
+        ``suite_started`` / ``case_started`` / ``case_finished`` /
+        ``suite_finished`` events on the session's bus rather than printed.
 
-        Threads keep the shared event bus and report assembly trivial, but
-        CPython's GIL means pure-Python optimization work only overlaps
-        where passes release the interpreter; on CPython treat
-        ``max_workers`` as job scheduling, not a linear speedup knob.
+        ``executor`` selects the worker pool:
+
+        * ``"thread"`` — shared-memory workers.  Simple, but CPython's GIL
+          means pure-Python optimization work barely overlaps; treat
+          ``max_workers`` as job scheduling, not a speedup knob.
+        * ``"process"`` — a ``ProcessPoolExecutor``.  Modules and specs are
+          pickled into worker processes and the JSON-serializable
+          :class:`RunReport` is pickled back, so CPU-bound suites scale
+          with cores.  Factories must be picklable (module-level functions
+          or :func:`functools.partial` — what :func:`suite_cases` builds);
+          per-pass events from inside workers are not forwarded, only the
+          ``case_started``/``case_finished`` milestones.
         """
         specs = [resolve_flow(flow, options=self.options) for flow in flows]
         labels = [spec.label for spec in specs]
@@ -339,6 +382,10 @@ class Session:
                 f"duplicate flow labels {sorted(duplicates)}: results are "
                 f"keyed by label, so each flow needs a distinct name "
                 f"(FlowSpec(..., name=...))"
+            )
+        if executor not in ("thread", "process"):
+            raise ValueError(
+                f"unknown executor {executor!r}; choose 'thread' or 'process'"
             )
         jobs = [
             (case_name, source, spec)
@@ -351,6 +398,7 @@ class Session:
             flows=[spec.label for spec in specs],
             jobs=len(jobs),
             max_workers=max_workers,
+            executor=executor,
         )
         start = time.perf_counter()
 
@@ -358,7 +406,8 @@ class Session:
                     spec: FlowSpec) -> RunReport:
             module = source() if callable(source) else source.clone()
             self.events.emit("case_started", case=case_name, flow=spec.label)
-            sub = Session(module, options=self.options, events=self.events)
+            sub = Session(module, options=self.options, events=self.events,
+                          engine=self.engine)
             report = sub.run(spec, check=check)
             self.events.emit(
                 "case_finished",
@@ -371,14 +420,43 @@ class Session:
             return report
 
         results: Dict[str, Dict[str, RunReport]] = {name: {} for name in cases}
-        with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            futures = {
-                pool.submit(run_one, *job): (job[0], job[2].label)
-                for job in jobs
-            }
-            for future in as_completed(futures):
-                case_name, flow_label = futures[future]
-                results[case_name][flow_label] = future.result()
+        if executor == "process":
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                futures = {
+                    pool.submit(
+                        _suite_process_job, case_name, source, spec,
+                        self.options, check, self.engine,
+                    ): (case_name, spec.label)
+                    for case_name, source, spec in jobs
+                }
+                for future in as_completed(futures):
+                    case_name, flow_label = futures[future]
+                    report = future.result()
+                    results[case_name][flow_label] = report
+                    # workers cannot stream events across the process
+                    # boundary, so started/finished are emitted together at
+                    # completion — adjacent pairs, never a misleading
+                    # all-started-at-submit burst
+                    self.events.emit(
+                        "case_started", case=case_name, flow=flow_label
+                    )
+                    self.events.emit(
+                        "case_finished",
+                        case=case_name,
+                        flow=flow_label,
+                        original_area=report.original_area,
+                        optimized_area=report.optimized_area,
+                        runtime_s=report.runtime_s,
+                    )
+        else:
+            with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                futures = {
+                    pool.submit(run_one, *job): (job[0], job[2].label)
+                    for job in jobs
+                }
+                for future in as_completed(futures):
+                    case_name, flow_label = futures[future]
+                    results[case_name][flow_label] = future.result()
         runtime = time.perf_counter() - start
         self.events.emit("suite_finished", jobs=len(jobs), runtime_s=runtime)
         return SuiteReport(results=results, runtime_s=runtime)
@@ -387,17 +465,39 @@ class Session:
         return f"Session({self.design!r})"
 
 
+def _suite_process_job(
+    case_name: str,
+    source: CaseSource,
+    spec: FlowSpec,
+    options: Optional[SmartlyOptions],
+    check: bool,
+    engine: str,
+) -> RunReport:
+    """Top-level worker for ``executor="process"`` (must be picklable).
+
+    A pickled Module *is* already a private copy, so no extra clone is
+    needed; factories build fresh modules inside the worker.
+    """
+    module = source() if callable(source) else source
+    session = Session(module, options=options, engine=engine)
+    return session.run(spec, check=check)
+
+
 def suite_cases(
     names: Sequence[str], build: Callable[[str], Module]
 ) -> Dict[str, Callable[[], Module]]:
     """Build a :meth:`Session.run_suite` case mapping from names + builder.
 
     Each factory calls ``build(name)`` inside the worker, so construction
-    parallelizes and no late-binding lambda pitfalls leak to callers::
+    parallelizes and no late-binding lambda pitfalls leak to callers.
+    ``functools.partial`` (not a lambda) keeps the factories picklable for
+    ``run_suite(..., executor="process")``::
 
         Session().run_suite(suite_cases(CASE_NAMES, build_case), flows)
     """
-    return {name: (lambda n=name: build(n)) for name in names}
+    import functools
+
+    return {name: functools.partial(build, name) for name in names}
 
 
 __all__ = [

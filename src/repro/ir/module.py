@@ -1,8 +1,27 @@
-"""Module and Cell containers, plus the :class:`SigMap` alias resolver."""
+"""Module and Cell containers, plus the :class:`SigMap` alias resolver.
+
+Structural edits are observable: :meth:`Module.add_listener` registers a
+callable that receives a :class:`ModuleEdit` record for every ``add_cell`` /
+``remove_cell`` / ``Cell.set_port`` / ``connect`` / wire edit.  The shared
+live :class:`~repro.ir.walker.NetIndex` returned by :meth:`Module.net_index`
+subscribes to this channel and patches itself instead of being rebuilt at
+every pass entry; the pass framework subscribes a recorder that accumulates
+each pass's touched-cell set for the incremental dirty-set engine.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from .cells import (
     CellType,
@@ -14,6 +33,39 @@ from .cells import (
     port_spec,
 )
 from .signals import SigBit, SigLike, SigSpec, Wire
+
+# -- structural edit notifications ---------------------------------------------
+
+CELL_ADDED = "cell_added"
+CELL_REMOVED = "cell_removed"
+PORT_CHANGED = "port_changed"
+CONNECTED = "connected"
+CONNECTIONS_REPLACED = "connections_replaced"
+WIRE_ADDED = "wire_added"
+WIRE_REMOVED = "wire_removed"
+
+
+@dataclass(frozen=True)
+class ModuleEdit:
+    """One structural edit, published to :meth:`Module.add_listener` hooks.
+
+    ``ports`` carries a snapshot of the cell's connections at event time for
+    ``cell_added``/``cell_removed`` (the live cell object may be rewired
+    later, so listeners replaying buffered edits need the historic specs).
+    """
+
+    kind: str
+    cell: Optional[Cell] = None
+    port: Optional[str] = None
+    old: Optional[SigSpec] = None
+    new: Optional[SigSpec] = None
+    ports: Optional[Dict[str, SigSpec]] = None
+    lhs: Optional[SigSpec] = None
+    rhs: Optional[SigSpec] = None
+    wire: Optional[Wire] = None
+
+
+ModuleListener = Callable[[ModuleEdit], None]
 
 
 class Cell:
@@ -29,7 +81,7 @@ class Cell:
     """
 
     __slots__ = ("name", "type", "width", "n", "connections", "attributes",
-                 "version")
+                 "version", "_module")
 
     def __init__(self, name: str, ctype: CellType, width: int, n: int = 1):
         if width < 1:
@@ -43,6 +95,9 @@ class Cell:
         self.connections: Dict[str, SigSpec] = {}
         self.attributes: dict = {}
         self.version = 0
+        #: owning module once registered (set by Module, cleared on removal);
+        #: rewires of registered cells publish ModuleEdit notifications
+        self._module: Optional["Module"] = None
 
     def port(self, name: str) -> SigSpec:
         """The SigSpec connected to the given port."""
@@ -64,8 +119,14 @@ class Cell:
                 f"cell {self.name!r} ({self.type}): port {name} expects width "
                 f"{want}, got {len(sig)}"
             )
+        old = self.connections.get(name)
         self.connections[name] = sig
         self.version += 1
+        module = self._module
+        if module is not None and module._listeners:
+            module._notify(ModuleEdit(
+                PORT_CHANGED, cell=self, port=name, old=old, new=sig
+            ))
 
     @property
     def is_combinational(self) -> bool:
@@ -119,6 +180,51 @@ class Module:
         #: list of (lhs, rhs) bit-aliases; lhs is driven by rhs
         self.connections: List[Tuple[SigSpec, SigSpec]] = []
         self._name_counter = 0
+        self._listeners: List[ModuleListener] = []
+        self._net_index = None  # shared live NetIndex (lazy)
+
+    # -- edit notifications --------------------------------------------------
+
+    def add_listener(self, listener: ModuleListener) -> ModuleListener:
+        """Register a structural-edit observer; returns it for nesting."""
+        self._listeners.append(listener)
+        return listener
+
+    def remove_listener(self, listener: ModuleListener) -> None:
+        self._listeners.remove(listener)
+
+    def _notify(self, edit: ModuleEdit) -> None:
+        for listener in tuple(self._listeners):
+            listener(edit)
+
+    def net_index(self):
+        """The shared live :class:`~repro.ir.walker.NetIndex`.
+
+        Created on first use and kept current through the edit-notification
+        channel, so passes query it directly instead of rebuilding an index
+        at every pass entry.  All structural edits must go through the
+        notifying ``Module``/``Cell`` APIs for the instance to stay valid.
+        """
+        if self._net_index is None:
+            from .walker import NetIndex
+
+            self._net_index = NetIndex(self, live=True)
+        return self._net_index
+
+    # -- pickling ------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        # listeners (live indexes, pass recorders) are session-local; the
+        # process-pool suite runner pickles bare netlists only
+        state = dict(self.__dict__)
+        state["_listeners"] = []
+        state["_net_index"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._listeners = []
+        self._net_index = None
 
     # -- naming ------------------------------------------------------------
 
@@ -144,6 +250,8 @@ class Module:
             raise ValueError(f"duplicate wire name {name!r} in module {self.name!r}")
         wire = Wire(name, width, port_input, port_output)
         self.wires[name] = wire
+        if self._listeners:
+            self._notify(ModuleEdit(WIRE_ADDED, wire=wire))
         return wire
 
     def wire(self, name: str) -> Wire:
@@ -151,7 +259,9 @@ class Module:
 
     def remove_wire(self, wire: Union[str, Wire]) -> None:
         name = wire if isinstance(wire, str) else wire.name
-        del self.wires[name]
+        removed = self.wires.pop(name)
+        if self._listeners:
+            self._notify(ModuleEdit(WIRE_REMOVED, wire=removed))
 
     @property
     def inputs(self) -> List[Wire]:
@@ -199,6 +309,11 @@ class Module:
                 else:
                     raise ValueError(f"cell {name!r}: missing input port {pname}")
         self.cells[name] = cell
+        cell._module = self
+        if self._listeners:
+            self._notify(ModuleEdit(
+                CELL_ADDED, cell=cell, ports=dict(cell.connections)
+            ))
         return cell
 
     def cell(self, name: str) -> Cell:
@@ -206,7 +321,12 @@ class Module:
 
     def remove_cell(self, cell: Union[str, Cell]) -> None:
         name = cell if isinstance(cell, str) else cell.name
-        del self.cells[name]
+        removed = self.cells.pop(name)
+        removed._module = None
+        if self._listeners:
+            self._notify(ModuleEdit(
+                CELL_REMOVED, cell=removed, ports=dict(removed.connections)
+            ))
 
     # -- connections ---------------------------------------------------------
 
@@ -229,6 +349,21 @@ class Module:
             if bit.is_const:
                 raise ValueError("cannot drive a constant bit")
         self.connections.append((lhs_spec, rhs_spec))
+        if self._listeners:
+            self._notify(ModuleEdit(CONNECTED, lhs=lhs_spec, rhs=rhs_spec))
+
+    def replace_connections(
+        self, connections: Iterable[Tuple[SigSpec, SigSpec]]
+    ) -> None:
+        """Replace the alias list wholesale (``opt_clean``'s dead-alias sweep).
+
+        Listeners are told via a single ``connections_replaced`` edit; the
+        live index relies on the caller only dropping aliases whose lhs is
+        completely unread (canonical mapping of reachable bits unchanged).
+        """
+        self.connections = list(connections)
+        if self._listeners:
+            self._notify(ModuleEdit(CONNECTIONS_REPLACED))
 
     def sigmap(self) -> "SigMap":
         return SigMap(self)
@@ -272,6 +407,7 @@ class Module:
             for pname, spec in cell.connections.items():
                 copy_cell.connections[pname] = translate(spec)
             other.cells[cell.name] = copy_cell
+            copy_cell._module = other
         for lhs, rhs in self.connections:
             other.connections.append((translate(lhs), translate(rhs)))
         return other

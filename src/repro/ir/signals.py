@@ -144,6 +144,12 @@ class SigBit:
     def __hash__(self) -> int:
         return self._hash
 
+    def __reduce__(self):
+        # immutability blocks the default slots state protocol (setattr
+        # raises), so pickling goes back through the constructor; wire
+        # identity within one pickled graph is preserved by the pickle memo
+        return (SigBit, (self.wire, self.offset, self.state))
+
     def __repr__(self) -> str:
         if self.state is not None:
             return f"<{self.state}>"
@@ -284,6 +290,9 @@ class SigSpec:
 
     def __hash__(self) -> int:
         return self._hash
+
+    def __reduce__(self):
+        return (SigSpec, (self._bits,))
 
     @property
     def bits(self) -> Tuple[SigBit, ...]:

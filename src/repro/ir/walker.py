@@ -1,9 +1,27 @@
 """Netlist graph indices and traversal utilities.
 
-:class:`NetIndex` snapshots a module into bit-level driver/reader maps and
+:class:`NetIndex` views a module as bit-level driver/reader maps and
 provides topological ordering, cone extraction and ancestor/descendant
 queries.  All queries operate on *canonical* bits (alias connections are
 resolved through the module's :class:`~repro.ir.module.SigMap`).
+
+Two modes:
+
+* ``NetIndex(module)`` — a **snapshot**: structural edits to the module
+  invalidate it and a new index must be built (the historic eager
+  build–analyze–edit–rebuild cycle, kept as the ``engine="eager"``
+  reference path);
+* ``module.net_index()`` — a **live** instance subscribed to the module's
+  edit-notification channel: every ``set_port``/``connect``/``add_cell``/
+  ``remove_cell`` patches the driver/reader maps, the alias union-find and
+  the memoized topological order in place, so optimization passes share one
+  index across the whole pipeline instead of rebuilding at every entry.
+
+Live indexes additionally support :meth:`NetIndex.frozen`: inside the
+context, incoming edits are buffered and queries keep answering from the
+pre-edit snapshot — exactly the stale-by-design semantics the muxtree
+passes rely on — and the buffer is applied (or the index rebuilt, when the
+edit burst is larger than the module) on exit.
 
 Terminology (matches the paper):
 
@@ -16,10 +34,12 @@ Terminology (matches the paper):
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
-from .cells import CellType
-from .module import Cell, Module, SigMap
+from . import module as module_mod
+from .cells import CellType, input_ports, output_ports
+from .module import Cell, Module, ModuleEdit, SigMap
 from .signals import SigBit, SigSpec
 
 
@@ -27,26 +47,35 @@ class DriverConflictError(Exception):
     """A bit is driven by more than one cell output / connection."""
 
 
+#: a driver/reader record: (cell, port name, bit offset in that port)
+Entry = Tuple[Cell, str, int]
+
+
 class NetIndex:
-    """Bit-level view of a module, built once and queried many times.
+    """Bit-level view of a module, built once and queried many times."""
 
-    The index is a snapshot: structural edits to the module invalidate it and
-    a new index must be built.  Passes in :mod:`repro.opt` and
-    :mod:`repro.core` follow a build–analyze–edit–rebuild cycle.
-    """
-
-    def __init__(self, module: Module):
+    def __init__(self, module: Module, live: bool = False):
         self.module = module
+        self.live = live
         self.sigmap = module.sigmap()
         #: canonical bit -> (cell, port name, bit offset in that port)
-        self.driver: Dict[SigBit, Tuple[Cell, str, int]] = {}
+        self.driver: Dict[SigBit, Entry] = {}
         #: canonical bit -> list of (cell, port name, offset) readers
-        self.readers: Dict[SigBit, List[Tuple[Cell, str, int]]] = {}
+        self.readers: Dict[SigBit, List[Entry]] = {}
+        #: transiently conflicting drivers (edit sequences that alias a
+        #: still-driven bit before deleting its cell); queries raise while
+        #: a conflict is visible, mirroring the snapshot builder
+        self._extra_drivers: Dict[SigBit, List[Entry]] = {}
+        #: canonical bits observable at module outputs (alias-closed)
+        self._output_bits: Set[SigBit] = set()
+        self._topo_cache: Optional[List[Cell]] = None
+        self._frozen = 0
+        self._pending: List[ModuleEdit] = []
         self._build()
+        if live:
+            module.add_listener(self._on_edit)
 
     def _build(self) -> None:
-        from .cells import input_ports, output_ports
-
         for cell in self.module.cells.values():
             for pname in output_ports(cell.type):
                 for offset, bit in enumerate(cell.connections[pname]):
@@ -68,6 +97,181 @@ class NetIndex:
                     if cbit.is_const:
                         continue
                     self.readers.setdefault(cbit, []).append((cell, pname, offset))
+        for wire in self.module.outputs:
+            for i in range(wire.width):
+                self._output_bits.add(self.sigmap.map_bit(SigBit(wire, i)))
+
+    # -- live maintenance ----------------------------------------------------
+
+    def _on_edit(self, edit: ModuleEdit) -> None:
+        if self._frozen:
+            self._pending.append(edit)
+        else:
+            self._apply(edit)
+
+    @contextmanager
+    def frozen(self) -> Iterator["NetIndex"]:
+        """Buffer incoming edits; queries answer from the entry snapshot.
+
+        Passes that analyse with a fixed view while editing (the muxtree
+        family) wrap their execution in this context: inside, the index is
+        exactly what an eager pass-entry rebuild would have produced; the
+        buffered edits are applied on exit.  Nestable.
+        """
+        self._frozen += 1
+        try:
+            yield self
+        finally:
+            self._frozen -= 1
+            if not self._frozen and self._pending:
+                pending, self._pending = self._pending, []
+                # a burst larger than the module is cheaper to rebuild
+                if len(pending) > max(64, 2 * len(self.module.cells)):
+                    self._rebuild()
+                else:
+                    for edit in pending:
+                        self._apply(edit)
+
+    def _rebuild(self) -> None:
+        """Full resync fallback (also refreshes the alias union-find)."""
+        self.sigmap = self.module.sigmap()
+        self.driver = {}
+        self.readers = {}
+        self._extra_drivers = {}
+        self._output_bits = set()
+        self._topo_cache = None
+        self._build()
+
+    def _apply(self, edit: ModuleEdit) -> None:
+        kind = edit.kind
+        if kind == module_mod.PORT_CHANGED:
+            self._topo_cache = None
+            is_out = edit.port in output_ports(edit.cell.type)
+            if edit.old is not None:
+                self._deindex_port(edit.cell, edit.port, edit.old, is_out)
+            self._index_port(edit.cell, edit.port, edit.new, is_out)
+        elif kind == module_mod.CELL_ADDED:
+            self._topo_cache = None
+            outs = set(output_ports(edit.cell.type))
+            for pname, spec in edit.ports.items():
+                self._index_port(edit.cell, pname, spec, pname in outs)
+        elif kind == module_mod.CELL_REMOVED:
+            self._topo_cache = None
+            outs = set(output_ports(edit.cell.type))
+            for pname, spec in edit.ports.items():
+                self._deindex_port(edit.cell, pname, spec, pname in outs)
+        elif kind == module_mod.CONNECTED:
+            self._topo_cache = None
+            for lbit, rbit in zip(edit.lhs, edit.rhs):
+                self._merge(lbit, rbit)
+        elif kind == module_mod.WIRE_ADDED:
+            wire = edit.wire
+            if wire.port_output:
+                for i in range(wire.width):
+                    self._output_bits.add(self.sigmap.map_bit(SigBit(wire, i)))
+        # CONNECTIONS_REPLACED / WIRE_REMOVED need no patching: opt_clean
+        # only drops aliases whose lhs class is unreachable from any cell
+        # port, kept connection or module output, so the canonical mapping
+        # of every queriable bit is unchanged (stale union-find entries for
+        # dead bits are harmless).
+
+    def _index_port(self, cell: Cell, pname: str, spec: SigSpec,
+                    is_out: bool) -> None:
+        map_bit = self.sigmap.map_bit
+        if is_out:
+            for offset, bit in enumerate(spec):
+                cbit = map_bit(bit)
+                entry = (cell, pname, offset)
+                if cbit.is_const or cbit in self.driver:
+                    # transient conflict: tolerated until the losing cell is
+                    # removed; queries raise if observed in the meantime
+                    self._extra_drivers.setdefault(cbit, []).append(entry)
+                else:
+                    self.driver[cbit] = entry
+        else:
+            for offset, bit in enumerate(spec):
+                cbit = map_bit(bit)
+                if cbit.is_const:
+                    continue
+                self.readers.setdefault(cbit, []).append((cell, pname, offset))
+
+    def _deindex_port(self, cell: Cell, pname: str, spec: SigSpec,
+                      is_out: bool) -> None:
+        map_bit = self.sigmap.map_bit
+        for offset, bit in enumerate(spec):
+            cbit = map_bit(bit)
+            if is_out:
+                cur = self.driver.get(cbit)
+                if cur is not None and cur[0] is cell and cur[1] == pname \
+                        and cur[2] == offset:
+                    extras = self._extra_drivers.get(cbit)
+                    if extras:
+                        self.driver[cbit] = extras.pop(0)
+                        if not extras:
+                            del self._extra_drivers[cbit]
+                    else:
+                        del self.driver[cbit]
+                    continue
+                extras = self._extra_drivers.get(cbit)
+                if extras:
+                    for i, entry in enumerate(extras):
+                        if entry[0] is cell and entry[1] == pname \
+                                and entry[2] == offset:
+                            extras.pop(i)
+                            break
+                    if not extras:
+                        del self._extra_drivers[cbit]
+            else:
+                if cbit.is_const:
+                    continue
+                entries = self.readers.get(cbit)
+                if entries:
+                    for i, entry in enumerate(entries):
+                        if entry[0] is cell and entry[1] == pname \
+                                and entry[2] == offset:
+                            entries.pop(i)
+                            break
+                    if not entries:
+                        del self.readers[cbit]
+
+    def _merge(self, lbit: SigBit, rbit: SigBit) -> None:
+        """Union two alias classes and re-key their map entries."""
+        ra = self.sigmap.map_bit(lbit)
+        rb = self.sigmap.map_bit(rbit)
+        if ra == rb:
+            return
+        self.sigmap.add(ra, rb)
+        root = self.sigmap.map_bit(ra)
+        loser = rb if root == ra else ra
+        if root.is_const:
+            # constants carry no reader lists (matches the snapshot builder);
+            # a surviving driver entry becomes a visible conflict
+            self.readers.pop(loser, None)
+        else:
+            moved = self.readers.pop(loser, None)
+            if moved:
+                self.readers.setdefault(root, []).extend(moved)
+        entry = self.driver.pop(loser, None)
+        if entry is not None:
+            if root.is_const or root in self.driver:
+                self._extra_drivers.setdefault(root, []).append(entry)
+            else:
+                self.driver[root] = entry
+        extras = self._extra_drivers.pop(loser, None)
+        if extras:
+            self._extra_drivers.setdefault(root, []).extend(extras)
+        if loser in self._output_bits:
+            self._output_bits.discard(loser)
+            self._output_bits.add(root)
+
+    def check_consistent(self) -> None:
+        """Raise when a driver conflict is currently visible."""
+        if self._extra_drivers:
+            cbit, entries = next(iter(self._extra_drivers.items()))
+            raise DriverConflictError(
+                f"bit {cbit!r} has {len(entries) + 1} drivers "
+                f"(e.g. {entries[0][0].name!r})"
+            )
 
     # -- basic queries -------------------------------------------------------
 
@@ -76,7 +280,14 @@ class NetIndex:
 
     def driver_cell(self, bit: SigBit) -> Optional[Cell]:
         """The combinational-or-dff cell driving ``bit``, or None."""
-        entry = self.driver.get(self.sigmap.map_bit(bit))
+        cbit = self.sigmap.map_bit(bit)
+        entry = self.driver.get(cbit)
+        if self._extra_drivers and cbit in self._extra_drivers:
+            other = self._extra_drivers[cbit][0][0]
+            first = entry[0].name if entry else "a constant"
+            raise DriverConflictError(
+                f"bit {cbit!r} driven by both {first!r} and {other.name!r}"
+            )
         return entry[0] if entry else None
 
     def comb_driver(self, bit: SigBit) -> Optional[Cell]:
@@ -92,6 +303,15 @@ class NetIndex:
         if cbit.is_const:
             return True
         return self.comb_driver(cbit) is None
+
+    def is_output_bit(self, bit: SigBit) -> bool:
+        """True when any alias of ``bit`` is a module output bit."""
+        return self.sigmap.map_bit(bit) in self._output_bits
+
+    @property
+    def output_bits(self) -> Set[SigBit]:
+        """Canonical bits observable at module outputs (do not mutate)."""
+        return self._output_bits
 
     def fanout_count(self, bit: SigBit) -> int:
         cbit = self.sigmap.map_bit(bit)
@@ -112,8 +332,15 @@ class NetIndex:
         """Combinational cells in topological order (fanin before fanout).
 
         DFF cells are excluded; their outputs count as sources.  Raises
-        :class:`CombLoopError` on combinational cycles.
+        :class:`CombLoopError` on combinational cycles.  The order is
+        memoized; structural edits invalidate the memo (live mode patches
+        it automatically, snapshot mode relies on the rebuild discipline).
         """
+        if self._topo_cache is None:
+            self._topo_cache = self._compute_topo()
+        return list(self._topo_cache)
+
+    def _compute_topo(self) -> List[Cell]:
         order: List[Cell] = []
         state: Dict[str, int] = {}  # 0 = visiting, 1 = done
 

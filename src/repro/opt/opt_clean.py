@@ -7,19 +7,27 @@ the pass that actually reaps muxes and eq gates after the muxtree passes
 rewire around them (the ``RemoveUnusedCell`` step of the paper's
 Algorithm 1).
 
+The incremental engine replaces the whole-module mark-sweep with a
+reference-count cascade over the shared live index: a cell whose outputs
+have no readers (and reach no output alias) dies, its fanin drivers are
+revisited, and everything far from the round's edits is left alone — a
+cell can only *become* dead when one of its readers was removed or
+rewired, which puts it inside the dirty closure.
+
 DFF cells are always kept: removing state elements would change the
 sequential-equivalence signature the CEC relies on.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from collections import deque
+from typing import Dict, List, Optional, Set
 
 from ..ir.cells import CellType, input_ports
 from ..ir.module import Cell, Module
 from ..ir.signals import SigBit
 from ..ir.walker import NetIndex
-from .pass_base import Pass, PassResult, register_pass
+from .pass_base import DirtySet, Pass, PassResult, register_pass
 
 
 @register_pass
@@ -27,12 +35,38 @@ class OptClean(Pass):
     """Remove unreachable cells and unused internal wires."""
 
     name = "opt_clean"
+    incremental_capable = True
+    dirty_radius = 1
 
     def __init__(self, remove_wires: bool = True):
         self.remove_wires = remove_wires
 
     def execute(self, module: Module, result: PassResult) -> None:
-        index = NetIndex(module)
+        self._mark_sweep(module, result, NetIndex(module))
+        if self.remove_wires:
+            self._sweep_wires(module, result)
+
+    def execute_incremental(
+        self, module: Module, result: PassResult, dirty: Optional[DirtySet]
+    ) -> None:
+        index = module.net_index()
+        if dirty is None:
+            self._mark_sweep(module, result, index)
+            if self.remove_wires:
+                self._sweep_wires(module, result)
+            return
+        self._reap_dead(module, result, index, dirty)
+        # the alias/wire sweep must run whenever this round edited anything,
+        # not only when cells died here: a rewire elsewhere in the round can
+        # strand a connection whose lhs is no longer read, and skipping the
+        # sweep would leave debris the eager engine removes
+        if dirty and self.remove_wires:
+            self._sweep_wires(module, result)
+
+    # -- full liveness mark-sweep (seeding rounds + eager path) ----------------
+
+    def _mark_sweep(self, module: Module, result: PassResult,
+                    index: NetIndex) -> None:
         live_cells: Set[str] = set()
         worklist: List[SigBit] = []
 
@@ -58,8 +92,44 @@ class OptClean(Pass):
             result.bump("cells_removed")
             result.bump(f"removed_{cell.type}", 1)
 
-        if self.remove_wires:
-            self._sweep_wires(module, result)
+    # -- incremental reference-count cascade -----------------------------------
+
+    def _reap_dead(self, module: Module, result: PassResult, index: NetIndex,
+                   dirty: DirtySet) -> int:
+        sigmap = index.sigmap
+        queue = deque(sorted(dirty.dead_candidates(index)))
+        queued = set(queue)
+        removed = 0
+        while queue:
+            name = queue.popleft()
+            queued.discard(name)
+            cell = module.cells.get(name)
+            if cell is None or cell.type is CellType.DFF:
+                continue
+            dead = True
+            for bit in cell.output_bits():
+                cbit = sigmap.map_bit(bit)
+                if index.readers.get(cbit) or index.is_output_bit(cbit):
+                    dead = False
+                    break
+            if not dead:
+                continue
+            fanin: Set[str] = set()
+            for bit in cell.input_bits():
+                entry = index.driver.get(sigmap.map_bit(bit))
+                if entry is not None and entry[0].is_combinational:
+                    fanin.add(entry[0].name)
+            module.remove_cell(cell)
+            result.bump("cells_removed")
+            result.bump(f"removed_{cell.type}", 1)
+            removed += 1
+            for fname in sorted(fanin):
+                if fname not in queued and fname in module.cells:
+                    queued.add(fname)
+                    queue.append(fname)
+        return removed
+
+    # -- wire / alias sweep ----------------------------------------------------
 
     def _sweep_wires(self, module: Module, result: PassResult) -> None:
         used: Set[int] = set()
@@ -97,7 +167,7 @@ class OptClean(Pass):
         dropped = len(pending)
         if dropped:
             result.bump("connections_removed", dropped)
-        module.connections = kept_connections
+        module.replace_connections(kept_connections)
 
         for wire in list(module.wires.values()):
             if wire.is_port or id(wire) in used:

@@ -16,13 +16,14 @@ Three rewrite families, applied until fixpoint by the surrounding flow:
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Dict, List, Optional
 
 from ..ir.cells import CellType, input_ports
 from ..ir.module import Cell, Module
 from ..ir.signals import BIT0, BIT1, SigBit, SigSpec, State, const_bit
 from ..sim.eval import eval_cell_ternary
-from .pass_base import Pass, PassResult, register_pass
+from .pass_base import DirtySet, Pass, PassResult, register_pass
 
 
 @register_pass
@@ -30,6 +31,8 @@ class OptExpr(Pass):
     """Fold constants and trivial identities; replaces cells by connections."""
 
     name = "opt_expr"
+    incremental_capable = True
+    dirty_radius = 1
 
     def execute(self, module: Module, result: PassResult) -> None:
         changed = True
@@ -41,6 +44,66 @@ class OptExpr(Pass):
                     continue
                 if self._try_cell(module, cell, sigmap, result):
                     changed = True
+
+    def execute_incremental(
+        self, module: Module, result: PassResult, dirty: Optional[DirtySet]
+    ) -> None:
+        """Worklist folding over the shared live index.
+
+        Instead of re-sweeping the whole module until quiet (and rebuilding
+        the sigmap per sweep), fold candidates come off a queue: the dirty
+        closure seeds it, and every successful fold enqueues the readers of
+        the folded output, whose inputs just became (more) constant.  The
+        live index's union-find absorbs each new alias immediately, so
+        canonicalisation stays exact without any rebuild.
+        """
+        from ..ir import module as module_mod
+
+        index = module.net_index()
+        sigmap = index.sigmap
+        if dirty is None:
+            queue = deque(module.cells)
+        else:
+            queue = deque(sorted(dirty.closure(index, self.dirty_radius)))
+        queued = set(queue)
+        new_cells: List[str] = []
+
+        def watch_added(edit) -> None:
+            if edit.kind == module_mod.CELL_ADDED:
+                new_cells.append(edit.cell.name)
+
+        module.add_listener(watch_added)
+        try:
+            while queue:
+                name = queue.popleft()
+                queued.discard(name)
+                cell = module.cells.get(name)
+                if cell is None or not cell.is_combinational:
+                    continue
+                # capture downstream cells before the fold rewires the net
+                affected = set()
+                for bit in cell.output_bits():
+                    for rcell, _port, _off in index.readers.get(
+                        sigmap.map_bit(bit), ()
+                    ):
+                        affected.add(rcell.name)
+                if self._try_cell(module, cell, sigmap, result):
+                    affected.update(new_cells)  # e.g. pmux lowered to a mux
+                    new_cells.clear()
+                    if name in module.cells:
+                        # pmux shrink kept the cell: it may fold further
+                        affected.add(name)
+                    # the fold aliased this cell's output away: its true
+                    # readers must seed the next round even if they do not
+                    # fold now (their merge keys / tree classification
+                    # changed)
+                    result.touch_readers(affected)
+                    for rname in sorted(affected):
+                        if rname not in queued and rname in module.cells:
+                            queued.add(rname)
+                            queue.append(rname)
+        finally:
+            module.remove_listener(watch_added)
 
     # -- helpers ---------------------------------------------------------------
 

@@ -6,16 +6,21 @@ survivor's.  Merging runs to a fixpoint because collapsing one pair can make
 downstream cells identical.
 
 Commutative inputs (and/or/xor/xnor/add/eq/ne and the logic_* pair forms)
-are sorted before hashing so ``and(a, b)`` merges with ``and(b, a)``.
+are sorted before hashing so ``and(a, b)`` merges with ``and(b, a)``.  The
+sort key is *stable across interpreter runs* — (wire name, offset, explicit
+constant encoding), never ``id()`` — so merge order, survivor names, event
+streams and stats are reproducible run to run.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from collections import deque
+from typing import Dict, Optional, Tuple
 
 from ..ir.cells import CellType, input_ports, output_ports
 from ..ir.module import Module
-from .pass_base import Pass, PassResult, register_pass
+from ..ir.signals import SigBit
+from .pass_base import DirtySet, Pass, PassResult, register_pass
 
 _COMMUTATIVE = {
     CellType.AND,
@@ -32,14 +37,54 @@ _COMMUTATIVE = {
 }
 
 
+def _bit_sort_key(bit: SigBit) -> Tuple[int, str, int, int]:
+    """A total order on canonical bits that is identical in every run.
+
+    Wire bits order by (name, offset); constants sort after wire bits and
+    order by their explicit state value.  The historic key used
+    ``id(bit.wire)`` (different every interpreter run) and the and/or
+    precedence accident ``state is not None and state.value or 0`` (which
+    collapsed constant 0 onto wire bits), making merge order — and with it
+    survivor names and stats — nondeterministic across runs.
+    """
+    if bit.is_const:
+        return (1, "", 0, bit.state.value)
+    return (0, bit.wire.name, bit.offset, 0)
+
+
+def _spec_sort_key(spec) -> Tuple[Tuple[int, str, int, int], ...]:
+    return tuple(_bit_sort_key(bit) for bit in spec)
+
+
 @register_pass
 class OptMerge(Pass):
     """Alias outputs of structurally identical cells and drop duplicates."""
 
     name = "opt_merge"
+    incremental_capable = True
+    dirty_radius = 1
 
     def __init__(self, merge_dff: bool = True):
         self.merge_dff = merge_dff
+        # persistent incremental state: structural-key table of the module
+        # as of the previous invocation, revalidated over the dirty closure
+        self._state_module: Optional[Module] = None
+        self._key_of: Dict[str, object] = {}
+        self._table: Dict[object, str] = {}
+
+    def _cell_key(self, cell, sigmap) -> Optional[Tuple]:
+        if cell.type is CellType.DFF and not self.merge_dff:
+            return None
+        specs = [
+            tuple(sigmap.map_spec(cell.connections[p]))
+            for p in input_ports(cell.type)
+        ]
+        if cell.type in _COMMUTATIVE:
+            # any total order consistent within this sweep would merge
+            # correctly; a run-stable one additionally makes results
+            # reproducible (see _bit_sort_key)
+            specs.sort(key=_spec_sort_key)
+        return ((cell.type.value, cell.width, cell.n), tuple(specs))
 
     def execute(self, module: Module, result: PassResult) -> None:
         changed = True
@@ -48,23 +93,9 @@ class OptMerge(Pass):
             sigmap = module.sigmap()
             table: Dict[Tuple, str] = {}
             for cell in list(module.cells.values()):
-                if cell.type is CellType.DFF and not self.merge_dff:
+                key = self._cell_key(cell, sigmap)
+                if key is None:
                     continue
-                key_parts = [cell.type.value, cell.width, cell.n]
-                specs = [
-                    tuple(sigmap.map_spec(cell.connections[p]))
-                    for p in input_ports(cell.type)
-                ]
-                if cell.type in _COMMUTATIVE:
-                    # any total order consistent within this sweep will do
-                    specs.sort(
-                        key=lambda spec: tuple(
-                            (id(bit.wire), bit.offset, bit.state is not None
-                             and bit.state.value or 0)
-                            for bit in spec
-                        )
-                    )
-                key = (tuple(key_parts), tuple(specs))
                 survivor_name = table.get(key)
                 if survivor_name is None:
                     table[key] = cell.name
@@ -75,3 +106,63 @@ class OptMerge(Pass):
                 module.remove_cell(cell)
                 result.bump("cells_merged")
                 changed = True
+
+    def execute_incremental(
+        self, module: Module, result: PassResult, dirty: Optional[DirtySet]
+    ) -> None:
+        """Worklist dedup over the live index's union-find.
+
+        The structural-key table persists on the pass object between rounds:
+        a full seeding sweep builds it once, later rounds re-key only the
+        dirty closure (a cell's key can only change when an adjacent net was
+        edited) and cascade through the readers of every merged output.
+        """
+        index = module.net_index()
+        sigmap = index.sigmap
+        if dirty is None or self._state_module is not module:
+            self._state_module = module
+            self._key_of = {}
+            self._table = {}
+            queue = deque(module.cells)
+        else:
+            queue = deque(sorted(dirty.closure(index, self.dirty_radius)))
+        key_of, table = self._key_of, self._table
+        while queue:
+            name = queue.popleft()
+            cell = module.cells.get(name)
+            old_key = key_of.get(name)
+            new_key = self._cell_key(cell, sigmap) if cell is not None else None
+            if new_key != old_key:
+                if old_key is not None and table.get(old_key) == name:
+                    del table[old_key]
+                if new_key is None:
+                    key_of.pop(name, None)
+                else:
+                    key_of[name] = new_key
+            if new_key is None:
+                continue
+            owner = table.get(new_key)
+            if owner is None or owner == name:
+                table[new_key] = name if owner is None else owner
+                continue
+            owner_cell = module.cells.get(owner)
+            if owner_cell is None:
+                table[new_key] = name  # stale entry: claim the key
+                continue
+            # merge `cell` into `owner_cell`; readers of the duplicate's
+            # outputs canonicalise differently afterwards, so revisit them
+            affected = set()
+            for bit in cell.output_bits():
+                for rcell, _port, _off in index.readers.get(
+                    sigmap.map_bit(bit), ()
+                ):
+                    affected.add(rcell.name)
+            for pname in output_ports(cell.type):
+                module.connect(cell.connections[pname], owner_cell.connections[pname])
+            module.remove_cell(cell)
+            key_of.pop(name, None)
+            result.bump("cells_merged")
+            result.touch_readers(affected)
+            for rname in sorted(affected):
+                if rname in module.cells:
+                    queue.append(rname)

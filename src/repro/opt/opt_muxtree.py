@@ -29,16 +29,143 @@ Bypassed muxes are left dangling and reaped by ``opt_clean``.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..ir.cells import CellType, input_ports
 from ..ir.module import Cell, Module
 from ..ir.signals import BIT0, BIT1, SigBit, SigSpec, State
 from ..ir.walker import NetIndex
-from .pass_base import Pass, PassResult, register_pass
+from .pass_base import DirtySet, Pass, PassResult, register_pass
 
 #: parent edge: (parent cell, port name, pmux branch index or None)
 Edge = Tuple[Cell, str, Optional[int]]
+
+
+class LazyEdgeMap(dict):
+    """``child name -> parent Edge`` computed per child on first access.
+
+    The eager engine precomputes the whole map with
+    :func:`find_internal_edges` — an O(module) sweep at every pass entry.
+    The incremental engine only ever asks about the handful of trees near
+    an edit, so edges resolve lazily against the (frozen) live index and
+    cache in place; ``None`` entries mean "no internal edge" and traversal
+    updates (edge hand-downs, bypass detachments) simply overwrite them.
+    Only :meth:`get` is lazy — use it for all reads.
+    """
+
+    _MISSING = object()
+
+    def __init__(self, compute):
+        super().__init__()
+        self._compute = compute
+
+    def get(self, name, default=None):
+        value = dict.get(self, name, self._MISSING)
+        if value is self._MISSING:
+            value = self._compute(name)
+            dict.__setitem__(self, name, value)
+        return default if value is None else value
+
+    def __contains__(self, name):
+        # `name in map` on the eager (plain-dict) edge map means "has an
+        # internal edge", but on the lazy map it would only mean "cached" —
+        # a silent wrong answer; force callers through get()
+        raise TypeError("LazyEdgeMap membership is lazy; use .get(name)")
+
+
+def mux_of_spec(
+    index: NetIndex,
+    sigmap,
+    spec: SigSpec,
+    y_of: Optional[Dict[Tuple[SigBit, ...], str]] = None,
+) -> Optional[str]:
+    """Name of the mux whose whole canonical Y equals ``spec``, or None.
+
+    With ``y_of`` (the eager precomputed map) this is a dict lookup; in
+    dirty rounds it resolves through the index's driver map instead, so no
+    whole-module map_spec sweep is needed to answer the same question.
+    """
+    bits = tuple(sigmap.map_spec(spec))
+    if y_of is not None:
+        return y_of.get(bits)
+    if not bits or bits[0].is_const:
+        return None
+    entry = index.driver.get(bits[0])
+    if entry is None:
+        return None
+    cell = entry[0]
+    if not cell.is_mux:
+        return None
+    if tuple(sigmap.map_spec(cell.connections["Y"])) != bits:
+        return None
+    return cell.name
+
+
+def compute_internal_edge(
+    module: Module, index: NetIndex, child_name: str
+) -> Optional[Edge]:
+    """Per-child equivalent of :func:`find_internal_edges` (same rules)."""
+    child = module.cells.get(child_name)
+    if child is None or not child.is_mux:
+        return None
+    sigmap = index.sigmap
+    y_bits = tuple(sigmap.map_spec(child.connections["Y"]))
+    reader_edges: Set[Tuple[str, str]] = set()
+    for bit in y_bits:
+        if index.is_output_bit(bit):
+            return None
+        for cell, pname, _off in index.readers.get(bit, ()):
+            if not cell.is_mux or pname not in ("A", "B"):
+                return None
+            reader_edges.add((cell.name, pname))
+    if len(reader_edges) != 1:
+        return None
+    parent_name, pname = next(iter(reader_edges))
+    if parent_name == child_name or parent_name not in module.cells:
+        return None
+    parent = module.cells[parent_name]
+    return _match_edge(sigmap, parent, pname, y_bits)
+
+
+def dirty_tree_roots(
+    index: NetIndex,
+    module: Module,
+    parent_edge: Dict[str, Edge],
+    closure: Iterable[str],
+) -> Set[str]:
+    """Roots of every muxtree that a dirty-closure cell can influence.
+
+    Path facts flow from a tree's root downwards, so any change inside (or
+    within query radius of) a tree forces a re-traversal from its root; the
+    closure's non-mux cells pull in the muxes reading them (their select
+    patterns may have changed).
+    """
+
+    def root_of(name: str) -> str:
+        seen = set()
+        while name not in seen:
+            seen.add(name)
+            edge = parent_edge.get(name)
+            if edge is None:
+                break
+            name = edge[0].name
+        return name
+
+    roots: Set[str] = set()
+    for name in closure:
+        cell = module.cells.get(name)
+        if cell is None:
+            continue
+        if cell.is_mux:
+            roots.add(root_of(name))
+            continue
+        for bit in cell.output_bits():
+            for reader, _port, _off in index.readers.get(
+                index.sigmap.map_bit(bit), ()
+            ):
+                if reader.is_mux:
+                    roots.add(root_of(reader.name))
+    return roots
 
 
 def find_internal_edges(module: Module, index: NetIndex) -> Dict[str, Edge]:
@@ -113,29 +240,84 @@ class OptMuxtree(Pass):
     """Prune never-active muxtree branches using identical-signal knowledge."""
 
     name = "opt_muxtree"
+    incremental_capable = True
+    #: baseline pruning only consults path-identical signals, so an edit can
+    #: create new opportunities at most two cell hops away (the mux reading
+    #: a changed control/data net, plus its parent edge)
+    dirty_radius = 2
 
     def execute(self, module: Module, result: PassResult) -> None:
+        # eager reference path: private snapshot index, rebuilt per entry
+        self._optimize(module, result, NetIndex(module), dirty=None)
+
+    def execute_incremental(
+        self, module: Module, result: PassResult, dirty: Optional[DirtySet]
+    ) -> None:
+        index = module.net_index()
+        with index.frozen():
+            # frozen: traversal edits buffer, queries keep the entry
+            # snapshot — the same stale-by-design view the eager path gets
+            self._optimize(module, result, index, dirty=dirty)
+
+    def _optimize(
+        self,
+        module: Module,
+        result: PassResult,
+        index: NetIndex,
+        dirty: Optional[DirtySet],
+    ) -> None:
         self.module = module
         self.result = result
-        index = NetIndex(module)
         self.index = index  # kept for subclasses (snapshot; edits may stale it)
         self.sigmap = index.sigmap
 
-        self.muxes: Dict[str, Cell] = {
-            c.name: c for c in module.cells.values() if c.is_mux
-        }
-        if not self.muxes:
-            return
-        self.y_of: Dict[Tuple[SigBit, ...], str] = {}
-        for cell in self.muxes.values():
-            self.y_of[tuple(self.sigmap.map_spec(cell.connections["Y"]))] = cell.name
-
-        self.parent_edge = find_internal_edges(module, index)
+        if dirty is None:
+            # seeding sweep: precompute everything, walk every tree
+            self.muxes = {c.name: c for c in module.cells.values() if c.is_mux}
+            if not self.muxes:
+                return
+            self.parent_edge = find_internal_edges(module, index)
+            roots = [
+                c for c in self.muxes.values() if c.name not in self.parent_edge
+            ]
+        else:
+            # dirty rounds: no whole-module sweeps — resolve tree edges
+            # lazily and only touch trees reachable from the edit closure
+            closure = dirty.closure(index, self.dirty_radius)
+            if not closure:
+                return
+            self.parent_edge = LazyEdgeMap(
+                lambda name: compute_internal_edge(module, index, name)
+            )
+            root_names = dirty_tree_roots(
+                index, module, self.parent_edge, closure
+            )
+            if not root_names:
+                return
+            self.muxes = {c.name: c for c in module.cells.values() if c.is_mux}
+            # module order, like the eager sweep, so tree interactions match
+            roots = [
+                c
+                for c in self.muxes.values()
+                if c.name in root_names
+                and self.parent_edge.get(c.name) is None
+            ]
+        if dirty is None:
+            # eager/seeding sweeps answer Y-spec lookups from one dict
+            self.y_of: Optional[Dict[Tuple[SigBit, ...], str]] = {
+                tuple(self.sigmap.map_spec(c.connections["Y"])): c.name
+                for c in self.muxes.values()
+            }
+        else:
+            # dirty rounds resolve them through the index driver map instead
+            # of re-canonicalising every mux Y (see mux_of_spec)
+            self.y_of = None
         self.visited: Set[str] = set()
-
-        roots = [c for c in self.muxes.values() if c.name not in self.parent_edge]
         for root in roots:
             self._traverse(root, {})
+
+    def _mux_of(self, spec: SigSpec) -> Optional[str]:
+        return mux_of_spec(self.index, self.sigmap, spec, self.y_of)
 
     # -- fact handling -------------------------------------------------------------
 
@@ -192,7 +374,16 @@ class OptMuxtree(Pass):
         """
         edge = self.parent_edge.get(mux.name)
         if edge is None:
-            # root: alias the output and delete the cell
+            # root: alias the output and delete the cell.  The bypass merges
+            # Y into new_spec's alias class, so the recorder cannot see Y's
+            # own readers — report them explicitly for the next dirty round.
+            self.result.touch_readers(
+                reader.name
+                for bit in mux.connections["Y"]
+                for reader, _port, _off in self.index.readers.get(
+                    self.sigmap.map_bit(bit), ()
+                )
+            )
             self.module.connect(mux.connections["Y"], new_spec)
             self.module.remove_cell(mux)
             del self.muxes[mux.name]
@@ -209,14 +400,13 @@ class OptMuxtree(Pass):
                 parent.set_port("B", rebuilt)
         self.result.bump("muxes_bypassed")
         # hand the edge down to the mux now driving new_spec, if it was ours
-        child_name = self.y_of.get(tuple(self.sigmap.map_spec(new_spec)))
+        child_name = self._mux_of(new_spec)
         if child_name is not None and child_name in self.muxes:
             old = self.parent_edge.get(child_name)
             if old is not None and old[0].name == mux.name:
-                if edge is None:
-                    self.parent_edge.pop(child_name, None)
-                else:
-                    self.parent_edge[child_name] = edge
+                # a None entry marks "now a root" — an overwrite, never a
+                # pop, so the lazy map cannot resurrect the stale edge
+                self.parent_edge[child_name] = edge
                 return child_name
         return None
 
@@ -241,7 +431,7 @@ class OptMuxtree(Pass):
         """Name of the internal mux whose edge into ``parent`` is exactly
         ``data_spec``, or None (driver shared with another tree, or not a
         mux)."""
-        child_name = self.y_of.get(tuple(self.sigmap.map_spec(data_spec)))
+        child_name = self._mux_of(data_spec)
         if child_name is None or child_name not in self.muxes:
             return None
         edge = self.parent_edge.get(child_name)
@@ -259,7 +449,7 @@ class OptMuxtree(Pass):
         later round for a one-bit constant.  The child's own traversal
         performs the same substitutions one level deeper, so nothing
         decidable is lost."""
-        return self.y_of.get(tuple(self.sigmap.map_spec(data_spec))) is None
+        return self._mux_of(data_spec) is None
 
     def _traverse_mux(self, mux: Cell, facts: Dict[SigBit, bool]) -> None:
         s_bit = self.sigmap.map_bit(mux.connections["S"][0])

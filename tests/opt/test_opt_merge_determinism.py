@@ -1,0 +1,111 @@
+"""Regression: opt_merge results are identical across interpreter runs.
+
+The commutative-input sort key used to order bits by ``id(bit.wire)`` —
+different in every interpreter run — and encoded constants through the
+and/or precedence accident ``state is not None and state.value or 0``
+(which made constant 0 collide with wire bits).  Merge order, and with it
+survivor names, event streams and stats, varied from run to run.  The key
+is now (wire name, offset, explicit state value), so two independent
+interpreter runs over the same source must produce identical merge stats
+and byte-identical final netlists.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.ir.signals import SigBit, SigSpec, State, Wire
+from repro.opt.opt_merge import _bit_sort_key
+
+#: a module with many commutative duplicates whose operand order differs
+_SCRIPT = r"""
+import json
+import sys
+
+from repro.api import Session
+from repro.ir import Circuit, verilog_str
+from repro.ir.signals import SigSpec
+
+c = Circuit("dedup")
+a = c.input("a", 4)
+b = c.input("b", 4)
+d = c.input("d", 4)
+s = c.input("s")
+outs = []
+outs.append(c.and_(a, b))
+outs.append(c.and_(b, a))          # commutative duplicate
+outs.append(c.xor(c.or_(a, d), c.or_(d, a)))
+outs.append(c.add(d, b))
+outs.append(c.add(b, d))           # commutative duplicate
+outs.append(c.mux(c.and_(a, b), c.add(b, d), s))
+# constant operands must order stably as well
+outs.append(c.and_(a, SigSpec.from_const(0b1010, 4)))
+outs.append(c.and_(SigSpec.from_const(0b1010, 4), a))
+for i, val in enumerate(outs):
+    c.output(f"y{i}", val)
+
+session = Session(c.module)
+report = session.run("fixpoint; opt_expr; opt_merge; opt_clean")
+payload = {
+    "stats": report.pass_stats,
+    "netlist": verilog_str(c.module),
+    "cells": sorted(c.module.cells),
+}
+json.dump(payload, sys.stdout, sort_keys=True)
+"""
+
+
+def _run_with_hash_seed(seed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = seed
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", _SCRIPT],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return proc.stdout
+
+
+class TestBitSortKey:
+    def test_wire_bits_order_by_name_and_offset(self):
+        w1 = Wire("alpha", 4)
+        w2 = Wire("beta", 4)
+        assert _bit_sort_key(SigBit(w1, 0)) < _bit_sort_key(SigBit(w1, 1))
+        assert _bit_sort_key(SigBit(w1, 3)) < _bit_sort_key(SigBit(w2, 0))
+
+    def test_constants_sort_after_wires_with_state_encoding(self):
+        w = Wire("zzz", 1)
+        const0 = SigBit(state=State.S0)
+        const1 = SigBit(state=State.S1)
+        constx = SigBit(state=State.Sx)
+        assert _bit_sort_key(SigBit(w, 0)) < _bit_sort_key(const0)
+        # the historic and/or idiom mapped S0 onto the same key as wire
+        # bits; all three states must now be distinct and ordered
+        keys = [_bit_sort_key(const0), _bit_sort_key(const1),
+                _bit_sort_key(constx)]
+        assert len(set(keys)) == 3
+        assert keys == sorted(keys)
+
+    def test_key_contains_no_ids(self):
+        w = Wire("w", 2)
+        key = _bit_sort_key(SigBit(w, 1))
+        assert key == (0, "w", 1, 0)
+
+
+@pytest.mark.parametrize("seeds", [("0", "12345")])
+def test_independent_runs_identical(seeds):
+    """Two interpreters with different hash randomization agree exactly."""
+    first = _run_with_hash_seed(seeds[0])
+    second = _run_with_hash_seed(seeds[1])
+    assert first == second
+    import json
+
+    payload = json.loads(first)
+    assert payload["stats"].get("opt_merge.cells_merged", 0) >= 3
