@@ -182,10 +182,10 @@ def main(argv=None) -> int:
                         help="skip the 24-seed corpus parity sweep")
     parser.add_argument("--min-reduction", type=float, default=30.0,
                         help="fail below this wall-clock reduction "
-                             "percentage (0 records timings without "
-                             "gating — what CI uses, since shared runners "
-                             "make hard wall-clock gates flaky; area "
-                             "parity always gates)")
+                             "percentage (<= 0 disables the timing gate "
+                             "entirely — what CI uses, since shared "
+                             "runners make hard wall-clock gates flaky; "
+                             "area parity always gates)")
     args = parser.parse_args(argv)
 
     payload = {"workload": "build_workload(seed=7, n_irreducible=30, "
@@ -222,6 +222,8 @@ def main(argv=None) -> int:
         print(f"wrote {args.json}")
     if mismatches:
         return 1
+    if args.min_reduction <= 0:
+        return 0  # timing recorded, not gated
     return 0 if payload["wallclock"]["reduction_pct"] >= args.min_reduction \
         else 1
 

@@ -84,12 +84,14 @@ def _run_and_report(module, flow, check: bool, as_json: bool,
 
 
 def cmd_opt(args: argparse.Namespace) -> int:
+    """Optimize one Verilog/AIGER file with a preset and report areas."""
     module = _load_module(args.source, args.top)
     return _run_and_report(module, args.optimizer, args.check, args.json,
                            args.verbose, args.engine)
 
 
 def cmd_script(args: argparse.Namespace) -> int:
+    """Parse and run an arbitrary flow script over one file."""
     from .flow import FlowScriptError, FlowSpec
 
     try:
@@ -106,6 +108,7 @@ def cmd_script(args: argparse.Namespace) -> int:
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
+    """Print the module's cell histogram and AIG statistics."""
     module = _load_module(args.source, args.top)
     print(f"module {module.name}")
     for key, value in sorted(module.stats().items()):
@@ -115,6 +118,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 
 def cmd_aig(args: argparse.Namespace) -> int:
+    """Bit-blast to an AIG and write ASCII AIGER."""
     module = _load_module(args.source, args.top)
     aig = aig_map(module)
     if args.output:
@@ -127,6 +131,7 @@ def cmd_aig(args: argparse.Namespace) -> int:
 
 
 def cmd_write(args: argparse.Namespace) -> int:
+    """Optimize (optionally) and write structural Verilog."""
     from .flow.pipeline import optimize
     from .ir import verilog_str
 
@@ -144,6 +149,7 @@ def cmd_write(args: argparse.Namespace) -> int:
 
 
 def cmd_equiv(args: argparse.Namespace) -> int:
+    """SAT-prove two netlists equivalent; exit 1 with a counterexample otherwise."""
     from .equiv import check_equivalence
 
     gold = _load_module(args.gold, args.top)
@@ -159,6 +165,7 @@ def cmd_equiv(args: argparse.Namespace) -> int:
 
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
+    """Differential-test every flow preset on random modules (exit 1 on any failure)."""
     from .equiv.differential import CI_CORPUS, run_differential
 
     if args.iterations is None:
@@ -199,6 +206,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    """Regenerate a paper table on the synthetic suite, in parallel."""
     session = Session()
     session.subscribe(PrintObserver(stream=sys.stderr))
     jobs = args.jobs
@@ -229,6 +237,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree (one sub-parser per subcommand)."""
     parser = argparse.ArgumentParser(
         prog="smartly",
         description="smaRTLy RTL multiplexer optimization (DAC 2025 reproduction)",
@@ -327,6 +336,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
+    """CLI entry point: parse arguments, dispatch, return the exit status."""
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.func(args)

@@ -8,6 +8,7 @@
 """
 
 from .add import ADD, ADDNode, case_table
+from .cache import ResultCache
 from .inference import Contradiction, InferenceEngine, InferenceResult, infer
 from .redundancy import SatRedundancy
 from .restructure import CaseTree, MuxtreeRestructure, eq_aig_cost, mux_aig_cost
@@ -22,6 +23,7 @@ __all__ = [
     "InferenceEngine",
     "InferenceResult",
     "MuxtreeRestructure",
+    "ResultCache",
     "SatRedundancy",
     "Smartly",
     "SmartlyOptions",

@@ -1,0 +1,105 @@
+"""Persistent sub-graph result cache: content-signature memoization.
+
+The SAT oracle (:mod:`repro.sat.oracle`) memoizes *solver verdicts* keyed by
+sub-graph content signatures.  The other two rungs of the redundancy pass's
+decision ladder — the Table-I inference rules and exhaustive simulation —
+were recomputed from scratch whenever a dirty region was re-traversed, even
+though their answers are pure functions of exactly the same key.
+
+:class:`ResultCache` closes that gap: analysis outcomes are memoized by
+
+* the sub-graph's **content signature** — the ordered ``(cell name,
+  version)`` tuple of its cells (:func:`repro.sat.oracle.signature_of`), so
+  any rewire of any participating cell changes the key;
+* its **free-input list** and **target**, expressed in canonical bits, so
+  alias connections that re-canonicalise a boundary bit (without rewiring
+  any cell) also change the key;
+* the **known facts** restricted to the sub-graph, canonical as well.
+
+That is precisely the scheme that makes the oracle's verdict cache safe
+across pass generations (see :meth:`repro.sat.oracle.SatOracle.begin_pass`),
+and the same argument applies verbatim here: inference and simulation
+consume nothing but the sub-graph cells and the canonical forms embedded in
+the key.  Keys never collide across modules, runs or clones because
+non-constant :class:`~repro.ir.signals.SigBit` objects hash by wire
+*identity* — two modules (or a module and its clone) can never produce
+equal keys.
+
+One cache instance is intended to live as long as its owner: the
+:class:`~repro.core.smartly.Smartly` pass keeps one across optimization
+rounds and runs, and :class:`~repro.flow.session.Session` injects a single
+session-wide instance into every flow it builds so entries persist across
+rounds, runs *and* modules of the same design.  Entries are bounded with
+oldest-half eviction, like the oracle's verdict cache — netlist mutation
+permanently orphans keys embedding old cell versions, so the population
+must not grow with session lifetime.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from ..sat.oracle import signature_of
+
+_MISS = object()
+
+
+class ResultCache:
+    """Bounded memo for sub-graph-keyed analysis outcomes.
+
+    ``counters`` tracks per-kind traffic (``{kind}_hits`` / ``{kind}_misses``
+    plus ``evictions``); owners snapshot it around a pass invocation and
+    report the delta as pass statistics (the ``rcache_*`` entries of
+    :class:`~repro.flow.session.RunReport` pass stats).
+    """
+
+    def __init__(self, max_entries: int = 200_000):
+        self.max_entries = max_entries
+        self._entries: Dict[Tuple, Any] = {}
+        self.counters: Dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _bump(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    @staticmethod
+    def subgraph_key(kind: str, subgraph: Any, extra: Tuple = ()) -> Tuple:
+        """The canonical memo key of one analysis over one sub-graph.
+
+        ``kind`` separates analyses ("infer", "sim", ...); ``extra``
+        carries analysis parameters that change the answer (budgets,
+        thresholds) — structural identity comes from the sub-graph itself.
+        """
+        return (
+            kind,
+            signature_of(subgraph.cells),
+            tuple(subgraph.inputs),
+            subgraph.target,
+            frozenset(subgraph.known.items()),
+            extra,
+        )
+
+    def lookup(self, key: Tuple) -> Tuple[bool, Any]:
+        """``(hit, value)``; counts a ``{kind}_hits``/``_misses`` event."""
+        value = self._entries.get(key, _MISS)
+        kind = key[0]
+        if value is _MISS:
+            self._bump(f"{kind}_misses")
+            return False, None
+        self._bump(f"{kind}_hits")
+        return True, value
+
+    def store(self, key: Tuple, value: Any) -> None:
+        """Memoize, dropping the oldest half at the size cap (mutation
+        orphans old-version keys, so oldest-first eviction is the right
+        policy and plain-dict insertion order makes it free)."""
+        if len(self._entries) >= self.max_entries:
+            for stale in list(self._entries)[: self.max_entries // 2]:
+                del self._entries[stale]
+            self._bump("evictions")
+        self._entries[key] = value
+
+
+__all__ = ["ResultCache"]

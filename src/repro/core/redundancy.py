@@ -35,6 +35,7 @@ from ..sat.oracle import SatOracle
 from ..sat.solver import Solver
 from ..sat.tseitin import CircuitEncoder
 from ..sim.eval import eval_cell_masks
+from .cache import ResultCache
 from .inference import infer
 from .subgraph import SubGraph, extract_subgraph
 
@@ -72,6 +73,8 @@ class SatRedundancy(OptMuxtree):
         data_inference: bool = True,
         use_oracle: bool = True,
         oracle: Optional[SatOracle] = None,
+        use_result_cache: bool = True,
+        result_cache: Optional[ResultCache] = None,
     ):
         self.k = k
         self.data_k = data_k
@@ -81,7 +84,13 @@ class SatRedundancy(OptMuxtree):
         self.max_gates = max_gates
         self.data_inference = data_inference
         self.use_oracle = use_oracle
+        self.use_result_cache = use_result_cache
         self._oracle = oracle
+        #: persistent memo for inference/simulation outcomes, keyed by
+        #: sub-graph content signatures; injectable so an owner (the
+        #: Smartly wrapper, or a whole Session) can share one instance
+        #: across rounds, runs and modules
+        self._result_cache = result_cache
         self._data_cache: Dict[_FactsKey, Optional[bool]] = {}
         self._sat_time = 0.0
         self._generation_open = False
@@ -115,7 +124,20 @@ class SatRedundancy(OptMuxtree):
             oracle_base = self._oracle.stats.as_dict()
         else:
             self._oracle = None
+        if self.use_result_cache:
+            if self._result_cache is None:
+                self._result_cache = ResultCache()
+            rcache_base = dict(self._result_cache.counters)
+        else:
+            self._result_cache = None
+            rcache_base = None
         body()
+        if self._result_cache is not None and rcache_base is not None:
+            for key, value in self._result_cache.counters.items():
+                delta = value - rcache_base.get(key, 0)
+                if delta:
+                    stat = f"rcache_{key}"
+                    result.stats[stat] = result.stats.get(stat, 0) + delta
         if self._oracle is not None and oracle_base is not None:
             for key, value in self._oracle.stats.delta(oracle_base).items():
                 if value:
@@ -181,24 +203,31 @@ class SatRedundancy(OptMuxtree):
         self.result.note("subgraph_gates_before", subgraph.gates_before)
         self.result.note("subgraph_gates_after", subgraph.gates_after)
 
-        # 1. inference rules (Table I)
-        inference = infer(subgraph, self.index, subgraph.known)
-        if inference.contradiction:
+        # 1. inference rules (Table I); the outcome is a pure function of
+        # the sub-graph, so it memoizes in the content-signature cache
+        contradiction, value = self._infer_outcome(subgraph)
+        if contradiction:
             if facts:
                 self.result.note("dead_paths")
                 return False  # path never active: either branch is sound
             return None
-        value = inference.value_of(target)
         if value is not None:
             self.result.note("ctrl_inferred" if allow_solvers else "data_inferred")
             return value
         if not allow_solvers:
             return None
 
-        # 2. exhaustive simulation for small input counts
+        # 2. exhaustive simulation for small input counts (memoized too)
         if subgraph.num_inputs <= self.sim_threshold:
             self.result.note("sim_queries")
-            decided = self._simulate(subgraph, facts)
+            outcome = self._sim_outcome(subgraph)
+            if outcome == "dead":
+                decided: Optional[bool] = None
+                if facts:
+                    self.result.note("dead_paths")
+                    decided = False
+            else:
+                decided = outcome
             if decided is not None:
                 self.result.note("ctrl_sim_decided")
             return decided
@@ -214,11 +243,46 @@ class SatRedundancy(OptMuxtree):
         self.result.note("skipped_large")
         return None
 
+    # -- memoized analysis outcomes -------------------------------------------------------
+
+    def _infer_outcome(self, subgraph: SubGraph) -> Tuple[bool, Optional[bool]]:
+        """``(contradiction, forced value)`` of the inference engine, memoized
+        by the sub-graph's content signature (see :class:`ResultCache`)."""
+        cache = self._result_cache
+        key = None
+        if cache is not None:
+            key = ResultCache.subgraph_key("infer", subgraph)
+            hit, outcome = cache.lookup(key)
+            if hit:
+                return outcome
+        inference = infer(subgraph, self.index, subgraph.known)
+        outcome = (
+            inference.contradiction,
+            None if inference.contradiction
+            else inference.value_of(subgraph.target),
+        )
+        if key is not None:
+            cache.store(key, outcome)
+        return outcome
+
+    def _sim_outcome(self, subgraph: SubGraph):
+        """Exhaustive-simulation outcome (``"dead"`` | True | False | None),
+        memoized like :meth:`_infer_outcome`."""
+        cache = self._result_cache
+        key = None
+        if cache is not None:
+            key = ResultCache.subgraph_key("sim", subgraph)
+            hit, outcome = cache.lookup(key)
+            if hit:
+                return outcome
+        outcome = self._simulate(subgraph)
+        if key is not None:
+            cache.store(key, outcome)
+        return outcome
+
     # -- exhaustive simulation ------------------------------------------------------------
 
-    def _simulate(
-        self, subgraph: SubGraph, facts: Dict[SigBit, bool]
-    ) -> Optional[bool]:
+    def _simulate(self, subgraph: SubGraph):
         n = subgraph.num_inputs
         nvec = 1 << n
         mask = (1 << nvec) - 1  # one mask bit per simulated vector
@@ -264,10 +328,7 @@ class SatRedundancy(OptMuxtree):
                 continue
             selector &= computed if val else (~computed & mask)
         if selector == 0:
-            if facts:
-                self.result.note("dead_paths")
-                return False
-            return None
+            return "dead"  # the path assumptions themselves are unsatisfiable
         target_mask = bit_mask(subgraph.target)
         if target_mask & selector == 0:
             return False

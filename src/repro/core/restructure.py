@@ -37,8 +37,8 @@ from ..opt.opt_muxtree import (
     LazyEdgeMap,
     compute_internal_edge,
     dirty_tree_roots,
-    find_internal_edges,
     mux_of_spec,
+    seeding_edge_map,
 )
 from .add import ADD, ADDNode, case_table
 
@@ -146,7 +146,7 @@ class MuxtreeRestructure(Pass):
         self.sigmap = index.sigmap
         self._result = result
         if dirty is None:
-            self.parent_edge = find_internal_edges(module, index)
+            self.parent_edge = seeding_edge_map(module, index)
             self.muxes = {c.name: c for c in module.cells.values() if c.is_mux}
             roots = [
                 c for c in self.muxes.values() if c.name not in self.parent_edge

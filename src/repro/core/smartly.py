@@ -30,6 +30,7 @@ from ..opt.pass_base import (
     register_pass,
 )
 from ..sat.oracle import SatOracle
+from .cache import ResultCache
 from .redundancy import SatRedundancy
 from .restructure import MuxtreeRestructure
 
@@ -57,6 +58,10 @@ class SmartlyOptions:
     #: answer SAT queries through the persistent incremental oracle
     #: (False = historic fresh-solver-per-query reference path)
     use_oracle: bool = True
+    #: memoize inference/simulation outcomes in a persistent
+    #: :class:`~repro.core.cache.ResultCache` keyed by sub-graph content
+    #: signatures (False = recompute every outcome, the reference path)
+    use_result_cache: bool = True
     #: largest case-selector width restructuring will tabulate
     max_sel_width: int = 12
     #: minimum estimated AIG gain before a tree is rebuilt
@@ -86,6 +91,19 @@ class Smartly(Pass):
         #: persistent per-module SAT oracle, shared by every optimization
         #: round so counters (and clause reuse within a round) accumulate
         self._oracle: Optional[SatOracle] = None
+        #: persistent inference/simulation result cache shared by every
+        #: round (and, when a Session injects one, across runs and modules)
+        self._result_cache: Optional[ResultCache] = None
+
+    def attach_result_cache(self, cache: ResultCache) -> None:
+        """Share an externally owned result cache (Session injection point).
+
+        Keys embed wire-identity bits, so one cache instance can serve any
+        number of modules without collisions; injecting the owning
+        :class:`~repro.flow.session.Session`'s instance makes outcomes
+        persist across runs and across the design's modules.
+        """
+        self._result_cache = cache
 
     def execute(self, module: Module, result: PassResult) -> None:
         self._execute(module, result, dirty=None, incremental=False)
@@ -117,6 +135,8 @@ class Smartly(Pass):
                 self._oracle is None or self._oracle.module is not module
             ):
                 self._oracle = SatOracle(module)
+            if opts.use_result_cache and self._result_cache is None:
+                self._result_cache = ResultCache()
             passes.append(
                 SatRedundancy(
                     k=opts.k,
@@ -127,6 +147,10 @@ class Smartly(Pass):
                     max_gates=opts.max_gates,
                     use_oracle=opts.use_oracle,
                     oracle=self._oracle if opts.use_oracle else None,
+                    use_result_cache=opts.use_result_cache,
+                    result_cache=(
+                        self._result_cache if opts.use_result_cache else None
+                    ),
                 )
             )
         else:

@@ -35,6 +35,9 @@ Event kinds (``FlowEvent.kind``) and their payload keys:
                           silent and indistinguishable from convergence)
 ``pipeline_finished``     pipeline, rounds, module, changed, converged
 ``flow_started``          case, flow
+``flow_skipped``          case, flow, revision — the design-scope engine
+                          proved the module unchanged since this flow last
+                          converged on it and skipped every pass
 ``flow_finished``         case, flow, original_area, optimized_area,
                           runtime_s
 ``suite_started``         cases, flows, jobs, max_workers, executor
@@ -63,6 +66,7 @@ ROUND_CONVERGED = "round_converged"
 ROUND_LIMIT_REACHED = "round_limit_reached"
 PIPELINE_FINISHED = "pipeline_finished"
 FLOW_STARTED = "flow_started"
+FLOW_SKIPPED = "flow_skipped"
 FLOW_FINISHED = "flow_finished"
 SUITE_STARTED = "suite_started"
 CASE_STARTED = "case_started"
@@ -223,6 +227,7 @@ __all__ = [
     "EventBus",
     "EventLog",
     "FLOW_FINISHED",
+    "FLOW_SKIPPED",
     "FLOW_STARTED",
     "FlowEvent",
     "JsonLinesObserver",

@@ -21,13 +21,14 @@ Quickstart::
 from __future__ import annotations
 
 import json
+import threading
 import time
 from concurrent.futures import (
     ProcessPoolExecutor,
     ThreadPoolExecutor,
     as_completed,
 )
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from typing import (
     Any,
     Callable,
@@ -37,17 +38,28 @@ from typing import (
     Mapping,
     Optional,
     Sequence,
+    Tuple,
     Union,
 )
 
 from ..aig.aigmap import aig_map
 from ..aig.stats import AigStats, aig_stats
+from ..core.cache import ResultCache
 from ..core.smartly import SmartlyOptions
 from ..equiv.cec import check_equivalence
 from ..events import EventBus, Observer
-from ..ir.design import Design
-from ..ir.module import Module
-from ..opt.pass_base import PassManager
+from ..ir import design as design_mod
+from ..ir import module as ir_module
+from ..ir.cells import output_ports
+from ..ir.design import Design, DesignEdit
+from ..ir.module import Module, ModuleEdit
+from ..opt.pass_base import (
+    DirtySet,
+    Pass,
+    PassManager,
+    PassResult,
+    _touch_recorder,
+)
 from .spec import FlowSpec, resolve_flow
 
 #: a suite case: a ready module or a zero-argument factory producing one
@@ -63,6 +75,40 @@ def _aggregate_oracle_stats(pass_stats: Mapping[str, int]) -> Dict[str, int]:
             name = tail[len("oracle_"):]
             totals[name] = totals.get(name, 0) + value
     return totals
+
+
+def _pending_recorder(result: PassResult) -> Callable[[ModuleEdit], None]:
+    """Conservative touch recorder for *between-run* user edits.
+
+    The pass framework's recorder deliberately keeps removed-cell outputs
+    and alias sides out of the fanout-walked frontier because the running
+    pass reports the affected readers exactly
+    (:meth:`~repro.opt.pass_base.PassResult.touch_readers`).  Between
+    runs there is no pass to do that, so a user edit like ``remove_cell``
+    + ``connect`` (a manual bypass) would under-dirty the removed net's
+    readers and a seeded re-run would miss opportunities a full run
+    finds.  This variant adds those output-side bits to the frontier —
+    over-dirtying a few sibling readers on rare, small edit sets instead
+    of under-dirtying correctness away.
+    """
+    base = _touch_recorder(result)
+
+    def record(edit: ModuleEdit) -> None:
+        base(edit)
+        if edit.kind == ir_module.CELL_REMOVED and edit.ports:
+            outs = set(output_ports(edit.cell.type))
+            for pname, spec in edit.ports.items():
+                if pname in outs:
+                    for bit in spec:
+                        if not bit.is_const:
+                            result.touched_bits.add(bit)
+        elif edit.kind == ir_module.CONNECTED:
+            for spec in (edit.lhs, edit.rhs):
+                for bit in spec:
+                    if not bit.is_const:
+                        result.touched_bits.add(bit)
+
+    return record
 
 
 class EquivalenceError(AssertionError):
@@ -113,8 +159,15 @@ class RunReport:
     #: fixpoint, which used to be silently indistinguishable
     converged: bool = True
     #: dirty-set engine counters (full_rounds, incremental_rounds,
-    #: dirty_seed_cells, dirty_seed_bits)
+    #: dirty_seed_cells, dirty_seed_bits, seeded_runs, modules_skipped)
     dirty_stats: Dict[str, int] = field(default_factory=dict)
+    #: what the design-scope incremental engine did with this run:
+    #: ``"none"`` (ordinary full run), ``"seeded"`` (the first round was
+    #: seeded with only the edits made since this flow last converged on
+    #: the module), or ``"skipped"`` (the module's content revision was
+    #: unchanged, so every pass was skipped and the previous result
+    #: returned)
+    design_cache: str = "none"
 
     @property
     def optimizer(self) -> str:
@@ -173,6 +226,38 @@ class SuiteReport(Mapping):
         return json.dumps(self.to_dict(), **kwargs)
 
 
+@dataclass
+class _FlowState:
+    """Per-(module, flow) design-incremental state: the pass objects whose
+    internal caches (oracle contexts, merge tables, result-cache handles)
+    match the module, the design revision at which the flow last converged,
+    and the report it produced."""
+
+    passes: List[Pass]
+    revision: int
+    report: RunReport
+
+
+@dataclass
+class _PendingEdits:
+    """Edits made to one module since its last run (any flow), accumulated
+    from the design edit channel while no flow is running on it.
+
+    ``start_revision`` anchors the window: a stored :class:`_FlowState`
+    whose revision equals it is exactly one edit-set behind the module, so
+    its pass state plus this dirty set seed a correct incremental re-run.
+    ``compactions`` snapshots the live index's union-find compaction
+    counter: the window holds *raw* bits resolved through the sigmap only
+    at seed time, and a compaction in between may have dropped the alias
+    entries dead window bits still need — seeding across one is refused.
+    """
+
+    start_revision: int
+    edits: PassResult
+    recorder: Callable
+    compactions: int = 0
+
+
 class Session:
     """Owns a design, a tuning-options object, and an event channel.
 
@@ -188,6 +273,27 @@ class Session:
     flow scripts and :class:`FlowSpec` objects are authoritative as
     written — a script's ``smartly`` statement uses the paper defaults
     plus whatever ``key=value`` options the statement itself carries.
+
+    **Design-scope incrementality** (``engine="incremental"``, the
+    default): the session subscribes to its design's edit channel and
+    keeps, per (module, flow), the pass objects and the content revision
+    at which the flow last converged.  A later :meth:`run` of the same
+    flow then
+
+    * **skips** the module outright when its revision is unchanged
+      (``RunReport.design_cache == "skipped"``) — the flow converged on
+      byte-identical content before, so re-running it is a proven no-op;
+    * **seeds** the pass engine with just the edits made in between when
+      the revision moved (``design_cache == "seeded"``), reusing the
+      module's live :class:`~repro.ir.walker.NetIndex` and every pass's
+      persistent state, so only logic reachable from the edits is
+      re-analyzed;
+    * falls back to an ordinary full run otherwise (``"none"``).
+
+    A session-wide :class:`~repro.core.cache.ResultCache` is injected into
+    every incremental flow, so inference/simulation outcomes memoize
+    across rounds, runs and modules (``rcache_*`` pass stats).  Eager runs
+    bypass all of this — they are the differential-testing reference.
     """
 
     def __init__(
@@ -211,6 +317,84 @@ class Session:
         self.engine = engine
         self.events = events if events is not None else EventBus()
         self._baselines: Dict[str, int] = {}
+        #: (module name, FlowSpec) -> _FlowState for design-incrementality
+        self._flow_states: Dict[Tuple[str, FlowSpec], _FlowState] = {}
+        #: module name -> edits accumulated since its last run
+        self._pending: Dict[str, _PendingEdits] = {}
+        #: module currently being optimized (its own flow's edits are
+        #: tracked by the PassManager, not the design channel)
+        self._running: Optional[str] = None
+        #: session-wide sub-graph result cache shared by every
+        #: incremental flow on every module of the design
+        self._result_cache = ResultCache()
+        #: set by :meth:`close`; a closed session no longer observes the
+        #: design, so it must not skip, seed, or record flow states —
+        #: an unobserved edit window would otherwise fabricate empty seeds
+        self._closed = False
+        self.design.add_listener(self._on_design_edit)
+
+    # -- design-edit tracking --------------------------------------------------
+
+    def _on_design_edit(self, edit: DesignEdit) -> None:
+        if edit.kind == design_mod.MODULE_EDITED:
+            if edit.module == self._running:
+                return
+            entry = self._pending.get(edit.module)
+            if entry is not None:
+                entry.recorder(edit.edit)
+        elif edit.kind in (design_mod.MODULE_ADDED, design_mod.MODULE_REMOVED):
+            # membership changes reset everything known about the name
+            self._pending.pop(edit.module, None)
+            for key in [k for k in self._flow_states if k[0] == edit.module]:
+                del self._flow_states[key]
+            if edit.kind == design_mod.MODULE_REMOVED:
+                self._baselines.pop(edit.module, None)
+
+    def _restart_pending(self, name: str) -> None:
+        """Open a fresh edit-accumulation window for ``name`` (post-run)."""
+        edits = PassResult("design-edits")
+        module = self.design.modules.get(name)
+        # snapshot the live index's compaction counter without *creating*
+        # an index: eager-only sessions never consume their windows, and
+        # forcing a live index on them would tax every later edit.  The
+        # -1 sentinel can never equal a real counter, so a window opened
+        # before any index existed simply refuses to seed (harmless: a
+        # consumable window implies a prior incremental run, which built
+        # the index).
+        index = module._net_index if module is not None else None
+        self._pending[name] = _PendingEdits(
+            self.design.revision(name),
+            edits,
+            _pending_recorder(edits),
+            compactions=index.compactions if index is not None else -1,
+        )
+
+    def close(self) -> None:
+        """Detach from the design's edit channel and drop cached state.
+
+        Sessions subscribe to their design on construction; a long-lived
+        :class:`~repro.ir.design.Design` that outlives many sessions would
+        otherwise keep every discarded session reachable as a listener and
+        pay its bookkeeping on every edit.  Call this (or use the session
+        as a context manager) when constructing sessions per run over a
+        shared design.  A closed session can still run flows, but every
+        run is a full run — with the design no longer observed, skip/seed
+        decisions would rest on edit windows that can never see an edit.
+        Idempotent.
+        """
+        try:
+            self.design.remove_listener(self._on_design_edit)
+        except ValueError:
+            pass  # already closed
+        self._closed = True
+        self._flow_states.clear()
+        self._pending.clear()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- constructors ----------------------------------------------------------
 
@@ -262,6 +446,15 @@ class Session:
         SAT-proven equivalent to its pre-flow state (raises
         :class:`EquivalenceError` otherwise).  ``engine`` overrides the
         session engine for this run (``"incremental"`` or ``"eager"``).
+
+        Incremental runs participate in design-scope incrementality (see
+        the class docstring): a re-run of a flow that already converged on
+        this module is skipped when the module's content is unchanged and
+        seeded with just the in-between edits when it is not —
+        :attr:`RunReport.design_cache` records which happened.  A skipped
+        run with ``check=True`` reports ``equivalence_checked=True``
+        without solving: zero passes ran, so the module *is* its own
+        pre-flow state.
         """
         engine = engine if engine is not None else self.engine
         if engine not in ("incremental", "eager"):
@@ -271,16 +464,66 @@ class Session:
         spec = resolve_flow(flow, options=self.options)
         mod = self._module(module)
         original_area = self.baseline_area(mod.name)
+        incremental = engine == "incremental"
+        # design-scope bookkeeping requires an attached design listener
+        track = incremental and not self._closed
+        state_key = (mod.name, spec)
+        state = self._flow_states.get(state_key) if track else None
+        revision = self.design.revision(mod.name)
+        if state is not None and state.revision == revision:
+            return self._skipped_report(mod, spec, state, check)
+        seed: Optional[DirtySet] = None
+        design_cache = "none"
+        passes = state.passes if state is not None else spec.build()
+        if state is not None:
+            pending = self._pending.get(mod.name)
+            if (
+                pending is not None
+                and pending.start_revision == state.revision
+                and pending.compactions == mod.net_index().compactions
+            ):
+                # the stored pass state is exactly one edit-window behind
+                # the module: seed the first round with those edits instead
+                # of a full sweep
+                seed = DirtySet(
+                    set(pending.edits.touched_cells),
+                    set(pending.edits.touched_bits),
+                    set(pending.edits.touched_fanin_bits),
+                )
+                design_cache = "seeded"
+        if incremental:
+            for pass_ in passes:
+                attach = getattr(pass_, "attach_result_cache", None)
+                if attach is not None:
+                    attach(self._result_cache)
         golden = mod.clone() if (check and spec.steps) else None
         self.events.emit("flow_started", case=mod.name, flow=spec.label)
         manager = PassManager(
-            spec.build(),
+            passes,
             events=self.events,
             name=spec.label,
-            incremental=(engine == "incremental"),
+            incremental=incremental,
         )
         start = time.perf_counter()
-        manager.run(mod, fixpoint=spec.fixpoint, max_rounds=spec.max_rounds)
+        self._running = mod.name
+        try:
+            changed = manager.run(
+                mod, fixpoint=spec.fixpoint, max_rounds=spec.max_rounds,
+                seed=seed,
+            )
+        finally:
+            # even on failure the module's content moved: reopen the edit
+            # window at the new revision and drop the now-stale state (the
+            # success path re-stores it below), so no later run can seed
+            # from an edit set that missed this run's edits
+            self._running = None
+            # restart the window after ANY run on an open session — the
+            # run's own edits were excluded from it (self._running), so an
+            # eager run would otherwise leave a window that silently
+            # missed this run's mutations; closed sessions keep no windows
+            if not self._closed:
+                self._restart_pending(mod.name)
+                self._flow_states.pop(state_key, None)
         runtime = time.perf_counter() - start
         stats = aig_stats(aig_map(mod))
         checked = False
@@ -301,7 +544,7 @@ class Session:
             runtime_s=runtime,
         )
         pass_stats = manager.total_stats()
-        return RunReport(
+        report = RunReport(
             case_name=mod.name,
             flow=spec.label,
             flow_script=str(spec),
@@ -326,7 +569,63 @@ class Session:
             engine=engine,
             converged=manager.converged,
             dirty_stats=dict(manager.dirty_stats),
+            design_cache=design_cache,
         )
+        # record the state this run left behind — only when the module is
+        # provably at a fixpoint of this pipeline: a converged fixpoint
+        # run, or a single-shot run that changed nothing (manager.converged
+        # is vacuously True for non-fixpoint runs, so a changing
+        # single-shot pipeline must NOT anchor skips — re-running it would
+        # keep changing the module).  Unconverged runs cannot anchor, and
+        # eager runs deliberately stay outside the bookkeeping (but still
+        # invalidate stale states via the revision they bumped).
+        at_fixpoint = manager.converged and (spec.fixpoint or not changed)
+        if track and at_fixpoint and spec.steps:
+            self._flow_states[state_key] = _FlowState(
+                passes, self.design.revision(mod.name), report
+            )
+        return report
+
+    def _skipped_report(
+        self,
+        mod: Module,
+        spec: FlowSpec,
+        state: _FlowState,
+        check: bool,
+    ) -> RunReport:
+        """A design-incremental skip: the module's content revision is
+        unchanged since this flow last converged on it, so zero passes run
+        and the previous result is returned (fresh runtime, empty per-run
+        counters, ``design_cache="skipped"``)."""
+        start = time.perf_counter()
+        self.events.emit("flow_started", case=mod.name, flow=spec.label)
+        self.events.emit(
+            "flow_skipped",
+            case=mod.name,
+            flow=spec.label,
+            revision=state.revision,
+        )
+        runtime = time.perf_counter() - start
+        report = replace(
+            state.report,
+            passes=[],
+            pass_stats={},
+            oracle_stats={},
+            rounds=0,
+            runtime_s=runtime,
+            equivalence_checked=bool(check),
+            dirty_stats={"modules_skipped": 1},
+            design_cache="skipped",
+        )
+        self.events.emit(
+            "flow_finished",
+            case=mod.name,
+            flow=spec.label,
+            original_area=report.original_area,
+            optimized_area=report.optimized_area,
+            runtime_s=runtime,
+        )
+        return report
 
     def run_all(
         self,
@@ -334,7 +633,14 @@ class Session:
         *,
         check: bool = False,
     ) -> Dict[str, RunReport]:
-        """Run one flow over every module in the design."""
+        """Run one flow over every module in the design.
+
+        Returns ``{module name: RunReport}``.  Under the incremental
+        engine this is the design-scope entry point: modules whose
+        content is unchanged since this flow last converged on them are
+        skipped, edited ones are seeded with just the in-between edits
+        (see :attr:`RunReport.design_cache`).
+        """
         return {
             name: self.run(flow, module=name, check=check)
             for name in list(self.design.modules)
@@ -354,10 +660,12 @@ class Session:
         """Run every (case × flow) job, in parallel, with structured progress.
 
         ``cases`` maps case names to modules **or** zero-argument factories
-        (factories are invoked once per flow inside the worker, so expensive
-        circuit construction also parallelizes); :func:`suite_cases` builds
-        such a mapping from names + a builder.  Module values are cloned
-        per job; the inputs are never mutated.  Progress is emitted as
+        (with the thread executor a factory runs once per *case* inside a
+        worker and its jobs share the built module; the process executor
+        invokes it once per flow inside each worker process);
+        :func:`suite_cases` builds such a mapping from names + a builder.
+        Workers only ever mutate private clones; the inputs are never
+        mutated.  Progress is emitted as
         ``suite_started`` / ``case_started`` / ``case_finished`` /
         ``suite_finished`` events on the session's bus rather than printed.
 
@@ -365,7 +673,11 @@ class Session:
 
         * ``"thread"`` — shared-memory workers.  Simple, but CPython's GIL
           means pure-Python optimization work barely overlaps; treat
-          ``max_workers`` as job scheduling, not a speedup knob.
+          ``max_workers`` as job scheduling, not a speedup knob.  Jobs of
+          the same case share one prebuilt module and one pre-optimization
+          baseline AIG: the case's factory runs once (in whichever worker
+          gets there first) and every flow clones from that shared
+          instance instead of rebuilding and re-measuring per job.
         * ``"process"`` — a ``ProcessPoolExecutor``.  Modules and specs are
           pickled into worker processes and the JSON-serializable
           :class:`RunReport` is pickled back, so CPU-bound suites scale
@@ -402,13 +714,40 @@ class Session:
         )
         start = time.perf_counter()
 
+        case_locks = {name: threading.Lock() for name in cases}
+        case_shared: Dict[str, Tuple[Module, int]] = {}
+        case_jobs_left = {name: len(specs) for name in cases}
+
+        def resolve_case(case_name: str, source: CaseSource) -> Tuple[Module, int]:
+            """Build each case once and measure its baseline once; the
+            per-case lock keeps duplicate work out while still letting
+            different cases construct in parallel."""
+            with case_locks[case_name]:
+                if case_name not in case_shared:
+                    built = source() if callable(source) else source
+                    case_shared[case_name] = (built, aig_map(built).num_ands)
+                return case_shared[case_name]
+
+        def release_case(case_name: str) -> None:
+            """Drop the shared build once the case's last job finished, so
+            peak memory tracks max_workers rather than total case count."""
+            with case_locks[case_name]:
+                case_jobs_left[case_name] -= 1
+                if case_jobs_left[case_name] <= 0:
+                    case_shared.pop(case_name, None)
+
         def run_one(case_name: str, source: CaseSource,
                     spec: FlowSpec) -> RunReport:
-            module = source() if callable(source) else source.clone()
+            try:
+                base, baseline = resolve_case(case_name, source)
+                module = base.clone()
+            finally:
+                release_case(case_name)
             self.events.emit("case_started", case=case_name, flow=spec.label)
-            sub = Session(module, options=self.options, events=self.events,
-                          engine=self.engine)
-            report = sub.run(spec, check=check)
+            with Session(module, options=self.options, events=self.events,
+                         engine=self.engine) as sub:
+                sub._baselines[module.name] = baseline
+                report = sub.run(spec, check=check)
             self.events.emit(
                 "case_finished",
                 case=case_name,

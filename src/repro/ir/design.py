@@ -1,31 +1,134 @@
-"""Top-level design container (a set of modules with one top)."""
+"""Top-level design container (a set of modules with one top).
+
+Like :class:`~repro.ir.module.Module`, a :class:`Design` is observable: it
+forwards every member module's structural-edit notifications on its own
+channel (:meth:`Design.add_listener`, :class:`DesignEdit`) together with
+design-level events (module added/removed, top changed), and keeps a
+monotone per-module **content revision** counter.  The revision is what the
+design-scope incremental engine keys on: :class:`repro.flow.session.Session`
+records the revision a module had when a flow last converged on it, and a
+later run of the same flow can skip the module entirely when the revision
+is unchanged — or seed the pass engine with just the edits made in between.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional
 
-from .module import Module
+from .module import Module, ModuleEdit, ModuleListener
+
+# -- design-level edit notifications -------------------------------------------
+
+MODULE_ADDED = "module_added"
+MODULE_REMOVED = "module_removed"
+MODULE_EDITED = "module_edited"
+TOP_CHANGED = "top_changed"
+
+
+@dataclass(frozen=True)
+class DesignEdit:
+    """One design-level edit, published to :meth:`Design.add_listener` hooks.
+
+    ``module`` is the affected module's name; for ``module_edited`` the
+    underlying structural :class:`~repro.ir.module.ModuleEdit` rides along
+    in ``edit`` (the design channel is a superset of every member module's
+    channel, so one subscription observes the whole design).
+    """
+
+    kind: str
+    module: str
+    edit: Optional[ModuleEdit] = None
+
+
+DesignListener = Callable[[DesignEdit], None]
 
 
 class Design:
     """A collection of modules with a designated top.
 
     Frontends produce designs; :class:`repro.flow.session.Session` owns one
-    and runs flows over its modules (all of them or a selected top)."""
+    and runs flows over its modules (all of them or a selected top).
+
+    Every module added to a design is subscribed with a forwarding listener:
+    its structural edits bump the design's per-module :meth:`revision`
+    counter and are re-published as ``module_edited`` design edits.  All
+    structural edits must go through the notifying ``Module``/``Cell`` APIs
+    for revisions (and everything built on them) to stay truthful.
+    """
 
     def __init__(self, top: Optional[Module] = None):
         self.modules: Dict[str, Module] = {}
         self._top_name: Optional[str] = None
+        self._listeners: List[DesignListener] = []
+        #: module name -> the forwarding ModuleListener subscribed on it
+        self._forwarders: Dict[str, ModuleListener] = {}
+        #: module name -> monotone content-revision counter
+        self._revisions: Dict[str, int] = {}
         if top is not None:
             self.add_module(top, top=True)
+
+    # -- edit notifications ---------------------------------------------------
+
+    def add_listener(self, listener: DesignListener) -> DesignListener:
+        """Register a design-edit observer; returns it for nesting."""
+        self._listeners.append(listener)
+        return listener
+
+    def remove_listener(self, listener: DesignListener) -> None:
+        self._listeners.remove(listener)
+
+    def _notify(self, edit: DesignEdit) -> None:
+        for listener in tuple(self._listeners):
+            listener(edit)
+
+    def _subscribe(self, module: Module) -> None:
+        name = module.name
+
+        def forward(edit: ModuleEdit) -> None:
+            self._revisions[name] += 1
+            if self._listeners:
+                self._notify(DesignEdit(MODULE_EDITED, name, edit))
+
+        self._forwarders[name] = module.add_listener(forward)
+
+    def revision(self, name: str) -> int:
+        """Monotone count of structural edits to module ``name`` since it
+        joined the design.  Equal revisions mean byte-identical content
+        (edits outside the notifying APIs are unsupported, as for the live
+        :class:`~repro.ir.walker.NetIndex`)."""
+        return self._revisions[name]
+
+    # -- membership -----------------------------------------------------------
 
     def add_module(self, module: Module, top: bool = False) -> Module:
         if module.name in self.modules:
             raise ValueError(f"duplicate module {module.name!r}")
         self.modules[module.name] = module
+        self._revisions[module.name] = 0
+        self._subscribe(module)
         if top or self._top_name is None:
             self._top_name = module.name
+        if self._listeners:
+            self._notify(DesignEdit(MODULE_ADDED, module.name))
         return module
+
+    def remove_module(self, module) -> Module:
+        """Detach a module (by name or instance) from the design.
+
+        The forwarding listener is unsubscribed, so later edits to the
+        removed module no longer reach design observers.  Removing the top
+        promotes the earliest remaining module (or leaves the design empty).
+        """
+        name = module if isinstance(module, str) else module.name
+        removed = self.modules.pop(name)
+        removed.remove_listener(self._forwarders.pop(name))
+        self._revisions.pop(name, None)
+        if self._top_name == name:
+            self._top_name = next(iter(self.modules), None)
+        if self._listeners:
+            self._notify(DesignEdit(MODULE_REMOVED, name))
+        return removed
 
     @property
     def top(self) -> Module:
@@ -37,6 +140,8 @@ class Design:
         if name not in self.modules:
             raise KeyError(f"no module named {name!r}")
         self._top_name = name
+        if self._listeners:
+            self._notify(DesignEdit(TOP_CHANGED, name))
 
     @property
     def top_name(self) -> Optional[str]:
@@ -55,11 +160,33 @@ class Design:
         return self.modules[name]
 
     def clone(self) -> "Design":
-        """Deep-copy every module, preserving the top selection."""
+        """Deep-copy every module, preserving the top selection.
+
+        The clone gets fresh forwarders and zeroed revisions — it is a new
+        design whose content merely starts equal to this one's.
+        """
         copy = Design()
         for name, module in self.modules.items():
             copy.add_module(module.clone(), top=(name == self._top_name))
         return copy
+
+    # -- pickling -------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        # listeners and forwarders are session-local closures; revisions
+        # restart at 0 on the receiving side (a fresh design identity)
+        state = dict(self.__dict__)
+        state["_listeners"] = []
+        state["_forwarders"] = {}
+        state["_revisions"] = {name: 0 for name in self.modules}
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._listeners = []
+        self._forwarders = {}
+        for module in self.modules.values():
+            self._subscribe(module)
 
     def __repr__(self) -> str:
         return f"Design({list(self.modules)}, top={self._top_name!r})"

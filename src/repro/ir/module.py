@@ -182,6 +182,9 @@ class Module:
         self._name_counter = 0
         self._listeners: List[ModuleListener] = []
         self._net_index = None  # shared live NetIndex (lazy)
+        #: shared persistent muxtree edge cache (lazy; see
+        #: :func:`repro.opt.opt_muxtree.module_edge_cache`)
+        self._edge_cache = None
 
     # -- edit notifications --------------------------------------------------
 
@@ -219,12 +222,14 @@ class Module:
         state = dict(self.__dict__)
         state["_listeners"] = []
         state["_net_index"] = None
+        state["_edge_cache"] = None
         return state
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
         self._listeners = []
         self._net_index = None
+        self._edge_cache = None
 
     # -- naming ------------------------------------------------------------
 
@@ -456,6 +461,30 @@ class SigMap:
 
     def map_bit(self, bit: SigBit) -> SigBit:
         return self._find(bit)
+
+    def __len__(self) -> int:
+        """Number of union-find entries (bits with a non-trivial parent)."""
+        return len(self._parent)
+
+    def compact(self, live: Iterable[SigBit]) -> int:
+        """Generation compaction: keep only entries for ``live`` bits.
+
+        Long-lived incremental sessions accumulate union-find entries for
+        bits whose wires and aliases are long gone (safe — stale entries
+        for dead bits are never queried — but unbounded).  Compaction
+        rewrites the structure as a flat two-level forest over exactly the
+        live bits, *preserving every live bit's current representative*,
+        so driver/reader maps keyed by canonical bits stay valid verbatim.
+        Returns the number of entries dropped.
+        """
+        new_parent: Dict[SigBit, SigBit] = {}
+        for bit in live:
+            root = self._find(bit)
+            if root != bit:
+                new_parent[bit] = root
+        dropped = len(self._parent) - len(new_parent)
+        self._parent = new_parent
+        return dropped
 
     def map_spec(self, spec: SigSpec) -> SigSpec:
         return SigSpec(self._find(bit) for bit in spec)

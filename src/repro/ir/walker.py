@@ -71,6 +71,15 @@ class NetIndex:
         self._topo_cache: Optional[List[Cell]] = None
         self._frozen = 0
         self._pending: List[ModuleEdit] = []
+        #: generation-compaction bookkeeping for the live alias union-find
+        #: (dead-entry reclamation; see :meth:`_maybe_compact`)
+        self._removal_events = 0
+        self._replaying = False
+        self._compact_deferred = False
+        #: entry count at the last live-bit sweep; the O(module) sweep
+        #: re-runs only after the union-find doubles past it
+        self._compact_floor = 128
+        self.compactions = 0
         self._build()
         if live:
             module.add_listener(self._on_edit)
@@ -129,11 +138,27 @@ class NetIndex:
                 if len(pending) > max(64, 2 * len(self.module.cells)):
                     self._rebuild()
                 else:
-                    for edit in pending:
-                        self._apply(edit)
+                    # compaction must not fire mid-replay: _live_bits reads
+                    # the module's *final* state, so compacting while later
+                    # pending deindexes are still queued would drop entries
+                    # those deindexes need to find their canonical roots
+                    self._replaying = True
+                    try:
+                        for edit in pending:
+                            self._apply(edit)
+                    finally:
+                        self._replaying = False
+                    if self._compact_deferred:
+                        self._compact_deferred = False
+                        self._maybe_compact()
 
     def _rebuild(self) -> None:
-        """Full resync fallback (also refreshes the alias union-find)."""
+        """Full resync fallback (also refreshes the alias union-find).
+
+        Rebuilding drops the stale dead-bit union-find entries exactly
+        like compaction does, so raw-bit consumers must be told the same
+        way (see :meth:`_note_generation_reset`).
+        """
         self.sigmap = self.module.sigmap()
         self.driver = {}
         self.readers = {}
@@ -141,6 +166,22 @@ class NetIndex:
         self._output_bits = set()
         self._topo_cache = None
         self._build()
+        self._note_generation_reset()
+
+    def _note_generation_reset(self) -> None:
+        """The alias union-find just lost its stale dead-bit entries.
+
+        Consumers holding *raw* bits they resolve lazily — the muxtree
+        edge cache's buffered edits, Session pending-edit windows, the
+        pass engine's round carry — would silently resolve dead bits to
+        themselves instead of their old class; bumping :attr:`compactions`
+        (their staleness check) and invalidating the module's edge cache
+        keeps them honest.
+        """
+        self.compactions += 1
+        edge_cache = getattr(self.module, "_edge_cache", None)
+        if edge_cache is not None:
+            edge_cache.invalidate()
 
     def _apply(self, edit: ModuleEdit) -> None:
         kind = edit.kind
@@ -174,6 +215,68 @@ class NetIndex:
         # port, kept connection or module output, so the canonical mapping
         # of every queriable bit is unchanged (stale union-find entries for
         # dead bits are harmless).
+        if kind in (
+            module_mod.CELL_REMOVED,
+            module_mod.CONNECTIONS_REPLACED,
+            module_mod.WIRE_REMOVED,
+        ):
+            self._removal_events += 1
+            if self._removal_events % 64 == 0:
+                if self._replaying:
+                    self._compact_deferred = True
+                else:
+                    self._maybe_compact()
+
+    # -- union-find generation compaction ------------------------------------
+
+    def _live_bits(self) -> Set[SigBit]:
+        """Every bit the module can still canonically mention: alias
+        connection bits, cell port bits, and port-wire bits."""
+        live: Set[SigBit] = set()
+        for lhs, rhs in self.module.connections:
+            live.update(lhs)
+            live.update(rhs)
+        for cell in self.module.cells.values():
+            for spec in cell.connections.values():
+                live.update(spec)
+        for wire in self.module.wires.values():
+            if wire.is_port:
+                for i in range(wire.width):
+                    live.add(SigBit(wire, i))
+        return live
+
+    def _maybe_compact(self) -> None:
+        """Compact the alias union-find when dead entries dominate.
+
+        Removal-heavy sessions (opt_clean reaping thousands of bypassed
+        muxes over many runs) leave the union-find full of entries for
+        bits no live netlist object mentions.  When the entry count grows
+        past twice the module's live-bit population, the structure is
+        rewritten over exactly the live bits — representatives preserved,
+        so every driver/reader/output key stays valid (see
+        :meth:`~repro.ir.module.SigMap.compact`).  The O(module) live-bit
+        sweep is doubly amortized: checked every 64 removal events, and
+        only once the entry count has doubled since the previous sweep
+        (``_compact_floor``), so modules whose union-find is mostly live
+        never pay repeated fruitless sweeps.
+
+        Compaction intentionally keeps no entries for dead bits, so any
+        consumer holding *raw* pre-compaction bits must be told: the
+        module's persistent muxtree edge cache buffers raw edits and
+        resolves them lazily, so it is invalidated here, and Session
+        pending-edit windows compare the :attr:`compactions` counter
+        before seeding.
+        """
+        size = len(self.sigmap)
+        if size < 256 or size < 2 * self._compact_floor:
+            return
+        live = self._live_bits()
+        if size <= 2 * len(live):
+            self._compact_floor = size
+            return
+        self.sigmap.compact(live)
+        self._compact_floor = max(128, len(self.sigmap))
+        self._note_generation_reset()
 
     def _index_port(self, cell: Cell, pname: str, spec: SigSpec,
                     is_out: bool) -> None:

@@ -31,8 +31,9 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from ..ir import module as module_mod
 from ..ir.cells import CellType, input_ports
-from ..ir.module import Cell, Module
+from ..ir.module import Cell, Module, ModuleEdit
 from ..ir.signals import BIT0, BIT1, SigBit, SigSpec, State
 from ..ir.walker import NetIndex
 from .pass_base import DirtySet, Pass, PassResult, register_pass
@@ -216,6 +217,162 @@ def find_internal_edges(module: Module, index: NetIndex) -> Dict[str, Edge]:
     return edges
 
 
+class MuxEdgeCache:
+    """Persistent :func:`find_internal_edges` map for one module.
+
+    The seeding round of every muxtree pass used to recompute the whole
+    internal-edge map — an O(module) sweep per pass entry, even when almost
+    nothing changed since the map was last built.  This cache keeps the map
+    alive across pass entries, rounds and runs, invalidated through the
+    module's edit-notification channel:
+
+    * edits are **buffered raw** (O(1) per edit, no listener-ordering
+      hazards with the live index);
+    * at the next :meth:`edges` request — when a consistent index is in
+      hand — the buffer is replayed into a *dirty child set*: the edited
+      cells themselves, every cached child whose edge targets an edited
+      cell, and the mux drivers of every bit mentioned in an edit's specs
+      (those muxes' Y readership, output-visibility or parent-operand
+      match may have changed);
+    * only the dirty children are recomputed (:func:`compute_internal_edge`);
+      a buffered burst larger than the module falls back to a full sweep.
+
+    Obtain the per-module instance with :func:`module_edge_cache`; it
+    subscribes once and lives on the module like the shared live index.
+    The returned map is always a private copy — traversals mutate their
+    edge map while walking (edge hand-downs), and those mutations reach the
+    cache through the module edits they accompany, not through aliasing.
+    """
+
+    def __init__(self, module: Module):
+        self.module = module
+        self._map: Dict[str, Edge] = {}
+        #: parent cell name -> cached children whose edge targets it
+        self._children_of: Dict[str, Set[str]] = {}
+        self._primed = False
+        self._pending: List[ModuleEdit] = []
+        self.full_sweeps = 0
+        self.replays = 0
+        self.recomputed = 0
+        module.add_listener(self._on_edit)
+
+    #: edit kinds that cannot change any internal edge: the dead-alias
+    #: sweep leaves the canonical mapping of live bits unchanged, fresh
+    #: wires are undriven, and only unreferenced wires are ever removed
+    _INERT_KINDS = frozenset((
+        module_mod.CONNECTIONS_REPLACED,
+        module_mod.WIRE_ADDED,
+        module_mod.WIRE_REMOVED,
+    ))
+
+    def _on_edit(self, edit: ModuleEdit) -> None:
+        if not self._primed or edit.kind in self._INERT_KINDS:
+            return
+        self._pending.append(edit)
+        if len(self._pending) > max(64, 2 * len(self.module.cells)):
+            # a burst larger than the module: cheaper to resweep next time
+            self.invalidate()
+
+    def invalidate(self) -> None:
+        """Forget everything; the next :meth:`edges` does a full sweep.
+
+        Called for oversized edit bursts, and by the live index when it
+        compacts its alias union-find — the buffered raw edits here are
+        canonicalised only at replay time, so entries the compaction
+        dropped could otherwise leave replay unable to find the affected
+        mux drivers.
+        """
+        self._primed = False
+        self._pending.clear()
+        self._map.clear()
+        self._children_of.clear()
+
+    def edges(self, index: NetIndex) -> Dict[str, Edge]:
+        """The current internal-edge map (a private copy).
+
+        ``index`` must be consistent with the module (a pass-entry live
+        index, possibly inside a fresh frozen window).
+        """
+        if not self._primed:
+            self._map = find_internal_edges(self.module, index)
+            self._children_of = {}
+            for child, edge in self._map.items():
+                self._children_of.setdefault(edge[0].name, set()).add(child)
+            self._primed = True
+            self._pending.clear()
+            self.full_sweeps += 1
+        elif self._pending:
+            pending, self._pending = self._pending, []
+            dirty = self._dirty_children(pending, index)
+            for name in dirty:
+                old = self._map.pop(name, None)
+                if old is not None:
+                    self._children_of.get(old[0].name, set()).discard(name)
+            for name in sorted(dirty):
+                edge = compute_internal_edge(self.module, index, name)
+                if edge is not None:
+                    self._map[name] = edge
+                    self._children_of.setdefault(edge[0].name, set()).add(name)
+            self.replays += 1
+            self.recomputed += len(dirty)
+        return dict(self._map)
+
+    def _dirty_children(
+        self, pending: List[ModuleEdit], index: NetIndex
+    ) -> Set[str]:
+        sigmap = index.sigmap
+        dirty: Set[str] = set()
+
+        def from_spec(spec) -> None:
+            # the mux driving a mentioned bit may have gained/lost a reader,
+            # output-visibility, or the exact-operand match with its parent
+            for bit in spec:
+                cbit = sigmap.map_bit(bit)
+                if cbit.is_const:
+                    continue
+                entry = index.driver.get(cbit)
+                if entry is not None and entry[0].is_mux:
+                    dirty.add(entry[0].name)
+
+        for edit in pending:
+            cell = edit.cell
+            if cell is not None:
+                dirty.add(cell.name)
+                dirty |= self._children_of.get(cell.name, set())
+            for spec in (edit.old, edit.new, edit.lhs, edit.rhs):
+                if spec is not None:
+                    from_spec(spec)
+            if edit.ports:
+                for spec in edit.ports.values():
+                    from_spec(spec)
+            # CONNECTIONS_REPLACED / wire edits carry no specs: the dead-
+            # alias sweep leaves the canonical mapping of live bits (and
+            # with it every edge) unchanged, and fresh wires are undriven
+        return dirty
+
+
+def module_edge_cache(module: Module) -> MuxEdgeCache:
+    """The module's shared persistent edge cache (created on first use)."""
+    cache = module._edge_cache
+    if cache is None:
+        cache = MuxEdgeCache(module)
+        module._edge_cache = cache
+    return cache
+
+
+def seeding_edge_map(module: Module, index: NetIndex) -> Dict[str, Edge]:
+    """The internal-edge map for a pass's seeding sweep.
+
+    Under the live index this comes from the persistent per-module cache
+    (replaying only the edits since the map was last current); eager
+    snapshot indexes keep the historic O(module) sweep — the reference
+    path must stay cache-free.
+    """
+    if index.live:
+        return module_edge_cache(module).edges(index)
+    return find_internal_edges(module, index)
+
+
 def _match_edge(
     sigmap, parent: Cell, pname: str, y_bits: Tuple[SigBit, ...]
 ) -> Optional[Edge]:
@@ -276,7 +433,7 @@ class OptMuxtree(Pass):
             self.muxes = {c.name: c for c in module.cells.values() if c.is_mux}
             if not self.muxes:
                 return
-            self.parent_edge = find_internal_edges(module, index)
+            self.parent_edge = seeding_edge_map(module, index)
             roots = [
                 c for c in self.muxes.values() if c.name not in self.parent_edge
             ]

@@ -379,9 +379,33 @@ class PassManager:
     def engine(self) -> str:
         return "incremental" if self.incremental else "eager"
 
-    def run(self, module: Module, fixpoint: bool = False, max_rounds: int = 16) -> bool:
+    @staticmethod
+    def _sigmap_generation(module: Module) -> Optional[int]:
+        """The live index's union-find generation, or None before one
+        exists (a fresh build is current for every bit recorded after it,
+        so creation mid-run is not a reset)."""
+        index = module._net_index
+        return None if index is None else index.compactions
+
+    def run(
+        self,
+        module: Module,
+        fixpoint: bool = False,
+        max_rounds: int = 16,
+        seed: Optional[DirtySet] = None,
+    ) -> bool:
         """Run the pipeline once, or until nothing changes.  Returns whether
-        anything changed at all."""
+        anything changed at all.
+
+        ``seed`` (incremental engine only) starts the *first* round from a
+        dirty set instead of a full module sweep: the design-scope engine
+        passes the edits made to a module since its last converged run of
+        the same pipeline, so re-runs never re-sweep converged regions.
+        The caller owns the precondition that the module was at a fixpoint
+        of this pipeline before those edits — exactly the invariant
+        :class:`repro.flow.session.Session` tracks through the design edit
+        channel.  Ignored by the eager engine.
+        """
         emit = self.events.emit
         emit(
             "pipeline_started",
@@ -395,17 +419,23 @@ class PassManager:
         any_change = False
         rounds = 0
         round_change = False
-        carry: Optional[DirtySet] = None  # previous round's edits
+        # previous round's edits; a caller-provided seed plays that role
+        # for round 0 (cross-run incrementality)
+        carry: Optional[DirtySet] = seed if self.incremental else None
         dirty_stats = {
             "full_rounds": 0,
             "incremental_rounds": 0,
             "dirty_seed_cells": 0,
             "dirty_seed_bits": 0,
         }
+        if carry is not None:
+            dirty_stats["seeded_runs"] = 1
         self.converged = True
+        unverified = False  # a reset ate the final verification round
         for round_no in range(max_rounds if fixpoint else 1):
             round_change = False
             round_touched = DirtySet()
+            generation = self._sigmap_generation(module)
             if self.incremental and carry is not None:
                 dirty_stats["incremental_rounds"] += 1
                 dirty_stats["dirty_seed_cells"] += len(carry.cells)
@@ -451,7 +481,33 @@ class PassManager:
                 touched_cells=len(round_touched.cells),
             )
             any_change = any_change or round_change
+            # raw carry/seed bits are resolved against the sigmap only when
+            # consumed; a union-find generation reset (compaction or full
+            # rebuild) in between orphans them, so escalate to a full round
+            # instead of trusting — and never *converge* on a round whose
+            # own seeds may have been orphaned mid-round
+            end_generation = self._sigmap_generation(module)
+            if generation is None:
+                # the index was created mid-round (generation 0); any
+                # nonzero count means resets fired after creation
+                reset = self.incremental and bool(end_generation)
+            else:
+                reset = self.incremental and end_generation != generation
+            if reset:
+                dirty_stats["generation_resets"] = (
+                    dirty_stats.get("generation_resets", 0) + 1
+                )
             if not round_change:
+                if fixpoint and reset and carry is not None:
+                    # this round's seeds may have been orphaned: re-verify
+                    # convergence with a full sweep — or, with no rounds
+                    # left to do so, report honestly instead of claiming a
+                    # fixpoint that was never verified
+                    if round_no == max_rounds - 1:
+                        unverified = True
+                        break
+                    carry = None
+                    continue
                 if fixpoint:
                     emit(
                         "round_converged",
@@ -460,8 +516,8 @@ class PassManager:
                         module=module.name,
                     )
                 break
-            carry = round_touched
-        if fixpoint and round_change and rounds == max_rounds:
+            carry = None if reset else round_touched
+        if fixpoint and rounds == max_rounds and (round_change or unverified):
             self.converged = False
             emit(
                 "round_limit_reached",

@@ -1,0 +1,105 @@
+"""The content-signature result cache: transparency and reuse.
+
+The cache memoizes inference and exhaustive-simulation outcomes keyed by
+sub-graph content signatures (the SAT oracle's verdict-cache scheme).  It
+must be a pure acceleration: every flow produces byte-identical areas with
+the cache on or off, while fixpoint rounds re-asking the same undecided
+queries hit instead of recomputing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Session, SmartlyOptions
+from repro.core.cache import ResultCache
+from repro.equiv.differential import random_module
+from repro.ir import Circuit
+
+
+def _chain_module(name="chain"):
+    c = Circuit(name)
+    sel = c.input("sel", 2)
+    d = [c.input(f"d{i}", 4) for i in range(3)]
+    c.output("y", c.case_(sel, [(0, d[0]), (1, d[1]), (2, d[0])], d[2]))
+    return c.module
+
+
+class TestUnit:
+    def test_lookup_miss_then_hit(self):
+        cache = ResultCache()
+        hit, value = cache.lookup(("sim", "k1"))
+        assert not hit and value is None
+        cache.store(("sim", "k1"), True)
+        hit, value = cache.lookup(("sim", "k1"))
+        assert hit and value is True
+        assert cache.counters == {"sim_misses": 1, "sim_hits": 1}
+
+    def test_none_outcomes_are_cacheable(self):
+        cache = ResultCache()
+        cache.store(("infer", "k"), (False, None))
+        hit, value = cache.lookup(("infer", "k"))
+        assert hit and value == (False, None)
+
+    def test_eviction_drops_oldest_half(self):
+        cache = ResultCache(max_entries=4)
+        for i in range(4):
+            cache.store(("sim", i), i)
+        cache.store(("sim", 99), 99)
+        assert len(cache) == 3  # dropped 2 oldest, added 1
+        assert cache.lookup(("sim", 0))[0] is False
+        assert cache.lookup(("sim", 99))[0] is True
+        assert cache.counters["evictions"] == 1
+
+
+class TestTransparency:
+    @pytest.mark.parametrize("flow", ("smartly", "smartly-sat"))
+    def test_areas_identical_cache_on_and_off(self, flow):
+        for seed in (301, 302, 303):
+            on = Session(random_module(seed, width=4, n_units=3)).run(flow)
+            off = Session(
+                random_module(seed, width=4, n_units=3),
+                options=SmartlyOptions(use_result_cache=False),
+            ).run(flow)
+            assert on.optimized_area == off.optimized_area, (seed, flow)
+
+    def test_areas_identical_across_both_engines(self):
+        for engine in ("incremental", "eager"):
+            on = Session(_chain_module(), engine=engine).run("smartly")
+            off = Session(
+                _chain_module(),
+                options=SmartlyOptions(use_result_cache=False),
+                engine=engine,
+            ).run("smartly")
+            assert on.optimized_area == off.optimized_area, engine
+
+
+class TestReuse:
+    def test_fixpoint_rounds_hit_the_cache(self):
+        module = random_module(305, width=4, n_units=4)
+        report = Session(module).run("smartly")
+        stats = report.pass_stats
+        hits = sum(
+            v for k, v in stats.items()
+            if k.rsplit(".", 1)[-1].startswith("rcache_")
+            and k.endswith("_hits")
+        )
+        assert hits > 0, stats
+
+    def test_cache_disabled_reports_no_rcache_stats(self):
+        report = Session(
+            _chain_module(), options=SmartlyOptions(use_result_cache=False)
+        ).run("smartly")
+        assert not any("rcache_" in key for key in report.pass_stats)
+
+    def test_session_shares_one_cache_across_modules_and_runs(self):
+        from repro.api import Design
+
+        design = Design(_chain_module("alpha"))
+        design.add_module(_chain_module("beta"))
+        session = Session(design)
+        session.run_all("smartly")
+        # both modules' flows were attached to the same session cache
+        assert len(session._result_cache) > 0
+        total = dict(session._result_cache.counters)
+        assert sum(v for k, v in total.items() if k.endswith("_misses")) > 0

@@ -1,0 +1,305 @@
+"""Design-scope incrementality: skip unchanged modules, seed edited ones.
+
+The Session records, per (module, flow), the design revision at which the
+flow last converged.  Re-running the flow must skip modules whose content
+is unchanged (zero passes), seed the edited ones with only the in-between
+edits, and in all cases produce AIG areas byte-identical to an eager
+whole-design re-run from the same state.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Design, EventLog, Session
+from repro.ir import Circuit
+from repro.ir.cells import CellType
+
+
+def _circuit(name, salt=0):
+    c = Circuit(name)
+    sel = c.input("sel", 2)
+    d = [c.input(f"d{i}", 8) for i in range(3)]
+    case_part = c.case_(
+        sel, [(0, d[0]), (1, d[1]), (2, d[salt % 3])], d[1]
+    )
+    S = c.input("S")
+    c.output("y", c.xor(case_part, c.mux(d[2], d[0], S)))
+    return c.module
+
+
+def _two_module_session(**kwargs):
+    design = Design(_circuit("alpha"))
+    design.add_module(_circuit("beta", salt=1))
+    return Session(design, **kwargs)
+
+
+def _edit(module):
+    """A local edit through the notifying APIs: pin the first mux select."""
+    name = sorted(
+        c.name for c in module.cells.values() if c.type is CellType.MUX
+    )[0]
+    module.cells[name].set_port("S", 1)
+
+
+class TestSkipUnchanged:
+    def test_rerun_without_edits_skips_every_module(self):
+        session = _two_module_session()
+        first = session.run_all("smartly")
+        second = session.run_all("smartly")
+        for name, report in second.items():
+            assert report.design_cache == "skipped"
+            assert report.rounds == 0 and report.passes == []
+            assert report.optimized_area == first[name].optimized_area
+            assert report.dirty_stats == {"modules_skipped": 1}
+
+    def test_editing_one_module_skips_only_the_other(self):
+        session = _two_module_session()
+        session.run_all("smartly")
+        _edit(session.design["alpha"])
+        log = session.subscribe(EventLog())
+        reports = session.run_all("smartly")
+        assert reports["alpha"].design_cache == "seeded"
+        assert reports["alpha"].rounds > 0
+        assert reports["beta"].design_cache == "skipped"
+        assert reports["beta"].rounds == 0
+        # the skipped module ran zero passes; the edited one ran real ones
+        passes_by_module = {
+            e["module"] for e in log.of_kind("pass_started")
+        }
+        assert passes_by_module == {"alpha"}
+        skipped = log.of_kind("flow_skipped")
+        assert [e["case"] for e in skipped] == ["beta"]
+
+    def test_skip_areas_match_a_fresh_eager_run(self):
+        session = _two_module_session()
+        session.run_all("smartly")
+        _edit(session.design["alpha"])
+        incremental = session.run_all("smartly")
+        # eager reference: same initial design, same history, same edit
+        reference = _two_module_session()
+        reference.run_all("smartly")
+        _edit(reference.design["alpha"])
+        eager = Session(reference.design, engine="eager").run_all("smartly")
+        for name in incremental:
+            assert (
+                incremental[name].optimized_area
+                == eager[name].optimized_area
+            ), name
+
+    def test_skipped_run_with_check_reports_checked(self):
+        session = _two_module_session()
+        session.run_all("smartly")
+        report = session.run("smartly", module="alpha", check=True)
+        assert report.design_cache == "skipped"
+        assert report.equivalence_checked is True
+
+
+class TestSeedSoundness:
+    def test_interleaved_flows_never_seed_from_a_gap(self):
+        """A stored state can only seed when the pending edit window spans
+        exactly the distance back to it; an interleaved different flow
+        (whose edits are not in the window) must force a full re-run."""
+        session = _two_module_session()
+        session.run("smartly", module="alpha")
+        session.run("yosys", module="alpha")  # different flow, module moved
+        report = session.run("smartly", module="alpha")
+        assert report.design_cache == "none"  # full re-run, not seeded
+
+    def test_eager_runs_never_skip_or_seed(self):
+        session = _two_module_session(engine="eager")
+        session.run_all("smartly")
+        reports = session.run_all("smartly")
+        for report in reports.values():
+            assert report.design_cache == "none"
+
+    def test_eager_override_invalidates_incremental_state(self):
+        session = _two_module_session()
+        session.run("smartly", module="alpha")
+        session.run("smartly", module="alpha", engine="eager")
+        report = session.run("smartly", module="alpha")
+        # the eager run moved the revision outside the tracked window
+        assert report.design_cache == "none"
+
+    def test_changing_single_shot_runs_do_not_anchor_skips(self):
+        """manager.converged is vacuously True for non-fixpoint runs; a
+        single-shot pipeline that changed the module is NOT at a fixpoint,
+        so re-running it must run for real (eager re-runs would keep
+        optimizing, and skip would freeze a half-optimized module)."""
+        c = Circuit("delta")
+        s = c.input("s")
+        a, b, d = (c.input(n, 8) for n in "abd")
+        # Figure-1 shape: the inner mux shares the outer control, so the
+        # baseline single-shot pipeline bypasses it (a real change)
+        c.output("y", c.mux(d, c.mux(a, b, s), s))
+        session = Session(c.module)
+        flow = "opt_expr; opt_merge; opt_muxtree; opt_clean"  # no fixpoint
+        first = session.run(flow)
+        assert any(p.changed for p in first.passes)
+        second = session.run(flow)
+        assert second.design_cache == "none"
+        # once a single-shot run stops changing anything, skipping is sound
+        quiet = session
+        report = quiet.run(flow)
+        while any(p.changed for p in report.passes):
+            report = quiet.run(flow)
+        assert quiet.run(flow).design_cache == "skipped"
+
+    def test_unconverged_runs_do_not_anchor_skips(self):
+        session = Session(_circuit("gamma"))
+        flow = "fixpoint max_rounds=1; opt_expr; opt_merge; smartly; opt_clean"
+        first = session.run(flow)
+        if first.converged:
+            pytest.skip("workload converged in one round")
+        second = session.run(flow)
+        assert second.design_cache == "none"  # re-ran for real
+
+    def test_module_membership_changes_reset_state(self):
+        session = _two_module_session()
+        session.run_all("smartly")
+        session.design.remove_module("beta")
+        session.design.add_module(_circuit("beta", salt=1))
+        report = session.run("smartly", module="beta")
+        assert report.design_cache == "none"
+
+    def test_manual_bypass_edit_seeds_the_removed_nets_readers(self):
+        """A between-run remove_cell + connect (manual bypass) has no pass
+        around to report the removed net's readers, so the pending window
+        must record them conservatively — the seeded re-run has to find
+        the same fold a full run would."""
+        from repro.ir.builder import Circuit as _Circuit
+
+        def build():
+            c = _Circuit("bypass")
+            a = c.input("a", 8)
+            b = c.input("b", 8)
+            s = c.input("s")
+            c.output("y", c.mux(a, c.xor(b, c.input("c0", 8)), s))
+            return c.module
+
+        session = Session(build())
+        first = session.run("smartly")
+        module = session.design["bypass"]
+        xor_name = sorted(
+            c.name for c in module.cells.values()
+            if c.type is CellType.XOR
+        )[0]
+        xor_cell = module.cells[xor_name]
+        old_y = xor_cell.connections["Y"]
+        old_a = xor_cell.connections["A"]
+        # manual bypass: the mux's B operand becomes an alias of... A's a —
+        # making mux(a, a, s) foldable, visible only through the removed
+        # net's reader
+        module.remove_cell(xor_cell)
+        module.connect(old_y, module.wire("a"))
+        seeded = session.run("smartly")
+        assert seeded.design_cache == "seeded"
+
+        control = Session(build())
+        control.run("smartly")
+        cmod = control.design["bypass"]
+        cxor = cmod.cells[xor_name]
+        cy = cxor.connections["Y"]
+        cmod.remove_cell(cxor)
+        cmod.connect(cy, cmod.wire("a"))
+        control._flow_states.clear()
+        control._pending.clear()
+        full = control.run("smartly")
+        assert full.design_cache == "none"
+        assert seeded.optimized_area == full.optimized_area
+        assert seeded.optimized_area < first.optimized_area
+
+    def test_seeded_rerun_matches_full_rerun_areas(self):
+        """Seeded re-run vs full re-run of the same edited module."""
+        session = _two_module_session()
+        session.run("smartly", module="alpha")
+        _edit(session.design["alpha"])
+        seeded = session.run("smartly", module="alpha")
+        assert seeded.design_cache == "seeded"
+
+        control = _two_module_session()
+        control.run("smartly", module="alpha")
+        _edit(control.design["alpha"])
+        # wipe the control session's memory: forces the full path
+        control._flow_states.clear()
+        control._pending.clear()
+        full = control.run("smartly", module="alpha")
+        assert full.design_cache == "none"
+        assert seeded.optimized_area == full.optimized_area
+
+
+class TestSessionLifecycle:
+    def test_close_detaches_design_listener(self):
+        design = Design(_circuit("alpha"))
+        before = len(design._listeners)
+        session = Session(design)
+        assert len(design._listeners) == before + 1
+        session.close()
+        assert len(design._listeners) == before
+        session.close()  # idempotent
+
+    def test_context_manager_closes(self):
+        design = Design(_circuit("alpha"))
+        before = len(design._listeners)
+        with Session(design) as session:
+            session.run("smartly")
+        assert len(design._listeners) == before
+
+    def test_sessions_per_run_do_not_accumulate_listeners(self):
+        design = Design(_circuit("alpha"))
+        before = len(design._listeners)
+        for _ in range(5):
+            with Session(design) as session:
+                session.run("smartly")
+        assert len(design._listeners) == before
+
+    def test_closed_session_falls_back_to_full_runs(self):
+        session = _two_module_session()
+        session.run("smartly", module="alpha")
+        session.close()
+        report = session.run("smartly", module="alpha")
+        assert report.design_cache == "none"
+
+    def test_closed_session_never_fabricates_empty_seeds(self):
+        """A closed session's windows can never see an edit, so a
+        post-close edit followed by re-runs must keep producing full runs
+        that actually optimize — never a silently empty seed or a skip
+        over unoptimized content."""
+        session = _two_module_session()
+        session.close()
+        session.run("smartly", module="alpha")
+        _edit(session.design["alpha"])
+        second = session.run("smartly", module="alpha")
+        assert second.design_cache == "none"
+        assert second.rounds > 0
+        # reference: the same history on an open control session
+        control = _two_module_session()
+        control.run("smartly", module="alpha")
+        _edit(control.design["alpha"])
+        expected = control.run("smartly", module="alpha")
+        assert second.optimized_area == expected.optimized_area
+        third = session.run("smartly", module="alpha")
+        assert third.design_cache == "none"
+        assert third.optimized_area == second.optimized_area
+
+
+class TestSuiteCaseSharing:
+    def test_factories_run_once_per_case_in_thread_suites(self):
+        calls = []
+
+        def factory(name):
+            def build():
+                calls.append(name)
+                return _circuit(name)
+            return build
+
+        session = Session()
+        suite = session.run_suite(
+            {"a": factory("a"), "b": factory("b")},
+            ("yosys", "smartly"),
+            max_workers=2,
+        )
+        assert sorted(calls) == ["a", "b"]  # once per case, not per job
+        for case in ("a", "b"):
+            assert suite[case]["yosys"].original_area == \
+                suite[case]["smartly"].original_area

@@ -1,8 +1,18 @@
-"""Design container tests."""
+"""Design container tests: membership, and the design edit channel."""
+
+import pickle
 
 import pytest
 
 from repro.ir import Design, Module
+from repro.ir.builder import Circuit
+from repro.ir.cells import CellType
+from repro.ir.design import (
+    MODULE_ADDED,
+    MODULE_EDITED,
+    MODULE_REMOVED,
+    TOP_CHANGED,
+)
 
 
 def test_empty_design_has_no_top():
@@ -56,3 +66,100 @@ def test_constructor_top():
 def test_repr_mentions_top():
     design = Design(Module("main"))
     assert "main" in repr(design)
+
+
+def _small_module(name):
+    c = Circuit(name)
+    a, b, s = c.input("a", 4), c.input("b", 4), c.input("s")
+    c.output("y", c.mux(a, b, s))
+    return c.module
+
+
+class TestDesignEditChannel:
+    def test_module_edits_forward_with_module_name(self):
+        design = Design(_small_module("alpha"))
+        design.add_module(_small_module("beta"))
+        seen = []
+        design.add_listener(seen.append)
+        design["beta"].add_cell(
+            CellType.AND, A=design["beta"].wire("a"),
+            B=design["beta"].wire("b"),
+        )
+        kinds = [(e.kind, e.module) for e in seen]
+        assert (MODULE_EDITED, "beta") in kinds
+        assert all(module == "beta" for _kind, module in kinds)
+        # the underlying structural edit rides along
+        edited = [e for e in seen if e.kind == MODULE_EDITED]
+        assert any(e.edit is not None and e.edit.cell is not None
+                   for e in edited)
+
+    def test_revision_counts_every_structural_edit(self):
+        design = Design(_small_module("alpha"))
+        assert design.revision("alpha") == 0
+        module = design["alpha"]
+        before = design.revision("alpha")
+        module.add_cell(CellType.NOT, A=module.wire("a"))
+        assert design.revision("alpha") > before
+
+    def test_revisions_are_per_module(self):
+        design = Design(_small_module("alpha"))
+        design.add_module(_small_module("beta"))
+        design["alpha"].add_cell(CellType.NOT, A=design["alpha"].wire("a"))
+        assert design.revision("alpha") > 0
+        assert design.revision("beta") == 0
+
+    def test_add_and_remove_notify(self):
+        design = Design(_small_module("alpha"))
+        seen = []
+        design.add_listener(seen.append)
+        design.add_module(_small_module("beta"))
+        removed = design.remove_module("beta")
+        assert removed.name == "beta"
+        kinds = [(e.kind, e.module) for e in seen]
+        assert (MODULE_ADDED, "beta") in kinds
+        assert (MODULE_REMOVED, "beta") in kinds
+
+    def test_removed_module_edits_no_longer_forward(self):
+        design = Design(_small_module("alpha"))
+        beta = design.add_module(_small_module("beta"))
+        seen = []
+        design.add_listener(seen.append)
+        design.remove_module("beta")
+        seen.clear()
+        beta.add_cell(CellType.NOT, A=beta.wire("a"))
+        assert seen == []
+
+    def test_removing_top_promotes_next_module(self):
+        design = Design(_small_module("alpha"))
+        design.add_module(_small_module("beta"))
+        design.remove_module("alpha")
+        assert design.top_name == "beta"
+
+    def test_set_top_notifies(self):
+        design = Design(_small_module("alpha"))
+        design.add_module(_small_module("beta"))
+        seen = []
+        design.add_listener(seen.append)
+        design.set_top("beta")
+        assert [(e.kind, e.module) for e in seen] == [(TOP_CHANGED, "beta")]
+
+    def test_clone_is_independent(self):
+        design = Design(_small_module("alpha"))
+        copy = design.clone()
+        design["alpha"].add_cell(CellType.NOT,
+                                 A=design["alpha"].wire("a"))
+        assert design.revision("alpha") > 0
+        assert copy.revision("alpha") == 0
+        assert len(copy["alpha"].cells) != len(design["alpha"].cells)
+
+    def test_pickle_round_trip_keeps_channel_working(self):
+        design = Design(_small_module("alpha"))
+        design["alpha"].add_cell(CellType.NOT, A=design["alpha"].wire("a"))
+        restored = pickle.loads(pickle.dumps(design))
+        assert restored.revision("alpha") == 0  # fresh design identity
+        seen = []
+        restored.add_listener(seen.append)
+        mod = restored["alpha"]
+        mod.add_cell(CellType.NOT, A=mod.wire("b"))
+        assert any(e.kind == MODULE_EDITED for e in seen)
+        assert restored.revision("alpha") > 0

@@ -1,0 +1,176 @@
+"""Live-index memory hygiene: union-find generation compaction.
+
+The live ``NetIndex`` keeps alias union-find entries for dead bits — safe,
+but historically unbounded: a long session that churns cells and aliases
+(every optimization run does) grew the structure forever.  Compaction
+rewrites it over exactly the live bits when dead entries dominate, and it
+must do so *without changing any live bit's representative* (driver/reader
+maps are keyed by those representatives).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir import Circuit
+from repro.ir.cells import CellType
+from repro.ir.module import SigMap
+from repro.ir.signals import SigBit
+from repro.ir.walker import NetIndex
+
+
+def _churn_module():
+    c = Circuit("churn")
+    a = c.input("a", 4)
+    b = c.input("b", 4)
+    c.output("y", c.xor(a, b))
+    return c.module
+
+
+def _churn_once(module, i):
+    """One add-alias-kill cycle: the shape every optimization run leaves
+    behind (bypassed cell, dead alias, reaped wire)."""
+    cell = module.add_cell(CellType.NOT, A=module.wire("a"))
+    tmp = module.add_wire(f"tmp{i}", 4)
+    module.connect(tmp, cell.connections["Y"])
+    module.remove_cell(cell)
+    tmp_wires = {id(tmp)}
+    module.replace_connections(
+        (lhs, rhs)
+        for lhs, rhs in module.connections
+        if not any(id(w) in tmp_wires for w in lhs.wires())
+    )
+    module.remove_wire(tmp)
+
+
+class TestSigMapCompact:
+    def test_representatives_preserved_for_live_bits(self):
+        c = Circuit("m")
+        a = c.input("a", 2)
+        module = c.module
+        w1 = module.add_wire("w1", 2)
+        w2 = module.add_wire("w2", 2)
+        module.connect(w1, a)
+        module.connect(w2, w1)
+        sigmap = module.sigmap()
+        live = [SigBit(w2, 0), SigBit(w2, 1), SigBit(a.wires()[0], 0)]
+        before = {bit: sigmap.map_bit(bit) for bit in live}
+        dead = SigBit(w1, 0)
+        assert sigmap.map_bit(dead) != dead  # has a non-trivial entry
+        dropped = sigmap.compact(live)
+        assert dropped > 0
+        for bit, rep in before.items():
+            assert sigmap.map_bit(bit) == rep
+        # the compacted-away bit now maps to itself (fresh-build semantics
+        # for bits nothing references)
+        assert sigmap.map_bit(dead) == dead
+
+    def test_empty_compact_is_noop(self):
+        sigmap = SigMap()
+        assert sigmap.compact([]) == 0
+
+
+class TestLongSessionCompaction:
+    def test_union_find_stays_bounded_over_long_sessions(self):
+        module = _churn_module()
+        index = module.net_index()
+        baseline = None
+        for i in range(2000):
+            _churn_once(module, i)
+            if i == 20:
+                # growth rate before any compaction could have fired
+                baseline = len(index.sigmap)
+        assert index.compactions > 0
+        # without compaction the structure would hold ~4 entries per
+        # iteration (8000+); with it, the population stays near the live
+        # bit count
+        assert len(index.sigmap) < max(512, 4 * baseline), (
+            len(index.sigmap), baseline, index.compactions
+        )
+
+    def test_compacted_index_still_matches_fresh_build(self):
+        module = _churn_module()
+        index = module.net_index()
+        for i in range(2000):
+            _churn_once(module, i)
+        assert index.compactions > 0
+        fresh = NetIndex(module)
+        assert {
+            bit: entry[0].name for bit, entry in index.driver.items()
+        } == {bit: entry[0].name for bit, entry in fresh.driver.items()}
+        for wire in module.wires.values():
+            for j in range(wire.width):
+                bit = SigBit(wire, j)
+                assert index.canonical(bit) == fresh.canonical(bit)
+                assert index.is_source(bit) == fresh.is_source(bit)
+        assert [c.name for c in index.topo_cells()] == [
+            c.name for c in fresh.topo_cells()
+        ]
+
+    def test_compaction_defers_until_frozen_replay_drains(self):
+        """Compaction must never fire mid-replay of a frozen window's
+        buffered edits: _live_bits reads the module's *final* state, so
+        compacting while later pending deindexes are still queued would
+        drop union-find entries those deindexes need to find their
+        canonical roots — leaving ghost reader entries and diverging the
+        live index from a fresh rebuild."""
+        c = Circuit("replay")
+        a = c.input("a", 4)
+        c.output("y", c.xor(a, c.input("b", 4)))
+        module = c.module
+        index = module.net_index()
+        # pile up dead union-find entries without tripping a check: many
+        # aliases, then one replace_connections dropping them all
+        garbage = [module.add_wire(f"g{i}", 4) for i in range(200)]
+        for wire in garbage:
+            module.connect(wire, module.wire("a"))
+        dropped = {id(w) for w in garbage}
+        module.replace_connections(
+            (lhs, rhs)
+            for lhs, rhs in module.connections
+            if not any(id(w) in dropped for w in lhs.wires())
+        )
+        assert len(index.sigmap) > 256
+        # an alias wire read by cells that are removed inside the window
+        alias = module.add_wire("alias_w", 4)
+        module.connect(alias, module.wire("a"))
+        cells = [
+            module.add_cell(CellType.AND, A=alias, B=module.wire("b"))
+            for _ in range(2)
+        ]
+        alias_ids = {id(alias)}
+        # position the counter so the first in-window removal event lands
+        # on the 64-event compaction check boundary
+        index._removal_events = 63
+        with index.frozen():
+            module.replace_connections(
+                (lhs, rhs)
+                for lhs, rhs in module.connections
+                if not any(id(w) in alias_ids for w in lhs.wires())
+            )
+            for cell in cells:
+                module.remove_cell(cell)
+        # the check fired mid-replay, was deferred, and ran after the drain
+        assert index.compactions > 0
+        fresh = NetIndex(module)
+        assert {
+            bit: sorted((e[0].name, e[1], e[2]) for e in entries)
+            for bit, entries in index.readers.items() if entries
+        } == {
+            bit: sorted((e[0].name, e[1], e[2]) for e in entries)
+            for bit, entries in fresh.readers.items() if entries
+        }
+        assert {
+            bit: entry[0].name for bit, entry in index.driver.items()
+        } == {bit: entry[0].name for bit, entry in fresh.driver.items()}
+
+    def test_queries_stay_correct_throughout_churn(self):
+        module = _churn_module()
+        index = module.net_index()
+        y_wire = module.wire("y")
+        for i in range(600):
+            _churn_once(module, i)
+            if i % 97 == 0:
+                driver = index.driver_cell(SigBit(y_wire, 0))
+                assert driver is not None and driver.type is CellType.XOR
+        assert index.compactions > 0

@@ -1,0 +1,153 @@
+"""The persistent muxtree edge cache equals a fresh find_internal_edges.
+
+``MuxEdgeCache`` replays buffered module edits into targeted per-child
+recomputes; its correctness contract is exact equality with a from-scratch
+:func:`find_internal_edges` sweep at every request point, under arbitrary
+edit sequences — the same property discipline the live NetIndex is held to.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.api import Session
+from repro.equiv.differential import random_module
+from repro.ir.cells import CellType
+from repro.ir.signals import SigBit, SigSpec
+from repro.ir.walker import NetIndex
+from repro.opt.opt_muxtree import (
+    MuxEdgeCache,
+    find_internal_edges,
+    module_edge_cache,
+)
+
+
+def _edge_view(edges):
+    return {
+        child: (edge[0].name, edge[1], edge[2])
+        for child, edge in edges.items()
+    }
+
+
+def assert_cache_matches_fresh(module):
+    cache = module_edge_cache(module)
+    live = module.net_index()
+    cached = cache.edges(live)
+    fresh = find_internal_edges(module, NetIndex(module))
+    assert _edge_view(cached) == _edge_view(fresh)
+
+
+def _source_bits(module):
+    bits = []
+    for wire in module.wires.values():
+        if wire.port_input:
+            bits.extend(SigBit(wire, i) for i in range(wire.width))
+    return bits
+
+
+def _mux_edit(rng, module, sources):
+    """Random edits biased towards the things edges depend on: mux data
+    ports, mux additions/removals, Y-aliasing."""
+    muxes = sorted(
+        name for name, c in module.cells.items() if c.type is CellType.MUX
+    )
+    roll = rng.random()
+    if roll < 0.3 and muxes:
+        # rewire a mux data port — to another mux's Y when possible, which
+        # creates/destroys internal edges
+        cell = module.cells[rng.choice(muxes)]
+        port = rng.choice(["A", "B"])
+        width = len(cell.connections[port])
+        other = rng.choice(muxes)
+        other_y = module.cells[other].connections["Y"]
+        if other != cell.name and len(other_y) == width and rng.random() < 0.7:
+            cell.set_port(port, other_y)
+        else:
+            cell.set_port(
+                port, SigSpec([rng.choice(sources) for _ in range(width)])
+            )
+    elif roll < 0.5:
+        # add a mux over sources (or over an existing mux's Y)
+        width = rng.choice([1, 2])
+        a = SigSpec([rng.choice(sources) for _ in range(width)])
+        if muxes and rng.random() < 0.5:
+            candidate = module.cells[rng.choice(muxes)].connections["Y"]
+            if len(candidate) == width:
+                a = candidate
+        b = SigSpec([rng.choice(sources) for _ in range(width)])
+        s = SigSpec([rng.choice(sources)])
+        module.add_cell(CellType.MUX, A=a, B=b, S=s)
+    elif roll < 0.7 and muxes:
+        module.remove_cell(rng.choice(muxes))
+    elif roll < 0.85:
+        cells = sorted(module.cells)
+        if cells:
+            module.remove_cell(rng.choice(cells))
+    else:
+        width = rng.choice([1, 2])
+        wire = module.add_wire(width=width)
+        module.connect(
+            wire, SigSpec([rng.choice(sources) for _ in range(width)])
+        )
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_random_edit_sequences_match_fresh_sweep(seed):
+    module = random_module(8000 + seed, width=3, n_units=3)
+    rng = random.Random(seed)
+    assert_cache_matches_fresh(module)  # primes the cache
+    sources = _source_bits(module)
+    for _burst in range(8):
+        for _ in range(rng.randint(1, 6)):
+            _mux_edit(rng, module, sources)
+        assert_cache_matches_fresh(module)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_cache_survives_full_optimization_flows(seed):
+    """After real flows — the heaviest edit streams — the cache still
+    answers exactly like a fresh sweep, across runs."""
+    module = random_module(8100 + seed, width=4, n_units=3)
+    assert_cache_matches_fresh(module)
+    Session(module).run("smartly")
+    assert_cache_matches_fresh(module)
+    Session(module).run("yosys")
+    assert_cache_matches_fresh(module)
+
+
+def test_cache_is_shared_and_replay_counted():
+    module = random_module(8200, width=3, n_units=2)
+    cache = module_edge_cache(module)
+    assert module_edge_cache(module) is cache
+    live = module.net_index()
+    cache.edges(live)
+    assert cache.full_sweeps == 1
+    sources = _source_bits(module)
+    _mux_edit(random.Random(0), module, sources)
+    cache.edges(live)
+    # the edit was replayed, not answered by a second full sweep
+    assert cache.full_sweeps == 1 and cache.replays >= 1
+
+
+def test_returned_map_is_a_private_copy():
+    module = random_module(8201, width=3, n_units=2)
+    cache = module_edge_cache(module)
+    live = module.net_index()
+    first = cache.edges(live)
+    first["bogus"] = None  # traversal-style mutation
+    assert "bogus" not in cache.edges(live)
+
+
+def test_oversized_burst_falls_back_to_full_sweep():
+    module = random_module(8202, width=3, n_units=2)
+    cache = module_edge_cache(module)
+    live = module.net_index()
+    cache.edges(live)
+    rng = random.Random(1)
+    sources = _source_bits(module)
+    for _ in range(max(64, 2 * len(module.cells)) + 16):
+        _mux_edit(rng, module, sources)
+    assert_cache_matches_fresh(module)
+    assert cache.full_sweeps == 2  # burst invalidated the whole map

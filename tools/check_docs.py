@@ -1,0 +1,90 @@
+"""Documentation consistency checker (the CI docs job).
+
+Two guarantees:
+
+1. every relative markdown link in ``docs/`` and ``README.md`` resolves to
+   an existing file;
+2. every dotted ``repro.*`` name mentioned in ``docs/API.md`` actually
+   exists — resolved by importing the longest module prefix and walking
+   the remaining attributes, so the reference can never drift from the
+   code without CI noticing.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import importlib
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: markdown files whose relative links must resolve
+LINK_FILES = [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]
+
+#: the file whose dotted repro.* mentions must all import
+API_REFERENCE = REPO / "docs" / "API.md"
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_DOTTED = re.compile(r"\brepro(?:\.[A-Za-z_]\w*)+")
+
+
+def check_links() -> list:
+    failures = []
+    for path in LINK_FILES:
+        text = path.read_text()
+        for match in _LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "#", "mailto:")):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                failures.append(f"{path.relative_to(REPO)}: broken link "
+                                f"-> {target}")
+    return failures
+
+
+def resolve_dotted(name: str):
+    """Import the longest importable prefix, then getattr the rest."""
+    parts = name.split(".")
+    last_error = None
+    for i in range(len(parts), 0, -1):
+        module_name = ".".join(parts[:i])
+        try:
+            obj = importlib.import_module(module_name)
+        except ImportError as exc:
+            last_error = exc
+            continue
+        for attr in parts[i:]:
+            obj = getattr(obj, attr)  # AttributeError = broken reference
+        return obj
+    raise ImportError(f"no importable prefix of {name!r}: {last_error}")
+
+
+def check_api_names() -> list:
+    failures = []
+    names = sorted(set(_DOTTED.findall(API_REFERENCE.read_text())))
+    for name in names:
+        try:
+            resolve_dotted(name)
+        except (ImportError, AttributeError) as exc:
+            failures.append(f"docs/API.md: {name} does not resolve ({exc})")
+    print(f"docs/API.md: {len(names)} dotted names checked")
+    return failures
+
+
+def main() -> int:
+    failures = check_links() + check_api_names()
+    for failure in failures:
+        print(f"FAIL {failure}", file=sys.stderr)
+    if not failures:
+        print(f"links OK across {len(LINK_FILES)} files; API names OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
