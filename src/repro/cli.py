@@ -205,6 +205,31 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _format_cache_stats(stats: dict) -> str:
+    """One-line per-kind hit-rate summary of suite/run cache totals."""
+    kinds = sorted(
+        {key[: -len("_hits")] for key in stats if key.endswith("_hits")}
+        | {key[: -len("_misses")] for key in stats if key.endswith("_misses")}
+    )
+    parts = []
+    for kind in kinds:
+        if kind.startswith("oracle"):
+            continue  # oracle counters print via their own summary line
+        hits = stats.get(f"{kind}_hits", 0)
+        total = hits + stats.get(f"{kind}_misses", 0)
+        rate = 100.0 * hits / total if total else 0.0
+        parts.append(f"{kind} {hits}/{total} ({rate:.1f}%)")
+    for key in ("evictions", "merged", "entries"):
+        if stats.get(key):
+            parts.append(f"{key}={stats[key]}")
+    if stats.get("oracle_cache_hits") is not None:
+        parts.append(
+            f"oracle-verdicts {stats.get('oracle_cache_hits', 0)}"
+            f"/{stats.get('oracle_queries', 0)}"
+        )
+    return ", ".join(parts) if parts else "no cache traffic"
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     """Regenerate a paper table on the synthetic suite, in parallel."""
     session = Session()
@@ -233,6 +258,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(render_industrial(results))
     else:
         raise ValueError(f"unknown bench {args.table!r}")
+    print(f"suite caches: {_format_cache_stats(results.cache_stats)}")
     return 0
 
 

@@ -6,24 +6,30 @@ decision ladder — the Table-I inference rules and exhaustive simulation —
 were recomputed from scratch whenever a dirty region was re-traversed, even
 though their answers are pure functions of exactly the same key.
 
-:class:`ResultCache` closes that gap: analysis outcomes are memoized by
+:class:`ResultCache` closes that gap.  Two keying schemes exist, selected
+per instance:
 
-* the sub-graph's **content signature** — the ordered ``(cell name,
-  version)`` tuple of its cells (:func:`repro.sat.oracle.signature_of`), so
-  any rewire of any participating cell changes the key;
-* its **free-input list** and **target**, expressed in canonical bits, so
-  alias connections that re-canonicalise a boundary bit (without rewiring
-  any cell) also change the key;
-* the **known facts** restricted to the sub-graph, canonical as well.
+* **structural** (``structural=True``, the default): the canonical
+  name-free signature of :func:`repro.ir.struct_hash.struct_signature` —
+  equal for renamed, cloned or independently built isomorphic sub-graphs,
+  so entries are shared across modules, suite jobs and (via
+  :meth:`export`/:meth:`merge`) worker processes.  Per-cell version
+  bumps still invalidate exactly as before: the signature encodes each
+  cell's current connections directly, and the identity→signature memo
+  (:class:`~repro.ir.struct_hash.StructKeyMemo`) re-canonicalises
+  whenever a version moves;
+* **identity** (``structural=False``, the reference path): the historic
+  key — the ordered ``(cell name, version)`` tuple of the sub-graph's
+  cells (:func:`repro.sat.oracle.signature_of`) plus its free-input
+  list, target and known facts in canonical bits.  Keys never collide
+  across modules or clones because non-constant
+  :class:`~repro.ir.signals.SigBit` objects hash by wire *identity* —
+  and for the same reason never *hit* across them either.
 
-That is precisely the scheme that makes the oracle's verdict cache safe
+Either way the key embeds everything inference and simulation consume —
+that is precisely the scheme that makes the oracle's verdict cache safe
 across pass generations (see :meth:`repro.sat.oracle.SatOracle.begin_pass`),
-and the same argument applies verbatim here: inference and simulation
-consume nothing but the sub-graph cells and the canonical forms embedded in
-the key.  Keys never collide across modules, runs or clones because
-non-constant :class:`~repro.ir.signals.SigBit` objects hash by wire
-*identity* — two modules (or a module and its clone) can never produce
-equal keys.
+and the same argument applies verbatim here.
 
 One cache instance is intended to live as long as its owner: the
 :class:`~repro.core.smartly.Smartly` pass keeps one across optimization
@@ -31,14 +37,16 @@ rounds and runs, and :class:`~repro.flow.session.Session` injects a single
 session-wide instance into every flow it builds so entries persist across
 rounds, runs *and* modules of the same design.  Entries are bounded with
 oldest-half eviction, like the oracle's verdict cache — netlist mutation
-permanently orphans keys embedding old cell versions, so the population
-must not grow with session lifetime.
+permanently orphans keys embedding old cell versions (identity mode) or
+unreachable structures (structural mode), so the population must not grow
+with session lifetime.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Tuple
+from typing import Any, Container, Dict, Iterable, Mapping, Optional, Tuple
 
+from ..ir.struct_hash import StructKeyMemo
 from ..sat.oracle import signature_of
 
 _MISS = object()
@@ -48,15 +56,28 @@ class ResultCache:
     """Bounded memo for sub-graph-keyed analysis outcomes.
 
     ``counters`` tracks per-kind traffic (``{kind}_hits`` / ``{kind}_misses``
-    plus ``evictions``); owners snapshot it around a pass invocation and
-    report the delta as pass statistics (the ``rcache_*`` entries of
-    :class:`~repro.flow.session.RunReport` pass stats).
+    plus ``evictions`` — counted per evicted *entry* — and ``merged``);
+    owners snapshot it around a pass invocation and report the delta as
+    pass statistics (the ``rcache_*`` entries of
+    :class:`~repro.flow.session.RunReport` pass stats), and sessions
+    surface the lifetime totals as :attr:`~repro.flow.session.RunReport.
+    cache_stats`.
     """
 
-    def __init__(self, max_entries: int = 200_000):
+    def __init__(self, max_entries: int = 200_000, structural: bool = True):
         self.max_entries = max_entries
+        self.structural = structural
         self._entries: Dict[Tuple, Any] = {}
         self.counters: Dict[str, int] = {}
+        self._struct_memo = StructKeyMemo() if structural else None
+
+    @property
+    def struct_memo(self) -> Optional[StructKeyMemo]:
+        """The labeling memo (None in identity mode).  Owners hand it to
+        their :class:`~repro.sat.oracle.SatOracle` so one canonicalization
+        per sub-graph state serves resolve keys, rung keys and verdict
+        keys alike."""
+        return self._struct_memo
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -66,11 +87,13 @@ class ResultCache:
 
     @staticmethod
     def subgraph_key(kind: str, subgraph: Any, extra: Tuple = ()) -> Tuple:
-        """The canonical memo key of one analysis over one sub-graph.
+        """The identity memo key of one analysis over one sub-graph.
 
         ``kind`` separates analyses ("infer", "sim", ...); ``extra``
         carries analysis parameters that change the answer (budgets,
         thresholds) — structural identity comes from the sub-graph itself.
+        This is the reference scheme; :meth:`key_for` selects between it
+        and the canonical structural key per the cache's mode.
         """
         return (
             kind,
@@ -80,6 +103,27 @@ class ResultCache:
             frozenset(subgraph.known.items()),
             extra,
         )
+
+    def key_for(
+        self,
+        kind: str,
+        subgraph: Any,
+        extra: Tuple = (),
+        sigmap: Any = None,
+    ) -> Tuple:
+        """The memo key of one analysis, per this cache's keying mode.
+
+        Structural caches key by the canonical name-free signature
+        (``sigmap`` resolves raw connection bits exactly like the
+        analyses do); identity caches fall back to :meth:`subgraph_key`.
+        """
+        if self._struct_memo is None:
+            return self.subgraph_key(kind, subgraph, extra)
+        signature = self._struct_memo.signature(
+            subgraph.cells, subgraph.target, subgraph.known,
+            inputs=subgraph.inputs, sigmap=sigmap,
+        )
+        return (kind, signature, extra)
 
     def lookup(self, key: Tuple) -> Tuple[bool, Any]:
         """``(hit, value)``; counts a ``{kind}_hits``/``_misses`` event."""
@@ -93,13 +137,56 @@ class ResultCache:
 
     def store(self, key: Tuple, value: Any) -> None:
         """Memoize, dropping the oldest half at the size cap (mutation
-        orphans old-version keys, so oldest-first eviction is the right
-        policy and plain-dict insertion order makes it free)."""
+        orphans stale keys, so oldest-first eviction is the right policy
+        and plain-dict insertion order makes it free).  ``evictions``
+        counts dropped *entries*, not sweeps."""
         if len(self._entries) >= self.max_entries:
-            for stale in list(self._entries)[: self.max_entries // 2]:
-                del self._entries[stale]
-            self._bump("evictions")
+            stale_keys = list(self._entries)[: self.max_entries // 2]
+            for stale in stale_keys:
+                # pop, not del: concurrent thread-suite stores may race a
+                # sweep; losing a counter tick is fine, a KeyError is not
+                self._entries.pop(stale, None)
+            self._bump("evictions", len(stale_keys))
         self._entries[key] = value
+
+    # -- snapshot / warm-start -------------------------------------------------
+
+    def export(self, exclude: Optional[Container[Tuple]] = None) -> Dict[Tuple, Any]:
+        """Snapshot the signature-keyed entries for another process.
+
+        Structural keys are pure data (``(kind, digest, extra)`` tuples)
+        and the memoized values are plain outcomes — no live IR objects —
+        so the snapshot pickles cheaply and stays meaningful in any
+        process.  Identity-keyed caches export nothing: their keys embed
+        wire-identity bits that are only meaningful to this process.
+        ``exclude`` drops keys already known to the receiver (workers use
+        it to return just their delta).
+        """
+        if self._struct_memo is None:
+            return {}
+        if not exclude:
+            return dict(self._entries)
+        return {
+            key: value
+            for key, value in self._entries.items()
+            if key not in exclude
+        }
+
+    def merge(self, entries: Mapping[Tuple, Any]) -> int:
+        """Adopt a snapshot's entries (existing keys win; returns #added).
+
+        Values are pure functions of their keys, so whichever side
+        computed an entry first, the content is identical — keeping the
+        existing entry just preserves this cache's insertion-age order.
+        """
+        added = 0
+        for key, value in entries.items():
+            if key not in self._entries:
+                self._entries[key] = value
+                added += 1
+        if added:
+            self._bump("merged", added)
+        return added
 
 
 __all__ = ["ResultCache"]

@@ -24,7 +24,7 @@ observed.
 from __future__ import annotations
 
 import time
-from typing import Dict, FrozenSet, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
 
 from ..ir.module import Module
 from ..ir.signals import SigBit, State
@@ -75,6 +75,7 @@ class SatRedundancy(OptMuxtree):
         oracle: Optional[SatOracle] = None,
         use_result_cache: bool = True,
         result_cache: Optional[ResultCache] = None,
+        structural_keys: bool = True,
     ):
         self.k = k
         self.data_k = data_k
@@ -85,6 +86,10 @@ class SatRedundancy(OptMuxtree):
         self.data_inference = data_inference
         self.use_oracle = use_oracle
         self.use_result_cache = use_result_cache
+        #: key caches by canonical structural signatures (cross-module
+        #: sharing) instead of identity signatures; governs the fallback
+        #: cache/oracle built below — injected instances keep their own mode
+        self.structural_keys = structural_keys
         self._oracle = oracle
         #: persistent memo for inference/simulation outcomes, keyed by
         #: sub-graph content signatures; injectable so an owner (the
@@ -98,6 +103,16 @@ class SatRedundancy(OptMuxtree):
         #: distance-k sub-graph contains it, i.e. of muxes up to k+1 hops
         #: away — the incremental engine's closure must reach that far
         self.dirty_radius = max(k, data_k) + 1
+
+    def attach_result_cache(self, cache: ResultCache) -> None:
+        """Share an externally owned result cache (Session injection point).
+
+        Identity keys embed wire-identity bits and structural keys are
+        canonical, so either way one cache instance serves any number of
+        modules without collisions; the injected cache's own keying mode
+        governs, which is how one session keeps every flow consistent.
+        """
+        self._result_cache = cache
 
     def execute(self, module: Module, result: PassResult) -> None:
         self._with_oracle(
@@ -118,19 +133,30 @@ class SatRedundancy(OptMuxtree):
         self._sat_time = 0.0
         self._generation_open = False
         oracle_base: Optional[Dict[str, int]] = None
-        if self.use_oracle:
-            if self._oracle is None or self._oracle.module is not module:
-                self._oracle = SatOracle(module)
-            oracle_base = self._oracle.stats.as_dict()
-        else:
-            self._oracle = None
         if self.use_result_cache:
             if self._result_cache is None:
-                self._result_cache = ResultCache()
+                self._result_cache = ResultCache(
+                    structural=self.structural_keys
+                )
             rcache_base = dict(self._result_cache.counters)
         else:
             self._result_cache = None
             rcache_base = None
+        if self.use_oracle:
+            if self._oracle is None or self._oracle.module is not module:
+                cache = self._result_cache
+                self._oracle = SatOracle(
+                    module,
+                    structural_keys=self.structural_keys,
+                    # one canonicalization per sub-graph state serves the
+                    # resolve/rung keys and the verdict keys alike
+                    struct_memo=(
+                        cache.struct_memo if cache is not None else None
+                    ),
+                )
+            oracle_base = self._oracle.stats.as_dict()
+        else:
+            self._oracle = None
         body()
         if self._result_cache is not None and rcache_base is not None:
             for key, value in self._result_cache.counters.items():
@@ -197,51 +223,107 @@ class SatRedundancy(OptMuxtree):
         subgraph = extract_subgraph(
             self.index, target, facts, k=k, max_gates=self.max_gates
         )
+        cache = self._result_cache
+        if cache is None or not cache.structural:
+            # reference path: run the ladder directly
+            value, _storable = self._resolve_ladder(
+                subgraph, facts, allow_solvers, self.result.note
+            )
+            return value
+
+        # structural path: whole resolutions memoize on the reduced
+        # sub-graph — the target's and the fact bits' fanin cones, i.e.
+        # exactly the content every ladder rung is a pure function of —
+        # so a hit skips all three rungs (and their per-rung lookups) in
+        # one step, and exported entries let warm-started suite workers
+        # skip them too.
+        key = cache.key_for(
+            "resolve", subgraph,
+            extra=(
+                allow_solvers, self.sim_threshold, self.sat_threshold,
+                self.max_conflicts, bool(facts),
+            ),
+            sigmap=self.sigmap,
+        )
+        hit, outcome = cache.lookup(key)
+        if hit:
+            value, notes = outcome
+            for name, amount in notes:
+                self.result.note(name, amount)
+            return value
+        notes: List[Tuple[str, int]] = []
+
+        def note(name: str, amount: int = 1) -> None:
+            notes.append((name, amount))
+            self.result.note(name, amount)
+
+        value, storable = self._resolve_ladder(
+            subgraph, facts, allow_solvers, note
+        )
+        if storable:
+            cache.store(key, (value, tuple(notes)))
+        return value
+
+    def _resolve_ladder(
+        self,
+        subgraph: SubGraph,
+        facts: Dict[SigBit, bool],
+        allow_solvers: bool,
+        note: Callable[..., None],
+    ) -> Tuple[Optional[bool], bool]:
+        """The inference → simulation → SAT ladder over one sub-graph.
+
+        Returns ``(value, storable)``; ``storable`` is False only for
+        budget-exhausted SAT outcomes, which depend on the CNF variable
+        order the solver saw and therefore must not be replayed for
+        isomorphic sub-graphs.  Counters go through ``note`` so the
+        structural resolve memo can record them for replay.
+        """
         # observation counters use note(): queries posed do not modify the
         # netlist, and marking them as changes kept the fixpoint loop from
         # ever detecting convergence (every round re-ran to max_rounds)
-        self.result.note("subgraph_gates_before", subgraph.gates_before)
-        self.result.note("subgraph_gates_after", subgraph.gates_after)
+        note("subgraph_gates_before", subgraph.gates_before)
+        note("subgraph_gates_after", subgraph.gates_after)
 
         # 1. inference rules (Table I); the outcome is a pure function of
         # the sub-graph, so it memoizes in the content-signature cache
         contradiction, value = self._infer_outcome(subgraph)
         if contradiction:
             if facts:
-                self.result.note("dead_paths")
-                return False  # path never active: either branch is sound
-            return None
+                note("dead_paths")
+                return False, True  # path never active: either branch sound
+            return None, True
         if value is not None:
-            self.result.note("ctrl_inferred" if allow_solvers else "data_inferred")
-            return value
+            note("ctrl_inferred" if allow_solvers else "data_inferred")
+            return value, True
         if not allow_solvers:
-            return None
+            return None, True
 
         # 2. exhaustive simulation for small input counts (memoized too)
         if subgraph.num_inputs <= self.sim_threshold:
-            self.result.note("sim_queries")
+            note("sim_queries")
             outcome = self._sim_outcome(subgraph)
             if outcome == "dead":
                 decided: Optional[bool] = None
                 if facts:
-                    self.result.note("dead_paths")
+                    note("dead_paths")
                     decided = False
             else:
                 decided = outcome
             if decided is not None:
-                self.result.note("ctrl_sim_decided")
-            return decided
+                note("ctrl_sim_decided")
+            return decided, True
 
         # 3. SAT for medium input counts
         if subgraph.num_inputs <= self.sat_threshold:
-            self.result.note("sat_queries")
-            decided = self._sat_decide(subgraph, facts)
+            note("sat_queries")
+            decided = self._sat_decide(subgraph, facts, note)
             if decided is not None:
-                self.result.note("ctrl_sat_decided")
-            return decided
+                note("ctrl_sat_decided")
+            return decided, decided is not None
 
-        self.result.note("skipped_large")
-        return None
+        note("skipped_large")
+        return None, True
 
     # -- memoized analysis outcomes -------------------------------------------------------
 
@@ -251,7 +333,7 @@ class SatRedundancy(OptMuxtree):
         cache = self._result_cache
         key = None
         if cache is not None:
-            key = ResultCache.subgraph_key("infer", subgraph)
+            key = cache.key_for("infer", subgraph, sigmap=self.sigmap)
             hit, outcome = cache.lookup(key)
             if hit:
                 return outcome
@@ -271,7 +353,7 @@ class SatRedundancy(OptMuxtree):
         cache = self._result_cache
         key = None
         if cache is not None:
-            key = ResultCache.subgraph_key("sim", subgraph)
+            key = cache.key_for("sim", subgraph, sigmap=self.sigmap)
             hit, outcome = cache.lookup(key)
             if hit:
                 return outcome
@@ -339,11 +421,31 @@ class SatRedundancy(OptMuxtree):
     # -- SAT decision --------------------------------------------------------------------------
 
     def _sat_decide(
-        self, subgraph: SubGraph, facts: Dict[SigBit, bool]
+        self,
+        subgraph: SubGraph,
+        facts: Dict[SigBit, bool],
+        note: Callable[..., None],
     ) -> Optional[bool]:
         start = time.perf_counter()
         try:
             if self._oracle is not None:
+                # decided two-polarity outcomes are semantic properties of
+                # the structure, so with structural keys they memoize in
+                # the (exportable) result cache — this is what lets
+                # warm-started suite workers skip the SAT rung entirely
+                cache = self._result_cache
+                key = None
+                if cache is not None and cache.structural:
+                    key = cache.key_for(
+                        "sat", subgraph, extra=(self.max_conflicts,),
+                        sigmap=self.sigmap,
+                    )
+                    hit, outcome = cache.lookup(key)
+                    if hit:
+                        value, dead = outcome
+                        if dead and facts:
+                            note("dead_paths")
+                        return value
                 if not self._generation_open:
                     # the sigmap snapshot only exists once the base-class
                     # execute() has run, so the generation opens lazily
@@ -353,14 +455,21 @@ class SatRedundancy(OptMuxtree):
                     subgraph, max_conflicts=self.max_conflicts
                 )
                 if decision.dead and facts:
-                    self.result.note("dead_paths")
+                    note("dead_paths")
+                if key is not None and decision.value is not None:
+                    # budget-exhausted (None) outcomes stay uncached here:
+                    # they are solver-path-dependent, not structural facts
+                    cache.store(key, (decision.value, decision.dead))
                 return decision.value
-            return self._sat_decide_fresh(subgraph, facts)
+            return self._sat_decide_fresh(subgraph, facts, note)
         finally:
             self._sat_time += time.perf_counter() - start
 
     def _sat_decide_fresh(
-        self, subgraph: SubGraph, facts: Dict[SigBit, bool]
+        self,
+        subgraph: SubGraph,
+        facts: Dict[SigBit, bool],
+        note: Callable[..., None],
     ) -> Optional[bool]:
         """Reference implementation: fresh solver + re-encoding per query.
 
@@ -387,7 +496,7 @@ class SatRedundancy(OptMuxtree):
                 assumptions + [-target_lit], max_conflicts=self.max_conflicts
             )
             if can_be_false is False and facts:
-                self.result.note("dead_paths")
+                note("dead_paths")
             return False
         can_be_false = solver.solve(
             assumptions + [-target_lit], max_conflicts=self.max_conflicts

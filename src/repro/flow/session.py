@@ -53,6 +53,7 @@ from ..ir import module as ir_module
 from ..ir.cells import output_ports
 from ..ir.design import Design, DesignEdit
 from ..ir.module import Module, ModuleEdit
+from ..ir.struct_hash import module_signature
 from ..opt.pass_base import (
     DirtySet,
     Pass,
@@ -168,6 +169,13 @@ class RunReport:
     #: unchanged, so every pass was skipped and the previous result
     #: returned)
     design_cache: str = "none"
+    #: session-lifetime cache totals at the end of this run (not per-run
+    #: deltas — those are the ``rcache_*``/``oracle_*`` pass stats): the
+    #: session :class:`~repro.core.cache.ResultCache` counters (per-kind
+    #: hits/misses, per-entry eviction counts, warm-start merges) plus
+    #: its population as ``entries``, and the accumulated SAT-oracle
+    #: counters of every run so far as ``oracle_*`` entries
+    cache_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def optimizer(self) -> str:
@@ -198,6 +206,11 @@ class SuiteReport(Mapping):
 
     results: Dict[str, Dict[str, RunReport]]
     runtime_s: float = 0.0
+    #: suite-level cache totals: the per-kind hit/miss/eviction/merge
+    #: counters summed over every job's (private, snapshot-seeded) cache,
+    #: plus ``entries`` — the owning session's cache population after all
+    #: worker deltas merged back (see :meth:`Session.run_suite`)
+    cache_stats: Dict[str, int] = field(default_factory=dict)
 
     def __getitem__(self, case: str) -> Dict[str, RunReport]:
         return self.results[case]
@@ -215,6 +228,7 @@ class SuiteReport(Mapping):
     def to_dict(self) -> Dict[str, Any]:
         return {
             "runtime_s": self.runtime_s,
+            "cache_stats": dict(self.cache_stats),
             "results": {
                 case: {flow: report.to_dict() for flow, report in per.items()}
                 for case, per in self.results.items()
@@ -325,8 +339,17 @@ class Session:
         #: tracked by the PassManager, not the design channel)
         self._running: Optional[str] = None
         #: session-wide sub-graph result cache shared by every
-        #: incremental flow on every module of the design
-        self._result_cache = ResultCache()
+        #: incremental flow on every module of the design; keyed by
+        #: canonical structural signatures unless the options opt out,
+        #: so isomorphic sub-graphs hit across modules and suite jobs
+        self._result_cache = ResultCache(
+            structural=options.structural_keys if options is not None
+            else True
+        )
+        #: SAT-oracle counters accumulated over every run so far; the
+        #: session-lifetime side of :attr:`RunReport.cache_stats` (the
+        #: oracles themselves live on per-(module, flow) pass objects)
+        self._oracle_totals: Dict[str, int] = {}
         #: set by :meth:`close`; a closed session no longer observes the
         #: design, so it must not skip, seed, or record flow states —
         #: an unobserved edit window would otherwise fabricate empty seeds
@@ -411,6 +434,16 @@ class Session:
     def subscribe(self, observer: Observer) -> Observer:
         """Attach a structured-event observer (see :mod:`repro.events`)."""
         return self.events.subscribe(observer)
+
+    # -- cache totals ----------------------------------------------------------
+
+    def _cache_totals(self) -> Dict[str, int]:
+        """Session-lifetime cache counters (see :attr:`RunReport.cache_stats`)."""
+        totals = dict(self._result_cache.counters)
+        totals["entries"] = len(self._result_cache)
+        for key, value in self._oracle_totals.items():
+            totals[f"oracle_{key}"] = value
+        return totals
 
     # -- baselines -------------------------------------------------------------
 
@@ -544,6 +577,9 @@ class Session:
             runtime_s=runtime,
         )
         pass_stats = manager.total_stats()
+        oracle_stats = _aggregate_oracle_stats(pass_stats)
+        for key, value in oracle_stats.items():
+            self._oracle_totals[key] = self._oracle_totals.get(key, 0) + value
         report = RunReport(
             case_name=mod.name,
             flow=spec.label,
@@ -565,11 +601,12 @@ class Session:
             rounds=manager.rounds_run,
             runtime_s=runtime,
             equivalence_checked=checked,
-            oracle_stats=_aggregate_oracle_stats(pass_stats),
+            oracle_stats=oracle_stats,
             engine=engine,
             converged=manager.converged,
             dirty_stats=dict(manager.dirty_stats),
             design_cache=design_cache,
+            cache_stats=self._cache_totals(),
         )
         # record the state this run left behind — only when the module is
         # provably at a fixpoint of this pipeline: a converged fixpoint
@@ -616,6 +653,7 @@ class Session:
             equivalence_checked=bool(check),
             dirty_stats={"modules_skipped": 1},
             design_cache="skipped",
+            cache_stats=self._cache_totals(),
         )
         self.events.emit(
             "flow_finished",
@@ -656,6 +694,7 @@ class Session:
         max_workers: Optional[int] = None,
         check: bool = False,
         executor: str = "thread",
+        warm_start: bool = True,
     ) -> SuiteReport:
         """Run every (case × flow) job, in parallel, with structured progress.
 
@@ -685,6 +724,19 @@ class Session:
           or :func:`functools.partial` — what :func:`suite_cases` builds);
           per-pass events from inside workers are not forwarded, only the
           ``case_started``/``case_finished`` milestones.
+
+        ``warm_start`` (default on) seeds every job's result cache with a
+        snapshot of this session's structural-signature entries
+        (:meth:`~repro.core.cache.ResultCache.export`) and merges each
+        job's delta back afterwards — so process workers no longer start
+        cold, jobs of one suite share sub-graph outcomes with the
+        sessions runs that preceded them, and a second suite benefits
+        from the first.  The snapshot is taken once before any job
+        starts, which keeps every job's cache traffic deterministic
+        regardless of scheduling; identity-keyed sessions
+        (``SmartlyOptions(structural_keys=False)``) export nothing, so
+        the flag is then a no-op.  Suite-wide totals come back as
+        :attr:`SuiteReport.cache_stats`.
         """
         specs = [resolve_flow(flow, options=self.options) for flow in flows]
         labels = [spec.label for spec in specs]
@@ -713,6 +765,10 @@ class Session:
             executor=executor,
         )
         start = time.perf_counter()
+        # one snapshot before any job runs: every job sees the same seed
+        # entries, so per-job hit/miss traffic (and with it report JSON)
+        # is deterministic under any scheduling order; None = cold suite
+        snapshot = self._result_cache.export() if warm_start else None
 
         case_locks = {name: threading.Lock() for name in cases}
         case_shared: Dict[str, Tuple[Module, int]] = {}
@@ -747,7 +803,16 @@ class Session:
             with Session(module, options=self.options, events=self.events,
                          engine=self.engine) as sub:
                 sub._baselines[module.name] = baseline
-                report = sub.run(spec, check=check)
+                if snapshot:
+                    sub._result_cache.merge(snapshot)
+                report = _run_suite_job(
+                    sub, module, spec, check, self.engine,
+                    memoize=snapshot is not None,
+                )
+                if snapshot is not None:
+                    self._result_cache.merge(
+                        sub._result_cache.export(exclude=snapshot)
+                    )
             self.events.emit(
                 "case_finished",
                 case=case_name,
@@ -764,13 +829,15 @@ class Session:
                 futures = {
                     pool.submit(
                         _suite_process_job, case_name, source, spec,
-                        self.options, check, self.engine,
+                        self.options, check, self.engine, snapshot,
                     ): (case_name, spec.label)
                     for case_name, source, spec in jobs
                 }
                 for future in as_completed(futures):
                     case_name, flow_label = futures[future]
-                    report = future.result()
+                    report, delta = future.result()
+                    if warm_start:
+                        self._result_cache.merge(delta)
                     results[case_name][flow_label] = report
                     # workers cannot stream events across the process
                     # boundary, so started/finished are emitted together at
@@ -798,10 +865,76 @@ class Session:
                     results[case_name][flow_label] = future.result()
         runtime = time.perf_counter() - start
         self.events.emit("suite_finished", jobs=len(jobs), runtime_s=runtime)
-        return SuiteReport(results=results, runtime_s=runtime)
+        cache_stats: Dict[str, int] = {}
+        for per_flow in results.values():
+            for report in per_flow.values():
+                for key, value in report.cache_stats.items():
+                    if key == "entries":
+                        continue  # populations are not additive across jobs
+                    cache_stats[key] = cache_stats.get(key, 0) + value
+        cache_stats["entries"] = len(self._result_cache)
+        return SuiteReport(
+            results=results, runtime_s=runtime, cache_stats=cache_stats
+        )
 
     def __repr__(self) -> str:
         return f"Session({self.design!r})"
+
+
+def _options_fingerprint(options: Optional[SmartlyOptions]) -> Optional[Tuple]:
+    """A pure, hashable rendering of the tuning options for job keys."""
+    if options is None:
+        return None
+    return tuple(sorted(vars(options).items()))
+
+
+def _run_suite_job(
+    session: "Session",
+    module: Module,
+    spec: FlowSpec,
+    check: bool,
+    engine: str,
+    memoize: bool,
+) -> RunReport:
+    """One suite job, with whole-job structural replay.
+
+    Suite jobs optimize a private clone and return only the report, so
+    when the warm-start snapshot already holds the report of a
+    *structurally identical* module run through the same flow (same
+    script, check flag, engine and options), the entire job replays from
+    the cache: every report field that matters — areas, AIG stats,
+    equivalence status — is invariant under renaming (the stored pass
+    counters describe the isomorphic twin's run, which the fresh run
+    would reproduce up to name-order tie-breaks).  The key rides in the
+    session :class:`~repro.core.cache.ResultCache` as a ``suite_job``
+    entry, so it exports, merges and counts hits like any other
+    structural entry.  Never used by :meth:`Session.run` — a direct run
+    must actually mutate its module.
+    """
+    cache = session._result_cache
+    key = None
+    if memoize and cache.structural:
+        key = (
+            "suite_job",
+            module_signature(module),
+            (str(spec), spec.label, bool(check), engine,
+             _options_fingerprint(session.options)),
+        )
+        start = time.perf_counter()
+        hit, stored = cache.lookup(key)
+        if hit:
+            return replace(
+                stored,
+                case_name=module.name,
+                runtime_s=time.perf_counter() - start,
+                cache_stats=session._cache_totals(),
+            )
+    report = session.run(spec, check=check)
+    if key is not None:
+        # strip instance-local fields so the stored value is pure and
+        # name-free (the replay fills them back in for its own module)
+        cache.store(key, replace(report, case_name="", cache_stats={}))
+    return report
 
 
 def _suite_process_job(
@@ -811,15 +944,29 @@ def _suite_process_job(
     options: Optional[SmartlyOptions],
     check: bool,
     engine: str,
-) -> RunReport:
+    snapshot: Optional[Dict[Tuple, Any]] = None,
+) -> Tuple[RunReport, Dict[Tuple, Any]]:
     """Top-level worker for ``executor="process"`` (must be picklable).
 
     A pickled Module *is* already a private copy, so no extra clone is
-    needed; factories build fresh modules inside the worker.
+    needed; factories build fresh modules inside the worker.  ``snapshot``
+    warm-starts the worker session's result cache with the parent's
+    structural-signature entries; the second return value is the worker's
+    delta (entries it computed beyond the snapshot), merged back by the
+    parent so the next suite starts warmer still.
     """
     module = source() if callable(source) else source
     session = Session(module, options=options, engine=engine)
-    return session.run(spec, check=check)
+    if snapshot:
+        session._result_cache.merge(snapshot)
+    report = _run_suite_job(
+        session, module, spec, check, engine, memoize=snapshot is not None,
+    )
+    delta = (
+        session._result_cache.export(exclude=snapshot)
+        if snapshot is not None else {}
+    )
+    return report, delta
 
 
 def suite_cases(

@@ -10,6 +10,9 @@ The public surface mirrors a small subset of Yosys RTLIL:
 * :class:`~repro.ir.builder.Circuit` — fluent construction
 * :class:`~repro.ir.walker.NetIndex` — drivers/readers/cones/topological order
 * :func:`~repro.ir.validate.validate_module`
+* :func:`~repro.ir.struct_hash.struct_signature` — canonical name-free
+  sub-graph signatures (plus :class:`~repro.ir.struct_hash.StructKeyMemo`
+  and the :func:`~repro.ir.struct_hash.renamed_copy` verification helper)
 """
 
 from .builder import Circuit
@@ -39,6 +42,13 @@ from .signals import (
     concat,
     const_bit,
 )
+from .struct_hash import (
+    StructKeyMemo,
+    module_signature,
+    renamed_copy,
+    struct_signature,
+    subgraph_signature,
+)
 from .validate import ValidationError, check_module, validate_module
 from .verilog_writer import VerilogWriter, verilog_str, write_verilog
 from .walker import CombLoopError, DriverConflictError, NetIndex
@@ -64,6 +74,7 @@ __all__ = [
     "SigMap",
     "SigSpec",
     "State",
+    "StructKeyMemo",
     "UNARY_TYPES",
     "ValidationError",
     "Wire",
@@ -72,8 +83,12 @@ __all__ = [
     "const_bit",
     "expected_width",
     "input_ports",
+    "module_signature",
     "output_ports",
     "port_spec",
+    "renamed_copy",
+    "struct_signature",
+    "subgraph_signature",
     "validate_module",
     "VerilogWriter",
     "verilog_str",

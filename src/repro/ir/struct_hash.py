@@ -1,0 +1,507 @@
+"""Canonical structural signatures: name-independent sub-graph hashing.
+
+The content-signature caches (:class:`~repro.core.cache.ResultCache`, the
+:class:`~repro.sat.oracle.SatOracle` verdict memo) key sub-graphs by the
+ordered ``(cell name, version)`` tuple of their cells plus canonical
+boundary bits.  Those keys are *identity* keys: they can never collide
+across modules, clones or runs — which also means structurally identical
+sub-graphs from a renamed module, a cloned suite job, or an independently
+built isomorphic region can never share a cache entry, and worker
+processes can never be warm-started from a parent's cache (identity keys
+embed live wire objects).
+
+:func:`struct_signature` closes that gap with a canonical, name-free
+encoding of a redundancy sub-graph, computed in two facts-independent
+phases plus a cheap per-query fold:
+
+* **labeling** — the sub-graph DAG is walked depth-first from the target
+  bit, visiting each cell's input ports in declared port order and bits
+  LSB-first (an order fully determined by structure); cells outside the
+  target's cone are then walked the same way, ordered by a bottom-up
+  Merkle fingerprint of their fanin shape.  Cells are numbered in first-
+  visit order, free inputs in first-encounter order;
+* **encoding** — each cell renders as ``(type, width, n, per-input-port
+  operand encodings)``, where an operand is a constant state, a free
+  input's canonical number, or a ``(cell number, port, offset)`` driver
+  reference — a Merkle-style encoding that captures sharing exactly;
+* **fold** — the target's operand encoding and the known facts (as a
+  canonically sorted ``(operand, value)`` set) are hashed together with
+  the cell encoding.  Facts never influence the labeling, so one labeling
+  serves every facts-variant of the same sub-graph — the muxtree
+  traversal asks about the same neighbourhood under many path facts, and
+  :class:`StructKeyMemo` makes each variant cost one sorted fold.
+
+Two sub-graphs with equal signatures are isomorphic as labeled DAGs under
+the label correspondence (the encoding is invertible up to renaming), so
+any analysis whose outcome is a pure function of the sub-graph — the
+Table-I inference rules, exhaustive simulation, a SAT polarity verdict —
+may safely share cache entries across modules, clones and processes.
+The reverse direction is conservative: cells whose Merkle fingerprints
+tie (e.g. ``and(x, y)`` vs ``and(z, z)`` — the fingerprint abstracts
+free-input sharing) are ordered by their position in the caller's cell
+sequence, so *independently built* isomorphic graphs can, rarely, hash
+differently and merely miss.  The encoding uses only strings, ints and
+bools (no ``id()``, no interpreter ``hash``), so signatures are stable
+across interpreter runs and hash seeds; the returned key is a fixed-width
+BLAKE2b digest, cheap to compare, hash and pickle.
+
+Per-cell version counters are **not** embedded: the signature *is* the
+content — any rewire of a participating cell changes its operand
+encodings directly, which is the same invalidation the ``(name,
+version)`` scheme bought indirectly.  Versions still matter for speed:
+:class:`StructKeyMemo` memoizes the labeling per ``(cells+versions,
+target)`` so it is computed once per distinct sub-graph state, and any
+rewire bumps a version and misses the memo.
+
+:func:`renamed_copy` is the verification tool for all of the above: a
+structure-preserving module copy whose every wire and cell is renamed
+(scrambling sort order, which the extraction and topological-ordering
+paths otherwise lean on), used by the property tests and
+``benchmarks/bench_structhash.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .cells import input_ports, output_ports
+from .module import Cell, Module, SigMap
+from .signals import SigBit, SigSpec
+
+#: a structural signature: hex BLAKE2b-128 digest of the canonical encoding
+StructSignature = str
+
+#: operand encoding: ("c", state) | ("i", input index) | ("d", cell, port, off)
+_Operand = Tuple
+
+
+def _identity_map(bit: SigBit) -> SigBit:
+    return bit
+
+
+class _Canon:
+    """One canonical labeling of a sub-graph's cells and free bits.
+
+    ``driven`` maps canonical output bits to ``(cell, port, offset)``;
+    labels are assigned in deterministic first-visit order by
+    :meth:`label_cone`, and :meth:`encode` renders encodings against the
+    final label assignment (two phases, so a cell's encoding may
+    reference cells labeled after it without recursion).
+    """
+
+    __slots__ = ("driven", "mapb", "cell_label", "input_label", "order")
+
+    def __init__(
+        self,
+        driven: Dict[SigBit, Tuple[Cell, str, int]],
+        mapb: Callable[[SigBit], SigBit],
+    ):
+        self.driven = driven
+        self.mapb = mapb
+        self.cell_label: Dict[int, int] = {}
+        self.input_label: Dict[SigBit, int] = {}
+        self.order: List[Cell] = []
+
+    def label_cone(self, root: SigBit) -> None:
+        """Assign labels over ``root``'s fanin cone, first-visit order."""
+        stack = [self.mapb(root)]
+        while stack:
+            bit = stack.pop()
+            if bit.is_const:
+                continue
+            entry = self.driven.get(bit)
+            if entry is None:
+                if bit not in self.input_label:
+                    self.input_label[bit] = len(self.input_label)
+                continue
+            cell = entry[0]
+            if id(cell) in self.cell_label:
+                continue
+            self.cell_label[id(cell)] = len(self.cell_label)
+            self.order.append(cell)
+            kids = [
+                self.mapb(b)
+                for port in input_ports(cell.type)
+                for b in cell.connections[port]
+            ]
+            # reversed push: pop order == declared port order, LSB first
+            stack.extend(reversed(kids))
+
+    def label_cell(self, cell: Cell) -> None:
+        """Label a cell whose outputs the driven map cannot reach (every
+        output bit aliased to a constant) and canonicalize its fanin."""
+        if id(cell) in self.cell_label:
+            return
+        self.cell_label[id(cell)] = len(self.cell_label)
+        self.order.append(cell)
+        for port in input_ports(cell.type):
+            for bit in cell.connections[port]:
+                self.label_cone(self.mapb(bit))
+
+    def operand(self, bit: SigBit) -> _Operand:
+        """The canonical encoding of one (already canonical) bit."""
+        if bit.is_const:
+            return ("c", str(bit.state))
+        entry = self.driven.get(bit)
+        if entry is not None and id(entry[0]) in self.cell_label:
+            return ("d", self.cell_label[id(entry[0])], entry[1], entry[2])
+        index = self.input_label.get(bit)
+        if index is None:
+            # a boundary bit outside every labeled cone (defensive: the
+            # labeling phase routes every sub-graph bit through a cone)
+            index = self.input_label[bit] = len(self.input_label)
+        return ("i", index)
+
+    def encode(self) -> Tuple:
+        """All labeled cells' encodings, in label order."""
+        mapb = self.mapb
+        return tuple(
+            (
+                str(cell.type),
+                cell.width,
+                cell.n,
+                tuple(
+                    (port, tuple(self.operand(mapb(b))
+                                 for b in cell.connections[port]))
+                    for port in input_ports(cell.type)
+                ),
+            )
+            for cell in self.order
+        )
+
+
+def _driven_map(
+    cells: Sequence[Cell], mapb: Callable[[SigBit], SigBit]
+) -> Dict[SigBit, Tuple[Cell, str, int]]:
+    driven: Dict[SigBit, Tuple[Cell, str, int]] = {}
+    for cell in cells:
+        for port in output_ports(cell.type):
+            spec = cell.connections.get(port)
+            if spec is None:
+                continue
+            for offset, bit in enumerate(spec):
+                cbit = mapb(bit)
+                if not cbit.is_const:
+                    driven[cbit] = (cell, port, offset)
+    return driven
+
+
+def _merkle_fingerprints(
+    cells: Sequence[Cell],
+    driven: Dict[SigBit, Tuple[Cell, str, int]],
+    mapb: Callable[[SigBit], SigBit],
+) -> Dict[int, str]:
+    """Bottom-up per-cell structural fingerprints (free inputs abstract).
+
+    A cell's fingerprint hashes its type/shape and, per input bit, the
+    driving cell's fingerprint (with port/offset), a constant state, or a
+    generic free-input placeholder.  O(sub-graph) total; used only to
+    order cells outside the target cone in a name-free way.
+    """
+    fingerprints: Dict[int, str] = {}
+
+    def fingerprint(cell: Cell) -> str:
+        stack: List[Cell] = [cell]
+        while stack:
+            current = stack[-1]
+            if id(current) in fingerprints:
+                stack.pop()
+                continue
+            pending = False
+            parts: List[Tuple] = [
+                (str(current.type), current.width, current.n)
+            ]
+            for port in input_ports(current.type):
+                for bit in current.connections[port]:
+                    cbit = mapb(bit)
+                    if cbit.is_const:
+                        parts.append(("c", str(cbit.state)))
+                        continue
+                    entry = driven.get(cbit)
+                    if entry is None:
+                        parts.append(("x",))
+                        continue
+                    drv = entry[0]
+                    done = fingerprints.get(id(drv))
+                    if done is None:
+                        if drv is current or any(
+                            s is drv for s in stack
+                        ):  # defensive: combinational loops cannot recurse
+                            parts.append(("loop",))
+                            continue
+                        stack.append(drv)
+                        pending = True
+                        break
+                    parts.append(("d", done, entry[1], entry[2]))
+                if pending:
+                    break
+            if pending:
+                continue
+            stack.pop()
+            fingerprints[id(current)] = hashlib.blake2b(
+                repr(parts).encode("utf-8"), digest_size=12
+            ).hexdigest()
+        return fingerprints[id(cell)]
+
+    for cell in cells:
+        fingerprint(cell)
+    return fingerprints
+
+
+def _canonicalize(
+    cells: Sequence[Cell],
+    roots: Sequence[SigBit],
+    sigmap: Optional[SigMap],
+) -> Tuple[str, _Canon, Callable[[SigBit], SigBit]]:
+    """Facts-independent phase: label + encode, digest the core payload.
+
+    ``roots`` anchor the traversal (a sub-graph's target, or a module's
+    output bits) and their operand encodings fold into the core, so the
+    signature pins down which bits the caller is asking about.
+    """
+    mapb = sigmap.map_bit if sigmap is not None else _identity_map
+    driven = _driven_map(cells, mapb)
+    canon = _Canon(driven, mapb)
+    croots = [mapb(root) for root in roots]
+    for root in croots:
+        canon.label_cone(root)
+    remaining = [c for c in cells if id(c) not in canon.cell_label]
+    if remaining:
+        fingerprints = _merkle_fingerprints(remaining, driven, mapb)
+        # fingerprint order is name-free; exact ties fall back to the
+        # caller's (structure-derived) sequence order — see module docs
+        remaining.sort(key=lambda c: fingerprints[id(c)])
+        for cell in remaining:
+            for bit in cell.output_bits():
+                canon.label_cone(mapb(bit))
+            canon.label_cell(cell)
+    core = (
+        len(canon.order),
+        len(canon.input_label),
+        canon.encode(),
+        tuple(canon.operand(root) for root in croots),
+    )
+    digest = hashlib.blake2b(
+        repr(core).encode("utf-8"), digest_size=16
+    ).hexdigest()
+    return digest, canon, mapb
+
+
+def _fold_facts(
+    core_digest: str,
+    canon: _Canon,
+    mapb: Callable[[SigBit], SigBit],
+    known: Dict[SigBit, bool],
+) -> StructSignature:
+    """Hash the facts (and the core) into the final signature."""
+    fold = tuple(sorted(
+        (canon.operand(mapb(bit)), bool(value))
+        for bit, value in known.items()
+    ))
+    return hashlib.blake2b(
+        repr((core_digest, fold)).encode("utf-8"), digest_size=16
+    ).hexdigest()
+
+
+def struct_signature(
+    cells: Sequence[Cell],
+    target: SigBit,
+    known: Dict[SigBit, bool],
+    sigmap: Optional[SigMap] = None,
+) -> StructSignature:
+    """The canonical name-free signature of one redundancy sub-graph.
+
+    ``cells`` is the sub-graph cell set (any order), ``target`` the query
+    bit, ``known`` the path facts; ``sigmap`` resolves raw connection
+    bits to canonical representatives exactly like the analyses the
+    signature keys (pass None for modules without alias connections).
+    """
+    digest, canon, mapb = _canonicalize(cells, (target,), sigmap)
+    return _fold_facts(digest, canon, mapb, known)
+
+
+def subgraph_signature(subgraph, sigmap: Optional[SigMap] = None) -> StructSignature:
+    """:func:`struct_signature` of a :class:`~repro.core.subgraph.SubGraph`."""
+    return struct_signature(
+        subgraph.cells, subgraph.target, subgraph.known, sigmap
+    )
+
+
+def module_signature(module: Module) -> StructSignature:
+    """The canonical name-free signature of a whole module.
+
+    Roots are the output-port bits (in wire insertion order — preserved
+    by :meth:`~repro.ir.module.Module.clone` and :func:`renamed_copy`, so
+    renamed clones hash equal); alias connections resolve through a
+    fresh :class:`~repro.ir.module.SigMap`.  Two modules with equal
+    signatures are isomorphic netlists, so any *value* that is invariant
+    under renaming — AIG areas, optimization outcomes, equivalence
+    verdicts — may be shared between them.  This is what lets
+    :meth:`~repro.flow.session.Session.run_suite` replay a whole
+    (case × flow) job for a structurally identical case instead of
+    re-optimizing it.
+    """
+    sigmap = SigMap(module) if module.connections else None
+    outputs = [
+        SigBit(wire, offset)
+        for wire in module.wires.values() if wire.port_output
+        for offset in range(wire.width)
+    ]
+    cells = list(module.cells.values())
+    digest, _canon, _mapb = _canonicalize(cells, outputs, sigmap)
+    return digest
+
+
+class StructKeyMemo:
+    """Bounded labeling memo: one canonicalization per sub-graph state.
+
+    Keyed by the cheap identity tuple — ``(cell name, version)`` pairs,
+    the canonical target, the free-input list and the fact *bits* (not
+    values) — exactly the boundary the PR 2/PR 4 invalidation argument
+    proves to determine the sub-graph's content: any rewire bumps a
+    version, and any alias re-canonicalisation that changes the structure
+    without touching a cell (``module.connect`` folding a boundary bit to
+    a constant, merging two inputs, …) changes the input list or a fact
+    bit and misses.  Fact *values* deliberately stay out: the labeling is
+    facts-independent, so the polarity variants the traversal and the
+    oracle's two-polarity protocol generate pay only a sorted fold.
+
+    Cached entries are pure — the core digest plus a ``bit → operand
+    encoding`` table over the labeled boundary/driven bits — so the memo
+    pins no :class:`Cell` objects, no :class:`~repro.ir.module.SigMap`
+    snapshot and no closures; a fact bit missing from the table (only
+    possible for callers that pass facts outside the sub-graph) falls
+    back to a fresh uncached canonicalization rather than mutating shared
+    state.  Entries are evicted oldest-first at the size cap like every
+    other bounded memo here.
+    """
+
+    __slots__ = ("max_entries", "_cores", "hits", "misses")
+
+    def __init__(self, max_entries: int = 50_000):
+        self.max_entries = max_entries
+        self._cores: Dict[Tuple, Tuple[str, Dict[SigBit, _Operand]]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._cores)
+
+    @staticmethod
+    def _fold_table(canon: _Canon) -> Dict[SigBit, _Operand]:
+        """Every labeled bit's operand encoding, as pure data."""
+        table: Dict[SigBit, _Operand] = {}
+        for bit, index in canon.input_label.items():
+            table[bit] = ("i", index)
+        for bit, (cell, port, offset) in canon.driven.items():
+            label = canon.cell_label.get(id(cell))
+            if label is not None:
+                table[bit] = ("d", label, port, offset)
+        return table
+
+    def signature(
+        self,
+        cells: Sequence[Cell],
+        target: SigBit,
+        known: Dict[SigBit, bool],
+        inputs: Sequence[SigBit] = (),
+        sigmap: Optional[SigMap] = None,
+    ) -> StructSignature:
+        """The structural signature, with the labeling phase memoized."""
+        mapb = sigmap.map_bit if sigmap is not None else _identity_map
+        ident = (
+            tuple((cell.name, cell.version) for cell in cells),
+            mapb(target),
+            tuple(inputs),
+            frozenset(known),
+        )
+        core = self._cores.get(ident)
+        if core is not None:
+            self.hits += 1
+        else:
+            self.misses += 1
+            digest, canon, _core_mapb = _canonicalize(
+                cells, (target,), sigmap
+            )
+            core = (digest, self._fold_table(canon))
+            if len(self._cores) >= self.max_entries:
+                for stale in list(self._cores)[: self.max_entries // 2]:
+                    self._cores.pop(stale, None)
+            self._cores[ident] = core
+        digest, table = core
+        fold = []
+        for bit, value in known.items():
+            cbit = mapb(bit)
+            operand = (
+                ("c", str(cbit.state)) if cbit.is_const else table.get(cbit)
+            )
+            if operand is None:
+                # a fact outside the labeled sub-graph: never produced by
+                # the extraction paths — recompute fresh, do not share
+                return struct_signature(cells, target, known, sigmap)
+            fold.append((operand, bool(value)))
+        return hashlib.blake2b(
+            repr((digest, tuple(sorted(fold)))).encode("utf-8"),
+            digest_size=16,
+        ).hexdigest()
+
+
+def renamed_copy(
+    module: Module, prefix: str = "rn", name: Optional[str] = None
+) -> Module:
+    """A structure-preserving copy with every wire and cell renamed.
+
+    New names are ``{prefix}{index}`` with indices assigned in *reverse*
+    sorted order of the original names, so the copy's name sort order is
+    the inverse of the original's — which scrambles every name-ordered
+    tie-break (sub-graph topological roots, merge survivor choice) while
+    preserving structure exactly.  The benchmark and the struct-hash
+    property tests use this to prove signatures name-independent; it is
+    not an optimization-flow API.
+    """
+    other = Module(name if name is not None else f"{prefix}_{module.name}")
+    other._name_counter = module._name_counter
+    wire_names = {
+        wname: f"{prefix}w{index}"
+        for index, wname in enumerate(sorted(module.wires, reverse=True))
+    }
+    cell_names = {
+        cname: f"{prefix}c{index}"
+        for index, cname in enumerate(sorted(module.cells, reverse=True))
+    }
+    wire_map: Dict[int, object] = {}
+    for wire in module.wires.values():
+        copy = other.add_wire(
+            wire_names[wire.name], wire.width, wire.port_input,
+            wire.port_output,
+        )
+        copy.attributes = dict(wire.attributes)
+        wire_map[id(wire)] = copy
+
+    def translate(spec: SigSpec) -> SigSpec:
+        return SigSpec(
+            bit if bit.is_const else SigBit(wire_map[id(bit.wire)], bit.offset)
+            for bit in spec
+        )
+
+    for cell in module.cells.values():
+        copy_cell = Cell(cell_names[cell.name], cell.type, cell.width, cell.n)
+        copy_cell.attributes = dict(cell.attributes)
+        for pname, spec in cell.connections.items():
+            copy_cell.connections[pname] = translate(spec)
+        other.cells[copy_cell.name] = copy_cell
+        copy_cell._module = other
+    for lhs, rhs in module.connections:
+        other.connections.append((translate(lhs), translate(rhs)))
+    return other
+
+
+__all__ = [
+    "StructKeyMemo",
+    "StructSignature",
+    "module_signature",
+    "renamed_copy",
+    "struct_signature",
+    "subgraph_signature",
+]

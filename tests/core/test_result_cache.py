@@ -49,7 +49,50 @@ class TestUnit:
         assert len(cache) == 3  # dropped 2 oldest, added 1
         assert cache.lookup(("sim", 0))[0] is False
         assert cache.lookup(("sim", 99))[0] is True
-        assert cache.counters["evictions"] == 1
+        assert cache.counters["evictions"] == 2  # per entry, not per sweep
+
+    def test_eviction_counter_counts_entries_not_sweeps(self):
+        """Regression: a sweep dropping ``max_entries // 2`` keys used to
+        bump ``evictions`` by 1, under-reporting churn by the sweep size."""
+        cache = ResultCache(max_entries=8)
+        for i in range(8):
+            cache.store(("infer", i), i)
+        cache.store(("infer", "next"), 0)  # first sweep: 4 entries out
+        assert cache.counters["evictions"] == 4
+        for i in range(100, 104):
+            cache.store(("infer", i), i)  # refill to the cap ...
+        cache.store(("infer", "again"), 0)  # ... second sweep: 4 more
+        assert cache.counters["evictions"] == 8
+
+
+class TestExportMerge:
+    def test_structural_cache_exports_and_merges(self):
+        cache = ResultCache(structural=True)
+        cache.store(("sim", "sig-a", ()), True)
+        cache.store(("infer", "sig-b", ()), (False, None))
+        snapshot = cache.export()
+        assert snapshot == {
+            ("sim", "sig-a", ()): True,
+            ("infer", "sig-b", ()): (False, None),
+        }
+        other = ResultCache(structural=True)
+        other.store(("sim", "sig-a", ()), True)  # pre-existing entry wins
+        added = other.merge(snapshot)
+        assert added == 1
+        assert len(other) == 2
+        assert other.counters["merged"] == 1
+
+    def test_export_excludes_receiver_known_keys(self):
+        cache = ResultCache(structural=True)
+        cache.store(("sim", "sig-a", ()), True)
+        cache.store(("sim", "sig-b", ()), False)
+        delta = cache.export(exclude={("sim", "sig-a", ())})
+        assert delta == {("sim", "sig-b", ()): False}
+
+    def test_identity_cache_exports_nothing(self):
+        cache = ResultCache(structural=False)
+        cache.store(("sim", "k"), True)
+        assert cache.export() == {}
 
 
 class TestTransparency:
@@ -63,6 +106,16 @@ class TestTransparency:
             ).run(flow)
             assert on.optimized_area == off.optimized_area, (seed, flow)
 
+    @pytest.mark.parametrize("flow", ("smartly", "smartly-sat"))
+    def test_areas_identical_structural_keys_on_and_off(self, flow):
+        for seed in (301, 302):
+            on = Session(random_module(seed, width=4, n_units=3)).run(flow)
+            off = Session(
+                random_module(seed, width=4, n_units=3),
+                options=SmartlyOptions(structural_keys=False),
+            ).run(flow)
+            assert on.optimized_area == off.optimized_area, (seed, flow)
+
     def test_areas_identical_across_both_engines(self):
         for engine in ("incremental", "eager"):
             on = Session(_chain_module(), engine=engine).run("smartly")
@@ -72,6 +125,45 @@ class TestTransparency:
                 engine=engine,
             ).run("smartly")
             assert on.optimized_area == off.optimized_area, engine
+
+
+class TestStructuralSharing:
+    """Renamed clones share entries only under structural keys."""
+
+    @staticmethod
+    def _clone_run_counters(structural):
+        from repro.api import Design
+        from repro.ir.struct_hash import renamed_copy
+
+        base = random_module(307, width=4, n_units=4, name="base")
+        clone = renamed_copy(base, prefix="z", name="clone")
+        design = Design(base)
+        design.add_module(clone)
+        session = Session(
+            design, options=SmartlyOptions(structural_keys=structural)
+        )
+        session.run("smartly", module="base")
+        before = dict(session._result_cache.counters)
+        report = session.run("smartly", module="clone")
+        after = session._result_cache.counters
+
+        def delta(suffix):
+            return sum(
+                value - before.get(key, 0)
+                for key, value in after.items() if key.endswith(suffix)
+            )
+
+        return report, delta("_hits"), delta("_misses")
+
+    def test_structural_keys_share_across_renamed_clone_modules(self):
+        s_report, s_hits, s_misses = self._clone_run_counters(True)
+        i_report, i_hits, i_misses = self._clone_run_counters(False)
+        # both modes optimize the clone to the same area ...
+        assert s_report.optimized_area == i_report.optimized_area
+        # ... but structural keys answer clone queries from the base
+        # module's entries: strictly fewer misses, strictly more hits
+        assert s_misses < i_misses, (s_misses, i_misses)
+        assert s_hits > i_hits, (s_hits, i_hits)
 
 
 class TestReuse:

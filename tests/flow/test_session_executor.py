@@ -95,3 +95,82 @@ class TestExecutors:
                 suite_cases(CASES[:1], build_case), FLOWS[:1],
                 executor="fiber",
             )
+
+
+class TestWarmStart:
+    """Snapshot-seeded suite workers: pure acceleration, merged deltas."""
+
+    @pytest.mark.parametrize("executor", ("thread", "process"))
+    def test_warm_and_cold_suites_agree_on_areas(self, executor):
+        cases = suite_cases(CASES[:1], build_case)
+        flows = ("smartly",)
+
+        def areas(warm_start):
+            session = Session()
+            suite = session.run_suite(
+                cases, flows, max_workers=1, executor=executor,
+                warm_start=warm_start,
+            )
+            return {
+                case: {f: r.optimized_area for f, r in per.items()}
+                for case, per in suite.results.items()
+            }
+
+        assert areas(True) == areas(False)
+
+    @pytest.mark.parametrize("executor", ("thread", "process"))
+    def test_deltas_merge_back_into_the_parent_session(self, executor):
+        session = Session()
+        assert len(session._result_cache) == 0
+        suite = session.run_suite(
+            suite_cases(CASES[:1], build_case), ("smartly",),
+            max_workers=1, executor=executor,
+        )
+        # the worker's structural entries came home ...
+        assert len(session._result_cache) > 0
+        # ... and the suite surfaced its totals
+        assert suite.cache_stats["entries"] == len(session._result_cache)
+        assert "cache_stats" in suite.to_dict()
+        hits = sum(
+            v for k, v in suite.cache_stats.items() if k.endswith("_hits")
+        )
+        misses = sum(
+            v for k, v in suite.cache_stats.items() if k.endswith("_misses")
+        )
+        assert misses > 0 and hits >= 0
+
+    def test_second_suite_is_seeded_by_the_first(self):
+        session = Session()
+        first = session.run_suite(
+            suite_cases(CASES[:1], build_case), ("smartly",),
+            max_workers=1, executor="process",
+        )
+        second = session.run_suite(
+            suite_cases(CASES[:1], build_case), ("smartly",),
+            max_workers=1, executor="process",
+        )
+        def miss_count(suite):
+            return sum(
+                v for k, v in suite.cache_stats.items()
+                if k.endswith("_misses")
+            )
+        # the first suite computed its job and stored it under the
+        # module's structural signature; the second replays it wholesale
+        assert first.cache_stats.get("suite_job_hits", 0) == 0
+        assert second.cache_stats.get("suite_job_hits", 0) == 1
+        assert miss_count(second) < miss_count(first)
+        # identical module + flow: the areas must not move
+        case = CASES[0]
+        assert (
+            first[case]["smartly"].optimized_area
+            == second[case]["smartly"].optimized_area
+        )
+
+    def test_run_report_carries_session_lifetime_cache_stats(self):
+        session = Session(build_case(CASES[0]))
+        report = session.run("smartly")
+        assert report.cache_stats.get("entries", 0) > 0
+        assert "cache_stats" in report.to_dict()
+        again = session.run("smartly")
+        # lifetime totals are monotone across runs of one session
+        assert again.cache_stats["entries"] >= report.cache_stats["entries"]

@@ -1,0 +1,116 @@
+"""Differential fuzzing of design-scope *seeded* re-runs (ROADMAP lane).
+
+``benchmarks/bench_design.py`` proves seeded re-runs transparent on its
+fixed workloads; this lane hardens the cross-run closure argument the way
+``tests/fuzz/test_differential.py`` hardens the passes: optimize a random
+module, apply random (deterministic, name-addressed) edits through the
+notifying APIs, then cross-check the session's seeded re-run against an
+eager full re-run from the identical edited state.  Any area divergence
+means the pending-edit window under-dirtied the re-run — a genuine
+incrementality bug, reproducible from the seed alone.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.api import Session
+from repro.equiv.differential import random_module
+from repro.ir.cells import CellType
+from repro.ir.signals import SigSpec, const_bit
+
+#: the fixed corpus CI replays (appending is fine, renumbering is not)
+SEEDED_CORPUS = tuple(range(3000, 3006))
+
+FLOWS = ("smartly", "yosys")
+
+
+def _plan_edits(module, rng, n=3):
+    """Name-addressed edit plans, applicable identically to any clone."""
+    comb = [
+        name for name in sorted(module.cells)
+        if module.cells[name].is_combinational
+        and "A" in module.cells[name].connections
+    ]
+    muxes = [
+        name for name in comb
+        if module.cells[name].type is CellType.MUX
+    ]
+    plans = []
+    for _ in range(n):
+        if muxes and rng.random() < 0.6:
+            plans.append(("pin_s", rng.choice(muxes), rng.randint(0, 1)))
+        elif comb:
+            plans.append(("pin_a0", rng.choice(comb), rng.randint(0, 1)))
+    return plans
+
+
+def _apply_edits(module, plans):
+    """Replay plans through the notifying edit APIs (the supported path)."""
+    applied = 0
+    for kind, name, value in plans:
+        cell = module.cells.get(name)
+        if cell is None:
+            continue  # identical on every copy: same plans, same netlist
+        if kind == "pin_s" and cell.type is CellType.MUX:
+            cell.set_port("S", value)
+            applied += 1
+        elif kind == "pin_a0" and "A" in cell.connections:
+            bits = list(cell.connections["A"])
+            bits[0] = const_bit(value)
+            cell.set_port("A", SigSpec(bits))
+            applied += 1
+    return applied
+
+
+def _check_seed(seed: int, flows=FLOWS) -> None:
+    for flow in flows:
+        module = random_module(seed, width=4, n_units=3)
+        session = Session(module, engine="incremental")
+        session.run(flow)
+
+        twin = module.clone()  # identical post-optimization state
+        rng = random.Random(seed * 7919 + 13)
+        plans = _plan_edits(module, rng)
+        if _apply_edits(module, plans) == 0:
+            continue
+        assert _apply_edits(twin, plans) > 0
+
+        seeded = session.run(flow)
+        full = Session(twin, engine="eager").run(flow)
+        assert seeded.optimized_area == full.optimized_area, (
+            f"seed {seed} flow {flow}: seeded re-run area "
+            f"{seeded.optimized_area} != full re-run {full.optimized_area} "
+            f"after edits {plans}"
+        )
+
+
+@pytest.mark.parametrize("seed", SEEDED_CORPUS)
+def test_fixed_corpus_seeded_rerun(seed):
+    _check_seed(seed)
+
+
+def test_seeded_rerun_is_actually_seeded():
+    """At least some corpus runs must exercise the seeded path, or the
+    lane is silently testing full re-runs against full re-runs."""
+    kinds = set()
+    for seed in SEEDED_CORPUS[:3]:
+        module = random_module(seed, width=4, n_units=3)
+        session = Session(module, engine="incremental")
+        session.run("smartly")
+        rng = random.Random(seed * 7919 + 13)
+        if _apply_edits(module, _plan_edits(module, rng)) == 0:
+            continue
+        kinds.add(session.run("smartly").design_cache)
+    assert "seeded" in kinds, kinds
+
+
+def test_extended_seeded_fuzz(request):
+    """Opt-in exploration beyond the fixed corpus (--fuzz-iterations=N)."""
+    iterations = request.config.getoption("--fuzz-iterations")
+    if not iterations:
+        pytest.skip("pass --fuzz-iterations=N to fuzz beyond the fixed corpus")
+    for _ in range(iterations):
+        _check_seed(random.randrange(1 << 30), flows=("smartly",))

@@ -1,0 +1,337 @@
+"""Canonical structural signatures: the name-independence contract.
+
+``struct_signature`` must be invariant under everything that does not
+change structure (wire/cell renaming, ``Module.clone()``, interpreter
+hash seeds, process boundaries) and sensitive to everything that does
+(rewired ports, pinned operands, type changes).  The sub-graphs under
+test are real extractions from the differential harness's random
+modules, so the invariance covers the exact objects the caches key.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.subgraph import extract_subgraph
+from repro.equiv.differential import random_module
+from repro.ir import NetIndex
+from repro.ir.cells import CellType
+from repro.ir.signals import SigBit, SigSpec
+from repro.ir.struct_hash import (
+    StructKeyMemo,
+    module_signature,
+    renamed_copy,
+    struct_signature,
+    subgraph_signature,
+)
+
+SEEDS = (401, 402, 403, 404, 405, 406)
+
+
+def _mux_controls(module, index):
+    """Canonical, non-constant, driven control bits of the module's muxes,
+    in cell insertion order (which renamed_copy and clone preserve — the
+    n-th control of a copy corresponds to the n-th control here)."""
+    controls = []
+    for cell in module.cells.values():
+        if cell.type in (CellType.MUX, CellType.PMUX):
+            for bit in cell.connections["S"]:
+                cbit = index.sigmap.map_bit(bit)
+                controls.append(None if cbit.is_const else cbit)
+    return controls
+
+
+def _signatures(module, k=4, with_facts=True):
+    """One signature per mux control (None where a copy has a const/missing
+    control), with the *previous* control asserted true as a path fact."""
+    index = NetIndex(module)
+    controls = _mux_controls(module, index)
+    signatures = []
+    previous = None
+    for target in controls:
+        if target is None:
+            signatures.append(None)
+            previous = None
+            continue
+        known = {}
+        if with_facts and previous is not None and previous != target:
+            known[previous] = True
+        subgraph = extract_subgraph(index, target, known, k=k)
+        signatures.append(subgraph_signature(subgraph, sigmap=index.sigmap))
+        previous = target
+    return signatures
+
+
+class TestInvariance:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_invariant_under_renaming(self, seed):
+        module = random_module(seed, width=4, n_units=3)
+        copy = renamed_copy(module, prefix="q")
+        assert _signatures(module) == _signatures(copy)
+
+    @pytest.mark.parametrize("seed", SEEDS[:3])
+    def test_invariant_under_clone(self, seed):
+        module = random_module(seed, width=4, n_units=3)
+        assert _signatures(module) == _signatures(module.clone())
+
+    def test_renaming_twice_with_different_prefixes_agrees(self):
+        module = random_module(SEEDS[0], width=4, n_units=3)
+        a = renamed_copy(module, prefix="aa")
+        b = renamed_copy(a, prefix="zz")  # double scramble
+        assert _signatures(module) == _signatures(b)
+
+
+class TestModuleSignature:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_invariant_under_renaming_and_clone(self, seed):
+        module = random_module(seed, width=4, n_units=3)
+        sig = module_signature(module)
+        assert sig == module_signature(renamed_copy(module, prefix="m"))
+        assert sig == module_signature(module.clone())
+
+    def test_distinct_across_seeds(self):
+        signatures = {
+            module_signature(random_module(seed, width=4, n_units=3))
+            for seed in SEEDS
+        }
+        assert len(signatures) == len(SEEDS)
+
+    def test_sensitive_to_an_edit(self):
+        module = random_module(SEEDS[0], width=4, n_units=3)
+        before = module_signature(module)
+        mux = next(
+            cell for cell in module.cells.values()
+            if cell.type is CellType.MUX
+        )
+        mux.set_port("S", 1)
+        assert module_signature(module) != before
+
+
+class TestSensitivity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_perturbing_the_target_driver_changes_the_signature(self, seed):
+        """Pin one non-constant operand bit of the target's driver cell:
+        the canonical encoding gains a constant leaf, so the signature
+        must move (a renamed clone's must not)."""
+        module = random_module(seed, width=4, n_units=3)
+        index = NetIndex(module)
+        perturbed = 0
+        targets = []
+        for cell in module.cells.values():
+            if not cell.is_combinational:
+                continue
+            cbit = index.sigmap.map_bit(cell.output_bits()[0])
+            if not cbit.is_const and index.comb_driver(cbit) is not None:
+                targets.append(cbit)
+        for target in targets[:8]:
+            subgraph = extract_subgraph(index, target, {}, k=4)
+            driver = index.comb_driver(target)
+            if driver is None or driver.name not in subgraph.cell_names:
+                continue
+            before = subgraph_signature(subgraph, sigmap=index.sigmap)
+            port, offset, old = None, None, None
+            for pname in ("A", "B", "S"):
+                spec = driver.connections.get(pname)
+                if spec is None:
+                    continue
+                for off, bit in enumerate(spec):
+                    if not index.sigmap.map_bit(bit).is_const:
+                        port, offset, old = pname, off, spec
+                        break
+                if port is not None:
+                    break
+            if port is None:
+                continue
+            pinned = SigSpec(
+                SigSpec.coerce(1, 1)[0] if i == offset else bit
+                for i, bit in enumerate(old)
+            )
+            driver.set_port(port, pinned)
+            after = subgraph_signature(
+                extract_subgraph(NetIndex(module), target, {}, k=4),
+                sigmap=NetIndex(module).sigmap,
+            )
+            driver.set_port(port, old)  # restore for the next control
+            assert after != before, (seed, target, driver.name, port)
+            perturbed += 1
+        assert perturbed > 0, f"seed {seed}: no perturbable control found"
+
+    def test_facts_and_targets_fold_into_the_signature(self):
+        module = random_module(SEEDS[0], width=4, n_units=3)
+        index = NetIndex(module)
+        targets = [t for t in _mux_controls(module, index) if t is not None]
+        assert len(targets) >= 2
+        bare = extract_subgraph(index, targets[0], {}, k=4)
+        with_fact = extract_subgraph(
+            index, targets[0], {targets[1]: True}, k=4
+        )
+        sig = index.sigmap
+        assert subgraph_signature(bare, sig) != subgraph_signature(
+            with_fact, sig
+        ) or with_fact.known == bare.known  # fact may fall outside the graph
+        flipped = extract_subgraph(index, targets[0], {targets[1]: False}, k=4)
+        if with_fact.known:
+            assert subgraph_signature(with_fact, sig) != \
+                subgraph_signature(flipped, sig)
+
+
+class TestMemo:
+    def test_memo_hits_on_repeat_and_invalidates_on_rewire(self):
+        module = random_module(SEEDS[1], width=4, n_units=3)
+        index = NetIndex(module)
+        target = next(
+            t for t in _mux_controls(module, index) if t is not None
+        )
+        subgraph = extract_subgraph(index, target, {}, k=4)
+        memo = StructKeyMemo()
+        first = memo.signature(
+            subgraph.cells, subgraph.target, subgraph.known,
+            inputs=subgraph.inputs, sigmap=index.sigmap,
+        )
+        again = memo.signature(
+            subgraph.cells, subgraph.target, subgraph.known,
+            inputs=subgraph.inputs, sigmap=index.sigmap,
+        )
+        assert first == again
+        assert memo.hits == 1 and memo.misses == 1
+        if subgraph.cells:
+            cell = subgraph.cells[0]
+            port = next(iter(cell.connections))
+            cell.set_port(port, cell.connections[port])  # version bump only
+            memo.signature(
+                subgraph.cells, subgraph.target, subgraph.known,
+                inputs=subgraph.inputs, sigmap=index.sigmap,
+            )
+            assert memo.misses == 2  # identity key moved with the version
+
+    def test_memo_invalidates_on_alias_recanonicalisation(self):
+        """Regression: ``module.connect`` can fold a sub-graph's free
+        input to a constant without bumping any kept cell's version; the
+        memo key must embed the boundary (input list / fact bits) so the
+        stale labeling is not replayed for the changed structure."""
+        from repro.ir import Circuit
+
+        c = Circuit("alias")
+        x = c.input("x")
+        y = c.input("y")
+        c.output("o", c.and_(x, y))
+        module = c.module
+        index = NetIndex(module)
+        cell = next(iter(module.cells.values()))
+        target = index.sigmap.map_bit(cell.output_bits()[0])
+        subgraph = extract_subgraph(index, target, {}, k=4)
+        memo = StructKeyMemo()
+        before = memo.signature(
+            subgraph.cells, subgraph.target, subgraph.known,
+            inputs=subgraph.inputs, sigmap=index.sigmap,
+        )
+        # alias y to constant 1: no cell rewired, no version bumped
+        module.connect(module.wire("y"), 1)
+        index2 = NetIndex(module)
+        target2 = index2.sigmap.map_bit(cell.output_bits()[0])
+        subgraph2 = extract_subgraph(index2, target2, {}, k=4)
+        assert [c.version for c in subgraph2.cells] == \
+            [c.version for c in subgraph.cells]
+        after = memo.signature(
+            subgraph2.cells, subgraph2.target, subgraph2.known,
+            inputs=subgraph2.inputs, sigmap=index2.sigmap,
+        )
+        assert after != before
+        # and the memoized signature agrees with an uncached computation
+        assert after == subgraph_signature(subgraph2, sigmap=index2.sigmap)
+
+    def test_memo_agrees_with_fresh_computation_under_facts(self):
+        module = random_module(SEEDS[3], width=4, n_units=3)
+        index = NetIndex(module)
+        controls = [t for t in _mux_controls(module, index) if t is not None]
+        memo = StructKeyMemo()
+        for target in controls:
+            for fact_bit in controls[:2]:
+                if fact_bit == target:
+                    continue
+                for value in (True, False):
+                    subgraph = extract_subgraph(
+                        index, target, {fact_bit: value}, k=4
+                    )
+                    memoized = memo.signature(
+                        subgraph.cells, subgraph.target, subgraph.known,
+                        inputs=subgraph.inputs, sigmap=index.sigmap,
+                    )
+                    fresh = subgraph_signature(subgraph, sigmap=index.sigmap)
+                    assert memoized == fresh
+
+    def test_memo_eviction_is_bounded(self):
+        memo = StructKeyMemo(max_entries=4)
+        module = random_module(SEEDS[2], width=4, n_units=3)
+        index = NetIndex(module)
+        for target in _mux_controls(module, index):
+            if target is None:
+                continue
+            subgraph = extract_subgraph(index, target, {}, k=4)
+            memo.signature(
+                subgraph.cells, subgraph.target, subgraph.known,
+                inputs=subgraph.inputs, sigmap=index.sigmap,
+            )
+        assert len(memo) <= 4
+
+
+#: computes the full signature table for three seeds — any dependence on
+#: id(), dict order or string hashing would diverge between hash seeds
+_STABILITY_SCRIPT = r"""
+import json
+import sys
+
+from repro.core.subgraph import extract_subgraph
+from repro.equiv.differential import random_module
+from repro.ir import NetIndex
+from repro.ir.cells import CellType
+from repro.ir.struct_hash import renamed_copy, subgraph_signature
+
+table = {}
+for seed in (401, 402, 403):
+    module = renamed_copy(random_module(seed, width=4, n_units=3), prefix="p")
+    index = NetIndex(module)
+    signatures = []
+    for cell in module.cells.values():
+        if cell.type in (CellType.MUX, CellType.PMUX):
+            for bit in cell.connections["S"]:
+                cbit = index.sigmap.map_bit(bit)
+                if cbit.is_const:
+                    continue
+                subgraph = extract_subgraph(index, cbit, {}, k=4)
+                signatures.append(
+                    subgraph_signature(subgraph, sigmap=index.sigmap)
+                )
+    table[seed] = signatures
+json.dump(table, sys.stdout, sort_keys=True)
+"""
+
+
+def _run_with_hash_seed(seed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = seed
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", _STABILITY_SCRIPT],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return proc.stdout
+
+
+def test_signatures_stable_across_processes_and_hash_seeds():
+    """Two interpreters with different hash randomization agree exactly —
+    the property that makes exported snapshots meaningful to workers."""
+    first = _run_with_hash_seed("0")
+    second = _run_with_hash_seed("54321")
+    assert first == second
+    import json
+
+    table = json.loads(first)
+    assert any(table.values())  # the corpus produced real signatures
