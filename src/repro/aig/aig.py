@@ -13,6 +13,7 @@ identical AND nodes are created only once — this mirrors what Yosys's
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 FALSE_LIT = 0
@@ -42,6 +43,20 @@ class AIG:
     @property
     def max_var(self) -> int:
         return self.num_inputs + len(self._ands)
+
+    def structural_digest(self, *extra: int) -> str:
+        """Name-free BLAKE2b digest of the AND-node structure.
+
+        Covers the input *count* and the fanin-literal table (plus any
+        ``extra`` literals the caller wants pinned, e.g. a miter output)
+        but not input names: node numbering already encodes how inputs
+        feed the structure, so equal digests mean equal graphs up to
+        renaming — the property the exportable CEC verdict cache keys on.
+        """
+        payload = (self.num_inputs, tuple(self._ands), tuple(extra))
+        return hashlib.blake2b(
+            repr(payload).encode("utf-8"), digest_size=16
+        ).hexdigest()
 
     def and_fanins(self, var: int) -> Tuple[int, int]:
         """Fanin literals of the AND node with the given variable index."""

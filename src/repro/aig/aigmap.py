@@ -63,6 +63,16 @@ class AigMapper:
                     self.aig.add_output(
                         self._lit(sigmap.map_bit(bit)), f"{cell.name}.D[{i}]"
                     )
+        # instance bindings are boundary observables: parent cones feeding a
+        # child count toward the parent's area (matching what those cones
+        # would cost after flattening) and are compared by the miter
+        for instance in self.module.instances.values():
+            for pname in sorted(instance.connections):
+                for i, bit in enumerate(instance.connections[pname]):
+                    self.aig.add_output(
+                        self._lit(sigmap.map_bit(bit)),
+                        f"{instance.name}.{pname}[{i}]",
+                    )
         return self.aig
 
     # -- internals ---------------------------------------------------------------
@@ -90,6 +100,12 @@ class AigMapper:
             if cell.type is CellType.DFF:
                 for i, bit in enumerate(cell.connections["Q"]):
                     declare(bit, f"{cell.name}.Q[{i}]")
+        # undriven instance binding bits (child-output nets) are sources
+        # with deterministic boundary names, shared by the miter builder
+        for instance in self.module.instances.values():
+            for pname in sorted(instance.connections):
+                for i, bit in enumerate(instance.connections[pname]):
+                    declare(bit, f"{instance.name}.{pname}[{i}]")
         # any remaining undriven bits read by cells or outputs
         for cell in self.module.cells.values():
             for pname in input_ports(cell.type):

@@ -14,8 +14,13 @@ Everything a tool builder needs in one import::
   (:data:`PRESET_NAMES`).
 * :class:`Session` — owns a :class:`~repro.ir.design.Design`, caches
   pre-optimization baselines, runs flows over modules, returns
-  :class:`RunReport` records, and fans suites out in parallel via
-  :meth:`Session.run_suite`.
+  :class:`RunReport` records, fans suites out in parallel via
+  :meth:`Session.run_suite`, and optimizes instance trees bottom-up
+  with isomorphic-class replay via :meth:`Session.run_hierarchy`
+  (returning :class:`HierarchyReport`).
+* Hierarchy IR — :func:`hierarchy` elaborates an instance tree
+  (:class:`HierarchyInfo`), :func:`flatten` inlines it, and both raise
+  :class:`HierarchyError` on malformed trees.
 * :mod:`repro.events` re-exports — the structured progress channel
   (:class:`EventBus`, :class:`EventLog`, :class:`PrintObserver`).
 
@@ -34,6 +39,7 @@ from .events import (
 from .flow.reports import render_industrial, render_table2, render_table3
 from .flow.session import (
     EquivalenceError,
+    HierarchyReport,
     PassRecord,
     RunReport,
     Session,
@@ -49,10 +55,14 @@ from .flow.spec import (
     resolve_flow,
 )
 from .ir.design import Design
+from .ir.hierarchy import HierarchyError, HierarchyInfo, flatten, hierarchy
 
 __all__ = [
     "Design",
     "EquivalenceError",
+    "HierarchyError",
+    "HierarchyInfo",
+    "HierarchyReport",
     "EventBus",
     "EventLog",
     "FlowEvent",
@@ -68,6 +78,8 @@ __all__ = [
     "Session",
     "SmartlyOptions",
     "SuiteReport",
+    "flatten",
+    "hierarchy",
     "render_industrial",
     "render_table2",
     "render_table3",

@@ -10,6 +10,7 @@
     smartly write design.v -o optimized.v [--optimizer smartly]
     smartly equiv gold.v gate.v
     smartly fuzz [--iterations N] [--seed-base S] [--json]
+    smartly hier design.v [--top NAME] [--optimizer smartly] [--check] [--json]
 
 ``opt``/``script`` run declarative flows through the :mod:`repro.api`
 Session layer; ``script`` accepts any Yosys-like flow script.  The ``bench``
@@ -205,6 +206,39 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_hier(args: argparse.Namespace) -> int:
+    """Optimize a hierarchical design bottom-up with instance replay."""
+    with open(args.source) as handle:
+        design = compile_verilog(handle.read(), top=args.top)
+    session = Session(design)
+    report = session.run_hierarchy(
+        args.optimizer, top=args.top, check=args.check
+    )
+    if args.json:
+        print(report.to_json(indent=2))
+        return 0
+    print(
+        f"{report.top}: weighted AIG area {report.original_total_area} -> "
+        f"{report.total_area} "
+        f"({100 * report.reduction_vs_original:.2f}% reduction, {report.flow})"
+    )
+    for name in report.order:
+        module = report.reports[name]
+        count = report.instance_counts.get(name, 1)
+        tag = ""
+        if name in report.replayed:
+            tag = f"  [replayed from {report.replayed[name]}]"
+        elif name in report.replay_fallbacks:
+            tag = f"  [fallback: {report.replay_fallbacks[name]}]"
+        print(
+            f"  {name:<24} x{count:<3} {module.original_area:>6} -> "
+            f"{module.optimized_area:>6}{tag}"
+        )
+    if args.check:
+        print("equivalence checks: PASSED")
+    return 0
+
+
 def _format_cache_stats(stats: dict) -> str:
     """One-line per-kind hit-rate summary of suite/run cache totals."""
     kinds = sorted(
@@ -358,6 +392,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument("-v", "--verbose", action="store_true",
                         help="stream per-check progress to stderr")
     p_fuzz.set_defaults(func=cmd_fuzz)
+
+    p_hier = sub.add_parser(
+        "hier",
+        help="optimize a hierarchical design bottom-up with instance replay",
+    )
+    p_hier.add_argument("source")
+    p_hier.add_argument("--top", default=None)
+    p_hier.add_argument("--optimizer", choices=OPTIMIZERS, default="smartly")
+    p_hier.add_argument("--check", action="store_true",
+                        help="SAT-prove every module (replays included)")
+    p_hier.add_argument("--json", action="store_true",
+                        help="print the HierarchyReport as JSON")
+    p_hier.set_defaults(func=cmd_hier)
     return parser
 
 

@@ -31,6 +31,18 @@ that is precisely the scheme that makes the oracle's verdict cache safe
 across pass generations (see :meth:`repro.sat.oracle.SatOracle.begin_pass`),
 and the same argument applies verbatim here.
 
+Beyond the per-sub-graph rungs, structural caches carry whole-artifact
+kinds keyed by module- or miter-level signatures: ``suite_job``
+(name-stripped :class:`~repro.flow.session.RunReport` replays — see
+:func:`repro.flow.session._run_suite_job` and
+:meth:`~repro.flow.session.Session.run_hierarchy`), ``hier_netlist``
+(optimized module clones that isomorphic-instance replay swaps into
+sibling slots) and ``cec`` (hard SAT equivalence verdicts keyed by the
+miter AIG's structural digest — see :func:`repro.equiv.cec.
+check_equivalence`).  All of them ride :meth:`export`/:meth:`merge`
+like any other entry, so warm-started workers and follow-up sessions
+replay proofs and netlists they never computed.
+
 One cache instance is intended to live as long as its owner: the
 :class:`~repro.core.smartly.Smartly` pass keeps one across optimization
 rounds and runs, and :class:`~repro.flow.session.Session` injects a single

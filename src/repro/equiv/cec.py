@@ -9,6 +9,19 @@ The SAT step runs through a :class:`~repro.sat.oracle.SatOracle` — pass
 one in (``oracle=...``) to accumulate query/conflict counters across many
 checks, e.g. a fuzzing session or ``Session.run_suite(check=True)``.
 
+Decided SAT verdicts can additionally persist in an exportable
+:class:`~repro.core.cache.ResultCache` (``cache=...``): the entry is keyed
+``("cec", <miter structural digest>)`` where the digest covers the shared
+miter AIG's input count, AND-node table and miter literal but *not* its
+input names — the name-based port pairing is already baked into the node
+structure, so renamed clones and replayed siblings that build the same
+miter share the verdict, while independently built twins at worst miss
+conservatively.  Only hard SAT verdicts are stored (never ``budget``,
+``sim`` or ``fold`` outcomes), so a hit replays a proof, not a guess; a
+cached non-equivalence carries no counterexample (``method="cached"``).
+Unlike the oracle's in-process verdict memo, these entries survive
+``export()``/``merge()`` warm-starts across processes.
+
 Conflict-budget exhaustion is a first-class outcome: the returned
 :class:`EquivResult` has ``equivalent=False`` **and** ``undecided=True``
 (``method="budget"``), which is distinct from a proven non-equivalence
@@ -21,11 +34,14 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from ..ir.module import Module
 from ..sat.oracle import SatOracle
 from .miter import build_miter
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cache -> oracle)
+    from ..core.cache import ResultCache
 
 
 @dataclass
@@ -35,7 +51,9 @@ class EquivResult:
     equivalent: bool
     #: "sim" when random simulation found the mismatch, "fold" when the
     #: miter folded to a constant, "budget" when the conflict budget ran
-    #: out before a verdict, "sat" otherwise
+    #: out before a verdict, "cached" when a ResultCache replayed a prior
+    #: SAT verdict (no counterexample on cached refutations), "sat"
+    #: otherwise
     method: str = "sat"
     #: input-bit-name -> value for the distinguishing assignment (if any)
     counterexample: Dict[str, int] = field(default_factory=dict)
@@ -55,15 +73,25 @@ def check_equivalence(
     seed: int = 0,
     max_conflicts: Optional[int] = None,
     oracle: Optional[SatOracle] = None,
+    cache: Optional["ResultCache"] = None,
 ) -> EquivResult:
     """Prove or refute combinational equivalence of two modules.
 
     When ``max_conflicts`` is given and the solver cannot settle the
     question within the budget, the result is *undecided*
     (``EquivResult(False, method="budget", undecided=True)``) rather than
-    a claim in either direction.
+    a claim in either direction.  ``cache`` persists decided SAT verdicts
+    under the miter's structural digest (see module docs); only
+    structural-mode caches participate.
     """
     aig, miter_lit = build_miter(gold, gate)
+
+    cec_key = None
+    if cache is not None and cache.structural:
+        cec_key = ("cec", aig.structural_digest(miter_lit))
+        hit, verdict = cache.lookup(cec_key)
+        if hit:
+            return EquivResult(bool(verdict), method="cached")
 
     # 1. random-simulation filter
     if random_vectors > 0 and aig.num_inputs > 0:
@@ -103,11 +131,15 @@ def check_equivalence(
             False, method="budget", sat_conflicts=conflicts, undecided=True
         )
     if verdict is False:
+        if cec_key is not None:
+            cache.store(cec_key, True)
         return EquivResult(True, method="sat", sat_conflicts=conflicts)
     cex = {
         name: int(model.get(i + 1, False))
         for i, name in enumerate(aig.input_names)
     }
+    if cec_key is not None:
+        cache.store(cec_key, False)
     return EquivResult(
         False, method="sat", counterexample=cex, sat_conflicts=conflicts
     )

@@ -42,6 +42,16 @@ def _input_bit_names(module: Module, index: NetIndex) -> List[str]:
     for cell in module.cells.values():
         if cell.type is CellType.DFF:
             names.extend(f"{cell.name}.Q[{i}]" for i in range(cell.width))
+    # undriven instance binding bits (child-output nets) must be *shared*
+    # miter inputs, or identical parent logic reading them would compare
+    # two independent free variables and spuriously differ
+    sigmap = index.sigmap
+    for instance in module.instances.values():
+        for pname in sorted(instance.connections):
+            for i, bit in enumerate(instance.connections[pname]):
+                cbit = sigmap.map_bit(bit)
+                if not cbit.is_const and index.comb_driver(cbit) is None:
+                    names.append(f"{instance.name}.{pname}[{i}]")
     return names
 
 

@@ -108,6 +108,12 @@ def _pending_recorder(result: PassResult) -> Callable[[ModuleEdit], None]:
                 for bit in spec:
                     if not bit.is_const:
                         result.touched_bits.add(bit)
+        elif edit.kind in (ir_module.INSTANCE_ADDED, ir_module.INSTANCE_REMOVED):
+            # a (dis)appearing boundary changes what is observable: dirty
+            # every parent-side binding bit so cones feeding (or fed by)
+            # the instance are re-examined
+            for bit in edit.instance.binding_bits():
+                result.touched_bits.add(bit)
 
     return record
 
@@ -240,6 +246,65 @@ class SuiteReport(Mapping):
         return json.dumps(self.to_dict(), **kwargs)
 
 
+@dataclass(frozen=True)
+class HierarchyReport:
+    """Results of :meth:`Session.run_hierarchy` (JSON-serializable).
+
+    ``reports`` maps every module reachable from ``top`` to its
+    :class:`RunReport`; modules replayed from an isomorphic representative
+    carry ``design_cache="replayed"`` and appear in ``replayed`` with the
+    name of the module whose optimized netlist they received.  Weighted
+    totals multiply each module's area by its dynamic instance count, so
+    ``total_area`` is directly comparable to optimizing the flattened
+    design.
+    """
+
+    top: str
+    flow: str
+    #: bottom-up elaboration order the modules were optimized in
+    order: Tuple[str, ...]
+    reports: Dict[str, RunReport]
+    #: replayed module -> representative whose optimized netlist it got
+    replayed: Dict[str, str]
+    #: replay candidates that fell back to a full run, with the reason
+    #: (``"ports"``/``"children"``/``"cec"`` — see ``run_hierarchy``)
+    replay_fallbacks: Dict[str, str]
+    #: module -> dynamic instance count under ``top`` (the top counts 1)
+    instance_counts: Dict[str, int]
+    #: sum of count * pre-optimization area over reachable modules
+    original_total_area: int
+    #: sum of count * optimized area over reachable modules
+    total_area: int
+    runtime_s: float = 0.0
+
+    @property
+    def reduction_vs_original(self) -> float:
+        if self.original_total_area == 0:
+            return 0.0
+        return 1.0 - self.total_area / self.original_total_area
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "top": self.top,
+            "flow": self.flow,
+            "order": list(self.order),
+            "reports": {
+                name: report.to_dict()
+                for name, report in self.reports.items()
+            },
+            "replayed": dict(self.replayed),
+            "replay_fallbacks": dict(self.replay_fallbacks),
+            "instance_counts": dict(self.instance_counts),
+            "original_total_area": self.original_total_area,
+            "total_area": self.total_area,
+            "runtime_s": self.runtime_s,
+        }
+
+    def to_json(self, **kwargs: Any) -> str:
+        kwargs.setdefault("sort_keys", True)
+        return json.dumps(self.to_dict(), **kwargs)
+
+
 @dataclass
 class _FlowState:
     """Per-(module, flow) design-incremental state: the pass objects whose
@@ -365,6 +430,20 @@ class Session:
             entry = self._pending.get(edit.module)
             if entry is not None:
                 entry.recorder(edit.edit)
+        elif edit.kind == design_mod.CHILD_EDITED:
+            # a transitive child changed content: the parent's own netlist
+            # is untouched, but everything observable at its instantiation
+            # sites may mean something new, so the binding bits of every
+            # instance of the edited child seed the parent's next re-run
+            if edit.module == self._running:
+                return
+            entry = self._pending.get(edit.module)
+            parent = self.design.modules.get(edit.module)
+            if entry is not None and parent is not None:
+                for inst in parent.instances.values():
+                    if inst.module_name == edit.child:
+                        for bit in inst.binding_bits():
+                            entry.edits.touched_bits.add(bit)
         elif edit.kind in (design_mod.MODULE_ADDED, design_mod.MODULE_REMOVED):
             # membership changes reset everything known about the name
             self._pending.pop(edit.module, None)
@@ -561,7 +640,10 @@ class Session:
         stats = aig_stats(aig_map(mod))
         checked = False
         if golden is not None:
-            result = check_equivalence(golden, mod)
+            result = check_equivalence(
+                golden, mod,
+                cache=self._result_cache if incremental else None,
+            )
             if not result.equivalent:
                 raise EquivalenceError(
                     f"{spec.label} broke {mod.name!r}: "
@@ -678,11 +760,180 @@ class Session:
         content is unchanged since this flow last converged on them are
         skipped, edited ones are seeded with just the in-between edits
         (see :attr:`RunReport.design_cache`).
+
+        Hierarchical designs are visited children-before-parents
+        (bottom-up over the instance graph), so by the time a parent's
+        boundary cones are optimized every child it instantiates is
+        already in its final shape; instance-free designs keep plain
+        insertion order.
         """
+        names = list(self.design.modules)
+        if any(self.design.modules[n].instances for n in names):
+            names = _bottom_up_names(self.design)
         return {
             name: self.run(flow, module=name, check=check)
-            for name in list(self.design.modules)
+            for name in names
         }
+
+    def run_hierarchy(
+        self,
+        flow: Union[str, FlowSpec] = "smartly",
+        *,
+        top: Optional[str] = None,
+        check: bool = False,
+        engine: Optional[str] = None,
+    ) -> HierarchyReport:
+        """Optimize a hierarchical design bottom-up with isomorphic-
+        instance replay.
+
+        Modules reachable from ``top`` are visited children-first.  Each
+        module's *hierarchical* structural signature (its own logic plus
+        the signatures of the modules it instantiates — see
+        :func:`~repro.ir.struct_hash.module_signature`) keys two
+        :class:`~repro.core.cache.ResultCache` entries written after a
+        full run: a ``suite_job`` report and a ``hier_netlist`` optimized
+        clone.  A later module in the same signature class — an
+        isomorphic sibling — replays both instead of running any pass:
+        its optimized netlist is a renamed clone of the representative's,
+        swapped in via :meth:`Design.replace_module
+        <repro.ir.design.Design.replace_module>`, and its report is the
+        stored one with ``design_cache="replayed"``.  Entries survive
+        :meth:`~repro.core.cache.ResultCache.export`/``merge``, so a
+        warm-started session replays classes it never ran itself.
+
+        Replay preconditions — signature equality is name-free, so the
+        swap must additionally preserve what parents and the design can
+        observe; each failure falls back to an ordinary full run and is
+        recorded in :attr:`HierarchyReport.replay_fallbacks`:
+
+        * ``"ports"`` — the sibling's port names/widths differ from the
+          stored netlist's (parents bind by port name);
+        * ``"children"`` — the sibling instantiates a different multiset
+          of child module names (the swap would rewire the instance
+          graph);
+        * ``"cec"`` — with ``check=True`` every replay is SAT-proven
+          equivalent to the module it replaces before the swap commits;
+          an unproven candidate (refuted *or* undecided) is discarded.
+
+        Identity-keyed sessions (``structural_keys=False``) never replay.
+        Replayed modules do not anchor design-incremental state: the
+        swap bumps the module's revision, so a later direct :meth:`run`
+        does a normal full/seeded pass over the new content.
+        """
+        from ..ir.hierarchy import hierarchy
+
+        engine = engine if engine is not None else self.engine
+        spec = resolve_flow(flow, options=self.options)
+        info = hierarchy(self.design, top=top)
+        start = time.perf_counter()
+        cache = self._result_cache
+        flow_fp = (
+            str(spec), spec.label, bool(check), engine,
+            _options_fingerprint(self.options),
+        )
+        child_sigs: Dict[str, Any] = {}
+        reports: Dict[str, RunReport] = {}
+        replayed: Dict[str, str] = {}
+        fallbacks: Dict[str, str] = {}
+        for name in info.order:
+            mod = self.design.modules[name]
+            # pre-optimization hierarchical signature: equal signatures
+            # mean the deterministic flow produces identical results, so
+            # grouping must happen before any pass touches the module
+            sig = module_signature(mod, child_signatures=child_sigs)
+            child_sigs[name] = sig
+            original_area = self.baseline_area(name)
+            # same key layout as _run_suite_job, so hierarchy runs and
+            # suite jobs share stored reports (instance-free modules
+            # have identical flat and hierarchical signatures)
+            job_key = ("suite_job", sig, flow_fp)
+            net_key = ("hier_netlist", sig, flow_fp)
+            replay = None
+            if cache.structural:
+                report_hit, stored_report = cache.lookup(job_key)
+                netlist_hit, stored_mod = cache.lookup(net_key)
+                if report_hit and netlist_hit:
+                    replay = self._try_replay(
+                        name, mod, stored_mod, stored_report, check,
+                        fallbacks,
+                    )
+            if replay is not None:
+                reports[name] = replay
+                replayed[name] = stored_mod.name
+                continue
+            report = self.run(spec, module=name, check=check, engine=engine)
+            reports[name] = report
+            if cache.structural:
+                # strip instance-local fields so the stored report is
+                # name-free; the netlist keeps its wire/cell names (the
+                # port-interface precondition makes them transferable)
+                cache.store(
+                    job_key, replace(report, case_name="", cache_stats={})
+                )
+                cache.store(net_key, self.design.modules[name].clone())
+        runtime = time.perf_counter() - start
+        counts = dict(info.instance_counts)
+        original_total = sum(
+            counts[n] * reports[n].original_area for n in info.order
+        )
+        total = sum(
+            counts[n] * reports[n].optimized_area for n in info.order
+        )
+        return HierarchyReport(
+            top=info.top,
+            flow=spec.label,
+            order=info.order,
+            reports=reports,
+            replayed=replayed,
+            replay_fallbacks=fallbacks,
+            instance_counts=counts,
+            original_total_area=original_total,
+            total_area=total,
+            runtime_s=runtime,
+        )
+
+    def _try_replay(
+        self,
+        name: str,
+        mod: Module,
+        stored_mod: Module,
+        stored_report: RunReport,
+        check: bool,
+        fallbacks: Dict[str, str],
+    ) -> Optional[RunReport]:
+        """Attempt to swap ``stored_mod`` (an optimized isomorphic twin)
+        in for ``mod``; returns the replayed report or None (fallback
+        reason recorded in ``fallbacks``)."""
+        start = time.perf_counter()
+        if _port_interface(mod) != _port_interface(stored_mod):
+            fallbacks[name] = "ports"
+            return None
+        if _child_multiset(mod) != _child_multiset(stored_mod):
+            fallbacks[name] = "children"
+            return None
+        candidate = stored_mod.clone()
+        candidate.name = name
+        if check:
+            verdict = check_equivalence(
+                mod, candidate, cache=self._result_cache
+            )
+            if not verdict.equivalent:
+                fallbacks[name] = "cec"
+                return None
+        self.design.replace_module(name, candidate)
+        return replace(
+            stored_report,
+            case_name=name,
+            passes=[],
+            pass_stats={},
+            oracle_stats={},
+            rounds=0,
+            runtime_s=time.perf_counter() - start,
+            equivalence_checked=bool(check),
+            dirty_stats={"modules_replayed": 1},
+            design_cache="replayed",
+            cache_stats=self._cache_totals(),
+        )
 
     # -- suites ----------------------------------------------------------------
 
@@ -881,6 +1132,58 @@ class Session:
         return f"Session({self.design!r})"
 
 
+def _port_interface(module: Module) -> Tuple[Tuple, Tuple]:
+    """Name+width I/O shape a replay must preserve (parents bind by name)."""
+    ins = tuple(sorted((w.name, w.width) for w in module.inputs))
+    outs = tuple(sorted((w.name, w.width) for w in module.outputs))
+    return ins, outs
+
+
+def _child_multiset(module: Module) -> Tuple[str, ...]:
+    """Sorted child-module names a replay must preserve (the instance
+    graph is observable through :meth:`Design.instantiators`)."""
+    return tuple(
+        sorted(inst.module_name for inst in module.instances.values())
+    )
+
+
+def _bottom_up_names(design: Design) -> List[str]:
+    """Every module name, children before any module instantiating them.
+
+    Unlike :func:`~repro.ir.hierarchy.hierarchy` this covers *all*
+    modules (including roots unreachable from the top) and tolerates
+    dangling or cyclic references — back-edges are simply not followed,
+    so ``run_all`` stays total on designs ``hierarchy()`` would reject.
+    Deterministic: roots and children are visited in insertion order.
+    """
+    order: List[str] = []
+    state: Dict[str, int] = {}  # 0 = on stack, 1 = done
+
+    def children(name: str) -> Iterator[str]:
+        for inst in design.modules[name].instances.values():
+            child = inst.module_name
+            if child != name and child in design.modules:
+                yield child
+
+    for root in design.modules:
+        if state.get(root) == 1:
+            continue
+        state[root] = 0
+        stack = [(root, children(root))]
+        while stack:
+            name, pending = stack[-1]
+            for child in pending:
+                if state.get(child) is None:
+                    state[child] = 0
+                    stack.append((child, children(child)))
+                    break
+            else:
+                stack.pop()
+                state[name] = 1
+                order.append(name)
+    return order
+
+
 def _options_fingerprint(options: Optional[SmartlyOptions]) -> Optional[Tuple]:
     """A pure, hashable rendering of the tuning options for job keys."""
     if options is None:
@@ -989,6 +1292,7 @@ def suite_cases(
 __all__ = [
     "CaseSource",
     "EquivalenceError",
+    "HierarchyReport",
     "PassRecord",
     "RunReport",
     "Session",

@@ -162,6 +162,16 @@ class AlwaysBlock:
 
 
 @dataclass
+class InstanceDecl:
+    """``module_name instance_name (.port(expr), ...);`` — named
+    connections only (positional port lists are rejected at parse time)."""
+
+    module: str
+    name: str
+    bindings: List[Tuple[str, Expr]] = field(default_factory=list)
+
+
+@dataclass
 class ModuleDecl:
     name: str
     ports: List[str] = field(default_factory=list)
@@ -169,6 +179,7 @@ class ModuleDecl:
     params: List[ParamDecl] = field(default_factory=list)
     assigns: List[ContinuousAssign] = field(default_factory=list)
     always_blocks: List[AlwaysBlock] = field(default_factory=list)
+    instances: List[InstanceDecl] = field(default_factory=list)
 
 
 @dataclass

@@ -14,8 +14,12 @@ Design notes / documented simplifications:
 * Nonblocking assignments are elaborated in program order within a block
   (single-assignment style); cross-variable swap idioms relying on strict
   NBA scheduling are out of scope.
-* Module instantiation is not supported — benchmark circuits are generated
-  flat by :mod:`repro.workloads`.
+* Module instantiation uses named connections only (``mod inst
+  (.port(net), ...)``); each binding elaborates in the parent and becomes
+  an :class:`~repro.ir.module.Instance` record — no flattening happens
+  here.  Cross-module checks (does the child exist, do widths match) are
+  deferred to :func:`repro.ir.hierarchy.hierarchy`, since modules may be
+  declared in any order.
 """
 
 from __future__ import annotations
@@ -145,6 +149,23 @@ class Elaborator:
                 self._elaborate_comb(block)
             else:
                 self._elaborate_seq(block)
+        for inst in self.decl.instances:
+            connections = {}
+            for port, expr in inst.bindings:
+                if port in connections:
+                    raise FrontendError(
+                        f"duplicate connection to port {port!r} on "
+                        f"instance {inst.name!r}"
+                    )
+                try:
+                    # plain net lvalues carry both directions
+                    connections[port] = self.eval_lvalue(expr)
+                except FrontendError:
+                    # expression bindings (input-only) build parent logic
+                    connections[port] = self.eval_expr(expr)
+            self.module.add_instance(
+                inst.module, name=inst.name, connections=connections
+            )
         return self.module
 
     # -- lvalues ------------------------------------------------------------------
@@ -567,7 +588,8 @@ def compile_verilog(
     top: Optional[str] = None,
     overrides: Optional[Dict[str, int]] = None,
 ) -> Design:
-    """Parse and elaborate Verilog text; returns a single-level Design."""
+    """Parse and elaborate Verilog text into a (possibly hierarchical)
+    Design; instances stay unflattened (see :mod:`repro.ir.hierarchy`)."""
     parsed: SourceFile = parse_source(source)
     if not parsed.modules:
         raise FrontendError("no modules in source")
@@ -576,4 +598,17 @@ def compile_verilog(
         design.add_module(elaborate(decl, overrides))
     if top is not None:
         design.set_top(top)
+    elif any(module.instances for module in design):
+        # hierarchical source: default top is the first uninstantiated
+        # root in declaration order, not simply the first module
+        instantiated = {
+            inst.module_name
+            for module in design
+            for inst in module.instances.values()
+            if inst.module_name != module.name
+        }
+        for name in design.modules:
+            if name not in instantiated:
+                design.set_top(name)
+                break
     return design

@@ -25,6 +25,7 @@ from .ast import (
     Ident,
     If,
     Index,
+    InstanceDecl,
     ModuleDecl,
     NetDecl,
     Number,
@@ -240,8 +241,37 @@ class Parser:
             module.always_blocks.append(self._parse_always())
         elif self.check("integer") or self.check("genvar"):
             raise self.error(f"{self.current.text} declarations are not supported")
+        elif self.current.kind is TokKind.IDENT:
+            module.instances.append(self._parse_instance())
         else:
             raise self.error("unsupported module item")
+
+    def _parse_instance(self) -> InstanceDecl:
+        """``mod inst (.port(expr), ...);`` — named connections only."""
+        module_name = self.expect_ident()
+        if self.check("#"):
+            raise self.error("parameterised instantiation is not supported")
+        instance_name = self.expect_ident()
+        inst = InstanceDecl(module=module_name, name=instance_name)
+        self.expect("(")
+        if not self.check(")"):
+            while True:
+                if not self.accept("."):
+                    raise self.error(
+                        "positional port connections are not supported "
+                        "(use .port(net))"
+                    )
+                port = self.expect_ident()
+                self.expect("(")
+                expr = None if self.check(")") else self.parse_expr()
+                self.expect(")")
+                if expr is not None:
+                    inst.bindings.append((port, expr))
+                if not self.accept(","):
+                    break
+        self.expect(")")
+        self.expect(";")
+        return inst
 
     def _find_or_add_net(self, module: ModuleDecl, name: str, kind: str) -> NetDecl:
         for net in module.nets:

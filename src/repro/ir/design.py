@@ -14,9 +14,16 @@ is unchanged — or seed the pass engine with just the edits made in between.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
-from .module import Module, ModuleEdit, ModuleListener
+from .module import (
+    INSTANCE_ADDED,
+    INSTANCE_REMOVED,
+    Instance,
+    Module,
+    ModuleEdit,
+    ModuleListener,
+)
 
 # -- design-level edit notifications -------------------------------------------
 
@@ -24,6 +31,7 @@ MODULE_ADDED = "module_added"
 MODULE_REMOVED = "module_removed"
 MODULE_EDITED = "module_edited"
 TOP_CHANGED = "top_changed"
+CHILD_EDITED = "child_edited"
 
 
 @dataclass(frozen=True)
@@ -34,11 +42,18 @@ class DesignEdit:
     underlying structural :class:`~repro.ir.module.ModuleEdit` rides along
     in ``edit`` (the design channel is a superset of every member module's
     channel, so one subscription observes the whole design).
+
+    ``child_edited`` is the cross-boundary forwarding event: when a module
+    is edited, every transitive instantiating ancestor receives one with
+    ``module`` naming the ancestor and ``child`` naming its *direct* child
+    on the edited path — the ancestor's bindings of that child are exactly
+    the nets whose upstream semantics may have changed.
     """
 
     kind: str
     module: str
     edit: Optional[ModuleEdit] = None
+    child: Optional[str] = None
 
 
 DesignListener = Callable[[DesignEdit], None]
@@ -65,6 +80,8 @@ class Design:
         self._forwarders: Dict[str, ModuleListener] = {}
         #: module name -> monotone content-revision counter
         self._revisions: Dict[str, int] = {}
+        #: child module name -> {parent module name: instance count}
+        self._instantiators: Dict[str, Dict[str, int]] = {}
         if top is not None:
             self.add_module(top, top=True)
 
@@ -87,15 +104,55 @@ class Design:
 
         def forward(edit: ModuleEdit) -> None:
             self._revisions[name] += 1
+            if edit.kind == INSTANCE_ADDED:
+                self._count_instance(name, edit.instance.module_name, +1)
+            elif edit.kind == INSTANCE_REMOVED:
+                self._count_instance(name, edit.instance.module_name, -1)
             if self._listeners:
                 self._notify(DesignEdit(MODULE_EDITED, name, edit))
+            self._propagate_child_edit(name)
 
         self._forwarders[name] = module.add_listener(forward)
 
+    def _count_instance(self, parent: str, child: str, delta: int) -> None:
+        parents = self._instantiators.setdefault(child, {})
+        count = parents.get(parent, 0) + delta
+        if count > 0:
+            parents[parent] = count
+        else:
+            parents.pop(parent, None)
+            if not parents:
+                self._instantiators.pop(child, None)
+
+    def _propagate_child_edit(self, child: str) -> None:
+        """Bump every transitive instantiating ancestor's revision.
+
+        A child-module edit changes the hierarchical content of each parent
+        instantiation site, so parents must not be skipped as "unchanged" by
+        revision-keyed consumers.  Each ancestor is notified once per edit
+        with its *direct* child on the edited path (cycles are guarded even
+        though :func:`repro.ir.hierarchy.hierarchy` rejects them).
+        """
+        visited = {child}
+        frontier = [child]
+        while frontier:
+            edited = frontier.pop()
+            for parent in sorted(self._instantiators.get(edited, {})):
+                if parent in visited or parent not in self.modules:
+                    continue
+                visited.add(parent)
+                self._revisions[parent] += 1
+                if self._listeners:
+                    self._notify(
+                        DesignEdit(CHILD_EDITED, parent, child=edited)
+                    )
+                frontier.append(parent)
+
     def revision(self, name: str) -> int:
-        """Monotone count of structural edits to module ``name`` since it
-        joined the design.  Equal revisions mean byte-identical content
-        (edits outside the notifying APIs are unsupported, as for the live
+        """Monotone count of structural edits to module ``name`` — or to any
+        module it transitively instantiates — since it joined the design.
+        Equal revisions mean byte-identical *hierarchical* content (edits
+        outside the notifying APIs are unsupported, as for the live
         :class:`~repro.ir.walker.NetIndex`)."""
         return self._revisions[name]
 
@@ -107,28 +164,103 @@ class Design:
         self.modules[module.name] = module
         self._revisions[module.name] = 0
         self._subscribe(module)
+        for inst in module.instances.values():
+            self._count_instance(module.name, inst.module_name, +1)
         if top or self._top_name is None:
             self._top_name = module.name
         if self._listeners:
             self._notify(DesignEdit(MODULE_ADDED, module.name))
         return module
 
+    def instantiators(self, name: str) -> List[str]:
+        """Names of modules currently holding instances of ``name``, sorted."""
+        return sorted(
+            parent for parent, count in self._instantiators.get(name, {}).items()
+            if count > 0 and parent in self.modules
+        )
+
+    def instances(self) -> Iterator[Tuple[Module, Instance]]:
+        """Every ``(parent module, instance)`` pair in the design, in module
+        and instance insertion order."""
+        for module in self.modules.values():
+            for inst in module.instances.values():
+                yield module, inst
+
     def remove_module(self, module) -> Module:
         """Detach a module (by name or instance) from the design.
 
+        Raises :class:`ValueError` while other modules still instantiate it
+        — removal must never leave dangling instance bindings; callers
+        remove or retarget the instances first.  (A module's instances of
+        *itself* do not block removal: they leave with it.)
+
         The forwarding listener is unsubscribed, so later edits to the
         removed module no longer reach design observers.  Removing the top
-        promotes the earliest remaining module (or leaves the design empty).
+        deterministically promotes the first remaining *root* module (one no
+        other remaining module instantiates) in insertion order, falling
+        back to the first remaining module, and publishes ``top_changed``.
         """
         name = module if isinstance(module, str) else module.name
+        holders = [p for p in self.instantiators(name) if p != name]
+        if holders:
+            raise ValueError(
+                f"cannot remove module {name!r}: still instantiated by "
+                f"{holders}"
+            )
         removed = self.modules.pop(name)
         removed.remove_listener(self._forwarders.pop(name))
         self._revisions.pop(name, None)
-        if self._top_name == name:
-            self._top_name = next(iter(self.modules), None)
+        self._instantiators.pop(name, None)
+        for inst in removed.instances.values():
+            self._count_instance(name, inst.module_name, -1)
+        top_removed = self._top_name == name
+        if top_removed:
+            self._top_name = self._pick_top()
         if self._listeners:
             self._notify(DesignEdit(MODULE_REMOVED, name))
+            if top_removed and self._top_name is not None:
+                self._notify(DesignEdit(TOP_CHANGED, self._top_name))
         return removed
+
+    def _pick_top(self) -> Optional[str]:
+        """First uninstantiated module in insertion order, else the first."""
+        for name in self.modules:
+            if not [p for p in self.instantiators(name) if p != name]:
+                return name
+        return next(iter(self.modules), None)
+
+    def replace_module(self, name: str, module: Module) -> Module:
+        """Swap module ``name`` for a replacement with the same name.
+
+        This is the isomorphic-replay primitive: instance bindings reference
+        children *by name*, so swapping the module object in place keeps
+        every parent instantiation site valid while the content changes
+        wholesale.  Observers see ``module_removed`` then ``module_added``
+        (a full per-module reset), the revision counter bumps (never
+        resets), and instantiating ancestors are dirtied exactly as for an
+        in-place edit.  The top selection and module order are preserved.
+        """
+        if module.name != name:
+            raise ValueError(
+                f"replacement module is named {module.name!r}, expected "
+                f"{name!r}"
+            )
+        old = self.modules[name]
+        if module is old:
+            return old
+        old.remove_listener(self._forwarders.pop(name))
+        for inst in old.instances.values():
+            self._count_instance(name, inst.module_name, -1)
+        self.modules[name] = module  # same key: insertion order preserved
+        self._revisions[name] += 1
+        self._subscribe(module)
+        for inst in module.instances.values():
+            self._count_instance(name, inst.module_name, +1)
+        if self._listeners:
+            self._notify(DesignEdit(MODULE_REMOVED, name))
+            self._notify(DesignEdit(MODULE_ADDED, name))
+        self._propagate_child_edit(name)
+        return old
 
     @property
     def top(self) -> Module:
@@ -185,8 +317,11 @@ class Design:
         self.__dict__.update(state)
         self._listeners = []
         self._forwarders = {}
+        self._instantiators = {}
         for module in self.modules.values():
             self._subscribe(module)
+            for inst in module.instances.values():
+                self._count_instance(module.name, inst.module_name, +1)
 
     def __repr__(self) -> str:
         return f"Design({list(self.modules)}, top={self._top_name!r})"

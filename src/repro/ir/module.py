@@ -43,6 +43,8 @@ CONNECTED = "connected"
 CONNECTIONS_REPLACED = "connections_replaced"
 WIRE_ADDED = "wire_added"
 WIRE_REMOVED = "wire_removed"
+INSTANCE_ADDED = "instance_added"
+INSTANCE_REMOVED = "instance_removed"
 
 
 @dataclass(frozen=True)
@@ -63,6 +65,7 @@ class ModuleEdit:
     lhs: Optional[SigSpec] = None
     rhs: Optional[SigSpec] = None
     wire: Optional[Wire] = None
+    instance: Optional["Instance"] = None
 
 
 ModuleListener = Callable[[ModuleEdit], None]
@@ -164,8 +167,43 @@ class Cell:
         )
 
 
+class Instance:
+    """One instantiation of a child module inside a parent module.
+
+    ``connections`` maps *child port names* to the parent-side signals bound
+    to them; directions are resolved against the child module's port wires
+    only when a :class:`~repro.ir.design.Design` is elaborated
+    (:func:`repro.ir.hierarchy.hierarchy`), so an ``Instance`` stays a plain
+    record the optimization passes never interpret.  Every binding bit is
+    treated as observable by the live :class:`~repro.ir.walker.NetIndex`
+    (and therefore by ``opt_clean``), which keeps parent logic feeding a
+    child alive without knowing port directions.
+    """
+
+    __slots__ = ("name", "module_name", "connections", "attributes")
+
+    def __init__(self, name: str, module_name: str,
+                 connections: Dict[str, SigLike]):
+        self.name = name
+        self.module_name = module_name
+        self.connections: Dict[str, SigSpec] = {
+            port: SigSpec.coerce(spec) for port, spec in connections.items()
+        }
+        self.attributes: dict = {}
+
+    def binding_bits(self) -> List[SigBit]:
+        """All non-constant parent-side bits bound to this instance."""
+        bits: List[SigBit] = []
+        for spec in self.connections.values():
+            bits.extend(bit for bit in spec if not bit.is_const)
+        return bits
+
+    def __repr__(self) -> str:
+        return f"Instance({self.name}: {self.module_name})"
+
+
 class Module:
-    """A flat netlist: wires, cells and alias connections.
+    """A flat netlist: wires, cells, alias connections and child instances.
 
     Connections (``connect``) declare that two signals are the same net; the
     canonical representative is resolved with :class:`SigMap`.  Optimization
@@ -177,6 +215,8 @@ class Module:
         self.name = name
         self.wires: Dict[str, Wire] = {}
         self.cells: Dict[str, Cell] = {}
+        #: child-module instantiations by instance name
+        self.instances: Dict[str, Instance] = {}
         #: list of (lhs, rhs) bit-aliases; lhs is driven by rhs
         self.connections: List[Tuple[SigSpec, SigSpec]] = []
         self._name_counter = 0
@@ -373,6 +413,60 @@ class Module:
     def sigmap(self) -> "SigMap":
         return SigMap(self)
 
+    # -- instances -----------------------------------------------------------
+
+    def add_instance(
+        self,
+        module_name: str,
+        name: Optional[str] = None,
+        connections: Optional[Dict[str, SigLike]] = None,
+    ) -> Instance:
+        """Instantiate child module ``module_name``; bindings are by port name.
+
+        The child module itself need not exist yet (multi-file elaboration
+        creates parents before children); unresolved references are caught
+        by :func:`repro.ir.hierarchy.hierarchy`.
+        """
+        if name is None:
+            name = self._fresh_name(module_name, self.instances)
+        if name in self.instances:
+            raise ValueError(
+                f"duplicate instance name {name!r} in module {self.name!r}"
+            )
+        instance = Instance(name, module_name, connections or {})
+        self.instances[name] = instance
+        if self._listeners:
+            self._notify(ModuleEdit(INSTANCE_ADDED, instance=instance))
+        return instance
+
+    def remove_instance(self, instance: Union[str, Instance]) -> None:
+        name = instance if isinstance(instance, str) else instance.name
+        removed = self.instances.pop(name)
+        if self._listeners:
+            self._notify(ModuleEdit(INSTANCE_REMOVED, instance=removed))
+
+    def retarget_instance(self, name: str, module_name: str) -> Instance:
+        """Point instance ``name`` at a different child module, in place.
+
+        Published as an ``instance_removed``/``instance_added`` pair (the
+        observable equivalent of remove + re-add) while preserving the
+        instance's dict position and bindings — the uniquification primitive.
+        """
+        instance = self.instances[name]
+        if self._listeners:
+            self._notify(ModuleEdit(INSTANCE_REMOVED, instance=instance))
+        instance.module_name = module_name
+        if self._listeners:
+            self._notify(ModuleEdit(INSTANCE_ADDED, instance=instance))
+        return instance
+
+    def instances_of(self, module_name: str) -> List[Instance]:
+        """All instances of the given child module, in insertion order."""
+        return [
+            inst for inst in self.instances.values()
+            if inst.module_name == module_name
+        ]
+
     # -- iteration -----------------------------------------------------------
 
     def cells_of_type(self, *types: CellType) -> Iterator[Cell]:
@@ -415,6 +509,13 @@ class Module:
             copy_cell._module = other
         for lhs, rhs in self.connections:
             other.connections.append((translate(lhs), translate(rhs)))
+        for inst in self.instances.values():
+            copy_inst = Instance(inst.name, inst.module_name, {
+                port: translate(spec)
+                for port, spec in inst.connections.items()
+            })
+            copy_inst.attributes = dict(inst.attributes)
+            other.instances[inst.name] = copy_inst
         return other
 
     def __repr__(self) -> str:

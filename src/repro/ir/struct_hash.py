@@ -66,7 +66,7 @@ import hashlib
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .cells import input_ports, output_ports
-from .module import Cell, Module, SigMap
+from .module import Cell, Instance, Module, SigMap
 from .signals import SigBit, SigSpec
 
 #: a structural signature: hex BLAKE2b-128 digest of the canonical encoding
@@ -191,13 +191,17 @@ def _merkle_fingerprints(
     cells: Sequence[Cell],
     driven: Dict[SigBit, Tuple[Cell, str, int]],
     mapb: Callable[[SigBit], SigBit],
+    colors: Optional[Dict[SigBit, str]] = None,
 ) -> Dict[int, str]:
     """Bottom-up per-cell structural fingerprints (free inputs abstract).
 
     A cell's fingerprint hashes its type/shape and, per input bit, the
     driving cell's fingerprint (with port/offset), a constant state, or a
-    generic free-input placeholder.  O(sub-graph) total; used only to
-    order cells outside the target cone in a name-free way.
+    free-input placeholder.  With ``colors`` (the iterated-refinement
+    path) the placeholder carries the bit's current color instead of being
+    fully generic, so input *sharing patterns* separate otherwise-tied
+    cells.  O(sub-graph) total; used only to order cells outside the
+    target cone in a name-free way.
     """
     fingerprints: Dict[int, str] = {}
 
@@ -220,7 +224,10 @@ def _merkle_fingerprints(
                         continue
                     entry = driven.get(cbit)
                     if entry is None:
-                        parts.append(("x",))
+                        if colors is None:
+                            parts.append(("x",))
+                        else:
+                            parts.append(("x", colors.get(cbit, "")))
                         continue
                     drv = entry[0]
                     done = fingerprints.get(id(drv))
@@ -249,6 +256,53 @@ def _merkle_fingerprints(
     return fingerprints
 
 
+def _refined_fingerprints(
+    cells: Sequence[Cell],
+    driven: Dict[SigBit, Tuple[Cell, str, int]],
+    mapb: Callable[[SigBit], SigBit],
+    base: Dict[int, str],
+    rounds: int = 3,
+) -> Dict[int, str]:
+    """Weisfeiler–Lehman-style iterated refinement of tied fingerprints.
+
+    The base fingerprint abstracts every free input as one generic
+    placeholder, so ``and(a, b)`` and ``and(c, c)`` tie and independently
+    built twin modules could order them differently (a conservative cache
+    miss).  Refinement alternates two name-free steps until stable (or
+    ``rounds``): color each free input by the multiset of ``(reader
+    fingerprint, port, offset)`` entries over ``cells``, then recompute
+    fingerprints with colored placeholders.  Both steps are functions of
+    structure alone, so isomorphic graphs refine identically; residual
+    exact ties still fall back to caller order (still conservative).
+    """
+    fingerprints = dict(base)
+    colors: Dict[SigBit, str] = {}
+    for _ in range(max(1, rounds)):
+        reader_sig: Dict[SigBit, List[Tuple]] = {}
+        for cell in cells:
+            for port in input_ports(cell.type):
+                for offset, bit in enumerate(cell.connections[port]):
+                    cbit = mapb(bit)
+                    if cbit.is_const or cbit in driven:
+                        continue
+                    reader_sig.setdefault(cbit, []).append(
+                        (fingerprints[id(cell)], port, offset)
+                    )
+        new_colors = {
+            bit: hashlib.blake2b(
+                repr(sorted(entries)).encode("utf-8"), digest_size=8
+            ).hexdigest()
+            for bit, entries in reader_sig.items()
+        }
+        new_fingerprints = _merkle_fingerprints(
+            cells, driven, mapb, colors=new_colors
+        )
+        if new_fingerprints == fingerprints and new_colors == colors:
+            break
+        fingerprints, colors = new_fingerprints, new_colors
+    return fingerprints
+
+
 def _canonicalize(
     cells: Sequence[Cell],
     roots: Sequence[SigBit],
@@ -269,9 +323,22 @@ def _canonicalize(
     remaining = [c for c in cells if id(c) not in canon.cell_label]
     if remaining:
         fingerprints = _merkle_fingerprints(remaining, driven, mapb)
-        # fingerprint order is name-free; exact ties fall back to the
-        # caller's (structure-derived) sequence order — see module docs
-        remaining.sort(key=lambda c: fingerprints[id(c)])
+        order_key = {id(c): (fingerprints[id(c)],) for c in remaining}
+        if len({fingerprints[id(c)] for c in remaining}) < len(remaining):
+            # tied fingerprints: iterate WL refinement so independently
+            # built isomorphic graphs agree on the order; the refined key
+            # extends (never replaces) the base key, so tie-free graphs
+            # keep their exact pre-refinement signatures
+            refined = _refined_fingerprints(
+                remaining, driven, mapb, fingerprints
+            )
+            order_key = {
+                id(c): (fingerprints[id(c)], refined[id(c)])
+                for c in remaining
+            }
+        # residual exact ties fall back to the caller's (structure-derived)
+        # sequence order — see module docs
+        remaining.sort(key=lambda c: order_key[id(c)])
         for cell in remaining:
             for bit in cell.output_bits():
                 canon.label_cone(mapb(bit))
@@ -328,7 +395,10 @@ def subgraph_signature(subgraph, sigmap: Optional[SigMap] = None) -> StructSigna
     )
 
 
-def module_signature(module: Module) -> StructSignature:
+def module_signature(
+    module: Module,
+    child_signatures: Optional[Dict[str, StructSignature]] = None,
+) -> StructSignature:
     """The canonical name-free signature of a whole module.
 
     Roots are the output-port bits (in wire insertion order — preserved
@@ -340,17 +410,44 @@ def module_signature(module: Module) -> StructSignature:
     verdicts — may be shared between them.  This is what lets
     :meth:`~repro.flow.session.Session.run_suite` replay a whole
     (case × flow) job for a structurally identical case instead of
-    re-optimizing it.
+    re-optimizing it, and what groups instances into the isomorphic
+    classes :meth:`~repro.flow.session.Session.run_hierarchy` replays.
+
+    For a module with :class:`~repro.ir.module.Instance` children the
+    signature is *hierarchical*: instance binding bits join the roots (so
+    parent logic feeding a child is covered), and each instance folds in
+    as its child's identity — the entry from ``child_signatures`` keyed by
+    child module name, or the bare child name when the caller supplies
+    none — plus its name-free binding encodings, sorted.  Two parents with
+    identical cells but different children therefore hash differently.
+    Modules without instances hash byte-identically to the flat scheme.
     """
     sigmap = SigMap(module) if module.connections else None
-    outputs = [
+    roots = [
         SigBit(wire, offset)
         for wire in module.wires.values() if wire.port_output
         for offset in range(wire.width)
     ]
+    for inst in module.instances.values():
+        roots.extend(inst.binding_bits())
     cells = list(module.cells.values())
-    digest, _canon, _mapb = _canonicalize(cells, outputs, sigmap)
-    return digest
+    digest, canon, mapb = _canonicalize(cells, roots, sigmap)
+    if not module.instances:
+        return digest
+    entries = []
+    for inst in module.instances.values():
+        child = inst.module_name
+        if child_signatures is not None:
+            child = child_signatures.get(child, child)
+        bindings = tuple(sorted(
+            (port, tuple(canon.operand(mapb(bit)) for bit in spec))
+            for port, spec in inst.connections.items()
+        ))
+        entries.append((child, bindings))
+    return hashlib.blake2b(
+        repr((digest, tuple(sorted(entries)))).encode("utf-8"),
+        digest_size=16,
+    ).hexdigest()
 
 
 class StructKeyMemo:
@@ -494,6 +591,12 @@ def renamed_copy(
         copy_cell._module = other
     for lhs, rhs in module.connections:
         other.connections.append((translate(lhs), translate(rhs)))
+    for inst in module.instances.values():
+        copy_inst = Instance(inst.name, inst.module_name, {
+            port: translate(spec) for port, spec in inst.connections.items()
+        })
+        copy_inst.attributes = dict(inst.attributes)
+        other.instances[inst.name] = copy_inst
     return other
 
 

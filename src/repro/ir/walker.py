@@ -109,6 +109,19 @@ class NetIndex:
         for wire in self.module.outputs:
             for i in range(wire.width):
                 self._output_bits.add(self.sigmap.map_bit(SigBit(wire, i)))
+        for instance in self.module.instances.values():
+            self._observe_instance(instance)
+
+    def _observe_instance(self, instance) -> None:
+        """Mark all instance binding bits observable.
+
+        Directions of the child's ports are unknown at module scope, so
+        every bound bit counts as observable: output-side bindings are
+        undriven sources (harmless to observe) and input-side bindings must
+        keep their parent fanin cones alive under ``opt_clean``.
+        """
+        for bit in instance.binding_bits():
+            self._output_bits.add(self.sigmap.map_bit(bit))
 
     # -- live maintenance ----------------------------------------------------
 
@@ -210,6 +223,11 @@ class NetIndex:
             if wire.port_output:
                 for i in range(wire.width):
                     self._output_bits.add(self.sigmap.map_bit(SigBit(wire, i)))
+        elif kind == module_mod.INSTANCE_ADDED:
+            self._observe_instance(edit.instance)
+        # INSTANCE_REMOVED keeps its binding bits observable: a bit may be
+        # bound by several instances or be a real output, and stale
+        # observability is conservative (the next rebuild drops it).
         # CONNECTIONS_REPLACED / WIRE_REMOVED need no patching: opt_clean
         # only drops aliases whose lhs class is unreachable from any cell
         # port, kept connection or module output, so the canonical mapping
@@ -231,13 +249,17 @@ class NetIndex:
 
     def _live_bits(self) -> Set[SigBit]:
         """Every bit the module can still canonically mention: alias
-        connection bits, cell port bits, and port-wire bits."""
+        connection bits, cell port bits, instance binding bits, and
+        port-wire bits."""
         live: Set[SigBit] = set()
         for lhs, rhs in self.module.connections:
             live.update(lhs)
             live.update(rhs)
         for cell in self.module.cells.values():
             for spec in cell.connections.values():
+                live.update(spec)
+        for instance in self.module.instances.values():
+            for spec in instance.connections.values():
                 live.update(spec)
         for wire in self.module.wires.values():
             if wire.is_port:

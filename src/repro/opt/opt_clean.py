@@ -79,6 +79,12 @@ class OptClean(Pass):
         for wire in module.outputs:
             for i in range(wire.width):
                 mark_bit(index.sigmap.map_bit(SigBit(wire, i)))
+        for instance in module.instances.values():
+            # instance bindings are observable at the boundary: parent logic
+            # feeding a child input must survive even though no local cell
+            # or output reads it
+            for bit in instance.binding_bits():
+                mark_bit(index.sigmap.map_bit(bit))
         for cell in module.cells.values():
             if cell.type is CellType.DFF:
                 live_cells.add(cell.name)
@@ -141,6 +147,9 @@ class OptClean(Pass):
 
         for cell in module.cells.values():
             for spec in cell.connections.values():
+                mark_spec(spec)
+        for instance in module.instances.values():
+            for spec in instance.connections.values():
                 mark_spec(spec)
         # a connection (lhs driven by rhs) is live when its lhs is actually
         # read: an output port, a cell input, or the rhs of another live

@@ -1,0 +1,158 @@
+"""A hierarchical SoC-style workload for the hierarchy flow benchmarks.
+
+The generated :class:`~repro.ir.design.Design` is a three-level instance
+tree purpose-built for measuring isomorphic-instance replay
+(:meth:`Session.run_hierarchy <repro.flow.session.Session.run_hierarchy>`)
+against flatten-then-optimize:
+
+* **leaf IP classes** — ``leaf<c>_<t>``: per class ``c``, every *twin*
+  ``t`` is built by replaying the same seeded RNG, so twins are
+  byte-identical netlists under different module names (equal
+  :func:`~repro.ir.struct_hash.module_signature`, equal port lists).
+  Each leaf mixes baseline-prunable shared-control trees, SAT-only
+  dependent trees and rebuild-only case chains
+  (:mod:`repro.workloads.generators`), so every preset has real work.
+* **cluster twins** — ``cluster_<t>``: identical wrappers instantiating
+  the *same* leaf (``leaf0_0``) plus private glue, giving the tree depth
+  and a replayable class whose members themselves contain instances.
+* **top** — instantiates every leaf twin ``instances_per_module`` times
+  plus every cluster, with **airtight boundaries**: every child input
+  port is bound to its own fresh top-level input (never shared between
+  instances, never constant), and every child output is folded through
+  an XOR with another fresh input before reaching a top output.  No
+  cross-instance sharing exists for ``opt_merge``/structural hashing to
+  exploit in the flattened design, so the flat optimum is exactly the
+  sum of per-instance optima — which is what makes the
+  flat-vs-hierarchical area comparison byte-exact rather than
+  approximate.
+
+Everything is combinational and deterministic in ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from ..ir.builder import Circuit
+from ..ir.design import Design
+from ..ir.module import Module
+from ..ir.signals import SigSpec
+
+
+def build_leaf(name: str, seed: int, width: int = 8) -> Module:
+    """One leaf IP block; equal ``seed`` => byte-identical netlists.
+
+    The RNG is seeded *per class*, not per module, so every twin of a
+    class replays the same construction and only the module name
+    differs — the property instance replay keys on.
+    """
+    from .generators import (
+        InputPool,
+        unit_case_chain,
+        unit_dependent_ctrl_tree,
+        unit_shared_ctrl_tree,
+    )
+
+    rng = random.Random(seed)
+    c = Circuit(name)
+    pool = InputPool(c, rng, width, n_words=5, n_ctrl=4)
+    parts = [
+        unit_shared_ctrl_tree(c, pool, depth=4, cone_ops=2),
+        unit_dependent_ctrl_tree(c, pool, depth=2, cone_ops=2),
+        unit_case_chain(c, pool, sel_width=3, distinct_values=2),
+    ]
+    value = parts[0]
+    for part in parts[1:]:
+        value = c.xor(value, part)
+    c.output("y", value)
+    return c.module
+
+
+def _bind_child(
+    c: Circuit, child: Module, prefix: str
+) -> Dict[str, SigSpec]:
+    """Airtight bindings for one instantiation site: every child input
+    port gets its own fresh parent input ``<prefix>_<port>`` (no sharing
+    between sites, no constants) and every output port gets a private
+    parent wire ``<prefix>_<port>``."""
+    bindings: Dict[str, SigSpec] = {}
+    for wire in child.inputs:
+        bindings[wire.name] = c.input(f"{prefix}_{wire.name}", wire.width)
+    for wire in child.outputs:
+        bindings[wire.name] = SigSpec.from_wire(
+            c.module.add_wire(f"{prefix}_{wire.name}", wire.width)
+        )
+    return bindings
+
+
+def build_cluster(name: str, leaf: Module, width: int = 8) -> Module:
+    """A wrapper instantiating ``leaf`` plus private XOR glue.
+
+    All cluster twins wrap the *same* leaf module, so their instance
+    sub-structure (child-name multiset) matches and the whole class
+    replays, exercising replay on modules that themselves contain
+    instances.
+    """
+    c = Circuit(name)
+    bindings = _bind_child(c, leaf, "u0")
+    c.module.add_instance(leaf.name, name="u0", connections=bindings)
+    salt = c.input("salt", width)
+    c.output("y", c.xor(bindings["y"], salt))
+    return c.module
+
+
+def build_soc_design(
+    seed: int = 0,
+    leaf_classes: int = 2,
+    twins_per_class: int = 2,
+    instances_per_module: int = 2,
+    clusters: int = 2,
+    width: int = 8,
+) -> Design:
+    """The full SoC: top + clusters + ``leaf_classes * twins_per_class``
+    leaves; defaults give 10 top-level instances over 7 modules."""
+    design = Design()
+    top_c = Circuit("soc_top")
+    design.add_module(top_c.module)
+
+    leaves: List[Module] = []
+    for cls in range(leaf_classes):
+        for twin in range(twins_per_class):
+            mod = build_leaf(
+                f"leaf{cls}_{twin}", seed=seed * 7919 + cls, width=width
+            )
+            design.add_module(mod)
+            leaves.append(mod)
+    cluster_mods = [
+        build_cluster(f"cluster_{t}", leaves[0], width=width)
+        for t in range(clusters)
+    ]
+    for mod in cluster_mods:
+        design.add_module(mod)
+
+    outputs: List[SigSpec] = []
+    site = 0
+    children = [
+        mod for mod in leaves for _copy in range(instances_per_module)
+    ] + cluster_mods
+    for child in children:
+        prefix = f"i{site}"
+        bindings = _bind_child(top_c, child, prefix)
+        top_c.module.add_instance(
+            child.name, name=f"u{site}", connections=bindings
+        )
+        # irreducible glue: child output XOR a fresh private input
+        mixed = top_c.xor(
+            bindings["y"], top_c.input(f"{prefix}_mix", width)
+        )
+        outputs.append(mixed)
+        site += 1
+
+    for i, value in enumerate(outputs):
+        top_c.output(f"y{i}", value)
+    design.set_top("soc_top")
+    return design
+
+
+__all__ = ["build_cluster", "build_leaf", "build_soc_design"]

@@ -1,0 +1,119 @@
+"""Module instantiation through the Verilog frontend (parse + elaborate)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend import compile_verilog
+from repro.frontend.lexer import FrontendError
+from repro.frontend.parser import parse_source
+
+
+class TestParse:
+    def test_named_connections(self):
+        source = """
+            module top(input a, output y);
+              wire t;
+              buf1 u0 (.x(a), .y(t));
+              buf1 u1 (.x(t), .y(y));
+            endmodule
+        """
+        decl = parse_source(source).modules[0]
+        assert [(i.module, i.name) for i in decl.instances] == \
+            [("buf1", "u0"), ("buf1", "u1")]
+        assert [port for port, _ in decl.instances[0].bindings] == ["x", "y"]
+
+    def test_expression_bindings_and_empty_ports(self):
+        source = """
+            module top(input [3:0] a, input [3:0] b, output y);
+              mod u0 (.p(a ^ b), .q({a[0], b[1]}), .nc(), .y(y));
+            endmodule
+        """
+        inst = parse_source(source).modules[0].instances[0]
+        # the unconnected .nc() binding is dropped at parse time
+        assert [port for port, _ in inst.bindings] == ["p", "q", "y"]
+
+    def test_empty_port_list(self):
+        decl = parse_source(
+            "module top; stub u0 (); endmodule"
+        ).modules[0]
+        assert decl.instances[0].bindings == []
+
+    def test_positional_connections_rejected(self):
+        with pytest.raises(FrontendError, match="positional"):
+            parse_source("""
+                module top(input a, output y);
+                  buf1 u0 (a, y);
+                endmodule
+            """)
+
+    def test_parameterised_instantiation_rejected(self):
+        with pytest.raises(FrontendError, match="parameterised"):
+            parse_source("""
+                module top(input a, output y);
+                  buf1 #(.W(4)) u0 (.x(a), .y(y));
+                endmodule
+            """)
+
+    def test_garbage_module_item_still_rejected(self):
+        with pytest.raises(FrontendError):
+            parse_source("module top; 42; endmodule")
+
+
+class TestElaborate:
+    SOURCE = """
+        module top(input [3:0] a, input [3:0] b, output [3:0] o);
+          wire [3:0] t;
+          inv u0 (.x(a), .y(t));
+          inv u1 (.x(t ^ b), .y(o));
+        endmodule
+        module inv(input [3:0] x, output [3:0] y);
+          assign y = ~x;
+        endmodule
+    """
+
+    def test_instances_become_ir_records(self):
+        design = compile_verilog(self.SOURCE)
+        top = design["top"]
+        assert sorted(top.instances) == ["u0", "u1"]
+        u0 = top.instances["u0"]
+        assert u0.module_name == "inv"
+        assert u0.connections["x"][0].wire is top.wires["a"]
+        assert u0.connections["y"][0].wire is top.wires["t"]
+        # the expression binding built parent-side xor logic
+        assert any(c.type.value == "xor" for c in top.cells.values())
+
+    def test_auto_top_is_uninstantiated_root(self):
+        # `inv` is declared first but instantiated; top must win
+        reordered = """
+            module inv(input [3:0] x, output [3:0] y);
+              assign y = ~x;
+            endmodule
+            module main(input [3:0] a, output [3:0] o);
+              inv u (.x(a), .y(o));
+            endmodule
+        """
+        assert compile_verilog(reordered).top_name == "main"
+
+    def test_explicit_top_still_wins(self):
+        design = compile_verilog(self.SOURCE, top="inv")
+        assert design.top_name == "inv"
+
+    def test_duplicate_port_binding_rejected(self):
+        with pytest.raises(FrontendError, match="duplicate"):
+            compile_verilog("""
+                module top(input a, output y);
+                  inv u0 (.x(a), .x(a), .y(y));
+                endmodule
+                module inv(input x, output y);
+                  assign y = ~x;
+                endmodule
+            """)
+
+    def test_undeclared_net_in_binding_rejected(self):
+        with pytest.raises(FrontendError):
+            compile_verilog("""
+                module top(input a, output y);
+                  inv u0 (.x(nosuch), .y(y));
+                endmodule
+            """)

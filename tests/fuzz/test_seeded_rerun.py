@@ -114,3 +114,73 @@ def test_extended_seeded_fuzz(request):
         pytest.skip("pass --fuzz-iterations=N to fuzz beyond the fixed corpus")
     for _ in range(iterations):
         _check_seed(random.randrange(1 << 30), flows=("smartly",))
+
+
+# -- hierarchical designs: cross-boundary seeded re-runs ----------------------
+
+#: fixed hierarchical corpus (same appending-only rule as SEEDED_CORPUS)
+HIER_CORPUS = tuple(range(3100, 3104))
+
+
+def _check_hier_seed(seed: int, flow: str = "smartly") -> None:
+    """Random edits inside a random *child* module must propagate across
+    instance boundaries: the session's seeded/skipped re-run of the whole
+    design must match an eager re-run from the identical edited state."""
+    from repro.workloads.soc import build_soc_design
+
+    design = build_soc_design(
+        seed=seed, leaf_classes=1, twins_per_class=2,
+        instances_per_module=1, clusters=1, width=4,
+    )
+    session = Session(design, engine="incremental")
+    session.run_all(flow)
+
+    twin = design.clone()  # identical post-optimization state
+    rng = random.Random(seed * 6151 + 17)
+    children = [name for name in sorted(design.modules)
+                if design.instantiators(name)]
+    target = rng.choice(children)
+    plans = _plan_edits(design[target], rng)
+    if _apply_edits(design[target], plans) == 0:
+        return
+    assert _apply_edits(twin[target], plans) > 0
+
+    seeded = session.run_all(flow)
+    eager = Session(twin, engine="eager").run_all(flow)
+    for name in seeded:
+        assert seeded[name].optimized_area == eager[name].optimized_area, (
+            f"seed {seed} flow {flow}: module {name} seeded area "
+            f"{seeded[name].optimized_area} != eager "
+            f"{eager[name].optimized_area} after editing {target}: {plans}"
+        )
+    # ancestors of the edited child must not have been skipped
+    for parent in design.instantiators(target):
+        assert seeded[parent].design_cache != "skipped", (target, parent)
+
+
+@pytest.mark.parametrize("seed", HIER_CORPUS)
+def test_fixed_corpus_hierarchical_child_edits(seed):
+    _check_hier_seed(seed)
+
+
+def test_hierarchical_rerun_exercises_cross_boundary_invalidation():
+    """At least one corpus entry must actually invalidate a parent via a
+    child edit, or the lane silently stopped testing the boundary path."""
+    from repro.workloads.soc import build_soc_design
+
+    design = build_soc_design(
+        seed=HIER_CORPUS[0], leaf_classes=1, twins_per_class=2,
+        instances_per_module=1, clusters=1, width=4,
+    )
+    session = Session(design, engine="incremental")
+    session.run_all("smartly")
+    rng = random.Random(HIER_CORPUS[0] * 6151 + 17)
+    children = [name for name in sorted(design.modules)
+                if design.instantiators(name)]
+    target = rng.choice(children)
+    if _apply_edits(design[target], _plan_edits(design[target], rng)) == 0:
+        pytest.skip("corpus head produced no applicable edits")
+    rerun = session.run_all("smartly")
+    parents = design.instantiators(target)
+    assert parents
+    assert any(rerun[p].design_cache != "skipped" for p in parents)

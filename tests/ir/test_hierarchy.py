@@ -1,0 +1,347 @@
+"""The hierarchy subsystem: instance records, elaboration, flattening,
+cross-boundary edit forwarding and membership rules.
+
+Property anchors:
+
+* ``flatten(hierarchy)`` is combinationally equivalent to building the
+  same logic flat by hand (SAT-proven, not just area-compared);
+* child edits bump every transitive parent's content revision exactly
+  like the parent editing itself would (the cross-boundary dirty
+  protocol sessions rely on);
+* removing an instantiated module is an error; removing the top promotes
+  a deterministic successor.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.equiv.cec import assert_equivalent, check_equivalence
+from repro.frontend import compile_verilog
+from repro.ir.builder import Circuit
+from repro.ir.design import Design
+from repro.ir.hierarchy import HierarchyError, flatten, hierarchy
+from repro.ir.module import Module
+from repro.ir.signals import SigSpec
+from repro.ir.struct_hash import module_signature
+
+
+def build_leaf(name: str = "leaf") -> Module:
+    c = Circuit(name)
+    x = c.input("x", 4)
+    y = c.xor(c.not_(x), c.add(x, SigSpec.from_const(3, 4)))
+    c.output("y", y)
+    return c.module
+
+
+def build_tree(copies: int = 2) -> Design:
+    """top instantiating ``copies`` leaves on private inputs + xor glue."""
+    design = Design()
+    c = Circuit("top")
+    design.add_module(c.module)
+    design.add_module(build_leaf())
+    outs = []
+    for i in range(copies):
+        a = c.input(f"a{i}", 4)
+        y = c.module.add_wire(f"y{i}", 4)
+        c.module.add_instance(
+            "leaf", name=f"u{i}",
+            connections={"x": a, "y": SigSpec.from_wire(y)},
+        )
+        outs.append(c.xor(SigSpec.from_wire(y), c.input(f"m{i}", 4)))
+    for i, spec in enumerate(outs):
+        c.output(f"o{i}", spec)
+    design.set_top("top")
+    return design
+
+
+class TestInstanceIR:
+    def test_add_instance_records_and_notifies(self):
+        design = build_tree()
+        top = design["top"]
+        assert sorted(top.instances) == ["u0", "u1"]
+        inst = top.instances["u0"]
+        assert inst.module_name == "leaf"
+        assert sorted(inst.connections) == ["x", "y"]
+        assert len(list(inst.binding_bits())) == 8
+
+    def test_duplicate_instance_name_rejected(self):
+        design = build_tree()
+        with pytest.raises(ValueError):
+            design["top"].add_instance("leaf", name="u0", connections={})
+
+    def test_clone_copies_instances(self):
+        top = build_tree()["top"]
+        copy = top.clone()
+        assert sorted(copy.instances) == sorted(top.instances)
+        # bindings were translated into the clone's wires, not shared
+        theirs = copy.instances["u0"].connections["x"]
+        assert theirs[0].wire is copy.wires["a0"]
+
+    def test_instances_of_and_design_instantiators(self):
+        design = build_tree()
+        assert [i.name for i in design["top"].instances_of("leaf")] == \
+            ["u0", "u1"]
+        assert design.instantiators("leaf") == ["top"]
+        assert design.instantiators("top") == []
+
+    def test_design_instances_iterates_sites(self):
+        design = build_tree()
+        sites = [(m.name, i.name) for m, i in design.instances()]
+        assert sites == [("top", "u0"), ("top", "u1")]
+
+
+class TestHierarchy:
+    def test_order_counts_and_tree(self):
+        info = hierarchy(build_tree())
+        assert info.order == ("leaf", "top")
+        assert info.top == "top"
+        assert info.instance_counts == {"leaf": 2, "top": 1}
+        assert info.tree["top"] == (("u0", "leaf"), ("u1", "leaf"))
+        assert info.unreachable == ()
+
+    def test_unknown_child_rejected(self):
+        design = build_tree()
+        design["top"].add_instance("ghost", name="g", connections={})
+        with pytest.raises(HierarchyError, match="ghost"):
+            hierarchy(design)
+
+    def test_width_mismatch_rejected(self):
+        design = build_tree()
+        c = Circuit("bad")
+        a = c.input("a", 2)
+        y = c.module.add_wire("yy", 4)
+        c.module.add_instance(
+            "leaf", name="u", connections={"x": a, "y": SigSpec.from_wire(y)}
+        )
+        c.output("o", SigSpec.from_wire(y))
+        design.add_module(c.module)
+        design.set_top("bad")
+        with pytest.raises(HierarchyError, match="width"):
+            hierarchy(design)
+
+    def test_unbound_input_rejected_output_may_dangle(self):
+        design = build_tree()
+        top = design["top"]
+        a = top.wires["a0"]
+        top.add_instance(
+            "leaf", name="dangling", connections={"x": SigSpec.from_wire(a)}
+        )
+        hierarchy(design)  # unbound output y: fine
+        c = Circuit("bad2")
+        c.module.add_instance("leaf", name="u", connections={})
+        design.add_module(c.module)
+        design.set_top("bad2")
+        with pytest.raises(HierarchyError, match="unbound"):
+            hierarchy(design)
+
+    def test_cycle_detected(self):
+        design = Design()
+        for name, child in (("a", "b"), ("b", "a")):
+            c = Circuit(name)
+            x = c.input("x", 1)
+            y = c.module.add_wire("yw", 1)
+            c.module.add_instance(
+                child, name="u",
+                connections={"x": x, "y": SigSpec.from_wire(y)},
+            )
+            c.output("y", SigSpec.from_wire(y))
+            design.add_module(c.module)
+        with pytest.raises(HierarchyError, match="cycle"):
+            hierarchy(design, top="a")
+
+    def test_uniquify_splits_multiply_instantiated(self):
+        design = build_tree()
+        info = hierarchy(design, uniquify=True)
+        assert info.instance_counts == {
+            "leaf$u0": 1, "leaf$u1": 1, "top": 1
+        }
+        assert design["top"].instances["u0"].module_name == "leaf$u0"
+        assert "leaf" in info.unreachable  # original kept but unreferenced
+        assert module_signature(design["leaf$u0"]) == \
+            module_signature(design["leaf$u1"])
+        again = hierarchy(design, uniquify=True)  # idempotent
+        assert again.instance_counts == info.instance_counts
+
+
+class TestFlatten:
+    def test_flatten_equals_direct_flat_construction(self):
+        design = build_tree()
+        flat = flatten(design)
+        assert not flat.instances
+
+        # the same logic, built flat by hand
+        c = Circuit("top")
+        for i in range(2):
+            a = c.input(f"a{i}", 4)
+            y = c.xor(c.not_(a), c.add(a, SigSpec.from_const(3, 4)))
+            c.output(f"o{i}", c.xor(y, c.input(f"m{i}", 4)))
+        assert_equivalent(flat, c.module)
+
+    def test_flatten_verilog_hierarchy_equals_flat_source(self):
+        hier = compile_verilog("""
+            module top(input [3:0] a, input [3:0] b, output [3:0] o);
+              wire [3:0] t;
+              inv u0 (.x(a), .y(t));
+              inv u1 (.x(t & b), .y(o));
+            endmodule
+            module inv(input [3:0] x, output [3:0] y);
+              assign y = ~x;
+            endmodule
+        """)
+        flat_src = compile_verilog("""
+            module top(input [3:0] a, input [3:0] b, output [3:0] o);
+              assign o = ~(~a & b);
+            endmodule
+        """)
+        assert hier.top_name == "top"
+        assert_equivalent(flatten(hier), flat_src.top)
+
+    def test_flatten_nested_three_levels(self):
+        design = build_tree()
+        c = Circuit("soc")
+        a = c.input("a", 4)
+        m0 = c.input("m0", 4)
+        m1 = c.input("m1", 4)
+        o0 = c.module.add_wire("t0", 4)
+        o1 = c.module.add_wire("t1", 4)
+        c.module.add_instance("top", name="core", connections={
+            "a0": a, "a1": c.input("b", 4), "m0": m0, "m1": m1,
+            "o0": SigSpec.from_wire(o0), "o1": SigSpec.from_wire(o1),
+        })
+        c.output("z", c.xor(SigSpec.from_wire(o0), SigSpec.from_wire(o1)))
+        design.add_module(c.module)
+        design.set_top("soc")
+        info = hierarchy(design)
+        assert info.instance_counts["leaf"] == 2
+        flat = flatten(design)
+        assert not flat.instances
+        golden = flat.clone()
+        assert_equivalent(flat, golden)  # sanity: valid, CEC-able module
+
+
+class TestCrossBoundaryEdits:
+    def test_child_edit_bumps_all_ancestor_revisions(self):
+        design = build_tree()
+        # add a mid module so propagation is transitive
+        c = Circuit("mid")
+        x = c.input("x", 4)
+        y = c.module.add_wire("yw", 4)
+        c.module.add_instance(
+            "leaf", name="u", connections={"x": x, "y": SigSpec.from_wire(y)}
+        )
+        c.output("y", SigSpec.from_wire(y))
+        design.add_module(c.module)
+        design["top"].add_instance(
+            "mid", name="m",
+            connections={
+                "x": SigSpec.from_wire(design["top"].wires["a0"]),
+                "y": SigSpec.from_wire(design["top"].wires["y0"]),
+            },
+        )
+        revs = {n: design.revision(n) for n in ("leaf", "mid", "top")}
+        design["leaf"].connect(
+            SigSpec.from_wire(design["leaf"].wires["y"]),
+            SigSpec.from_const(0, 4),
+        )
+        assert design.revision("leaf") > revs["leaf"]
+        assert design.revision("mid") > revs["mid"]
+        assert design.revision("top") > revs["top"]
+
+    def test_child_edit_emits_child_edited_events(self):
+        from repro.ir import design as design_mod
+
+        design = build_tree()
+        seen = []
+        design.add_listener(
+            lambda e: seen.append((e.kind, e.module, e.child))
+            if e.kind == design_mod.CHILD_EDITED else None
+        )
+        design["leaf"].add_wire("scratch", 1)
+        assert ("child_edited", "top", "leaf") in seen
+
+    def test_sibling_revision_untouched(self):
+        design = build_tree()
+        design.add_module(build_leaf("other"))
+        rev = design.revision("other")
+        design["leaf"].add_wire("scratch", 1)
+        assert design.revision("other") == rev
+
+
+class TestMembership:
+    def test_remove_instantiated_module_raises(self):
+        design = build_tree()
+        with pytest.raises(ValueError, match="still instantiated"):
+            design.remove_module("leaf")
+        # drop the instances, then removal works
+        design["top"].remove_instance("u0")
+        design["top"].remove_instance("u1")
+        design.remove_module("leaf")
+        assert "leaf" not in design
+
+    def test_remove_top_promotes_uninstantiated_root(self):
+        design = build_tree()
+        design.add_module(build_leaf("spare"))
+        design.remove_module("top")
+        # leaf is now uninstantiated and first in insertion order
+        assert design.top_name == "leaf"
+
+    def test_remove_top_notifies_top_changed(self):
+        from repro.ir import design as design_mod
+
+        design = build_tree()
+        seen = []
+        design.add_listener(
+            lambda e: seen.append((e.kind, e.module))
+            if e.kind == design_mod.TOP_CHANGED else None
+        )
+        design["top"].remove_instance("u0")
+        design["top"].remove_instance("u1")
+        design.remove_module("top")
+        assert ("top_changed", "leaf") in seen
+
+    def test_replace_module_swaps_and_propagates(self):
+        design = build_tree()
+        rev_top = design.revision("top")
+        rev_leaf = design.revision("leaf")
+        replacement = build_leaf("leaf")
+        old = design.replace_module("leaf", replacement)
+        assert old is not replacement
+        assert design["leaf"] is replacement
+        assert list(design.modules) == ["top", "leaf"]  # order kept
+        assert design.revision("leaf") > rev_leaf  # monotone, never reset
+        assert design.revision("top") > rev_top
+        # the new module is subscribed: edits keep propagating
+        rev_top = design.revision("top")
+        replacement.add_wire("scratch", 1)
+        assert design.revision("top") > rev_top
+
+    def test_replace_module_name_mismatch_rejected(self):
+        design = build_tree()
+        with pytest.raises(ValueError):
+            design.replace_module("leaf", build_leaf("notleaf"))
+
+
+class TestBoundaryObservability:
+    def test_instance_binding_cones_survive_opt_clean(self):
+        from repro.opt.opt_clean import OptClean
+
+        c = Circuit("parent")
+        a = c.input("a", 4)
+        cone = c.add(a, c.not_(a))  # only read by the child binding
+        y = c.module.add_wire("yw", 4)
+        c.module.add_instance(
+            "child", name="u",
+            connections={"x": cone, "y": SigSpec.from_wire(y)},
+        )
+        c.output("o", SigSpec.from_wire(y))
+        n_cells = len(c.module.cells)
+        assert n_cells > 0
+        OptClean().run(c.module)
+        assert len(c.module.cells) == n_cells  # nothing swept
+
+    def test_miter_shares_undriven_child_outputs(self):
+        design = build_tree()
+        top = design["top"]
+        result = check_equivalence(top, top.clone())
+        assert result.equivalent, result

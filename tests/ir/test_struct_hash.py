@@ -335,3 +335,83 @@ def test_signatures_stable_across_processes_and_hash_seeds():
 
     table = json.loads(first)
     assert any(table.values())  # the corpus produced real signatures
+
+
+class TestOffConeRefinement:
+    """Iterated (WL-style) refinement of off-cone Merkle ties.
+
+    Off-cone cells — cells not reachable from any output — are ordered
+    by their Merkle fingerprints during canonicalization.  Two cells
+    with identical fanin *cones* used to tie even when their free input
+    bits had observably different reader structure, so the order fell
+    back to construction order and byte-identical-up-to-order modules
+    produced different signatures (a cache mis-miss).  The refinement
+    rounds color free bits by their reader multisets and recompute, so
+    such ties now resolve the same way for both construction orders.
+    """
+
+    @staticmethod
+    def _module(order: str):
+        """An output cone plus three off-cone cells X=and(a,b),
+        Y=and(c,d), Z=not(a).  X and Y tie on raw cone shape; only Z's
+        extra read of ``a`` tells them apart.  ``order`` flips the
+        construction order of X and Y."""
+        from repro.ir.builder import Circuit
+
+        c = Circuit("refine")
+        a, b = c.input("a"), c.input("b")
+        cd, d = c.input("c"), c.input("d")
+        e = c.input("e")
+        c.output("y", c.not_(e))  # the only on-cone logic
+        if order == "xy":
+            c.and_(a, b)
+            c.and_(cd, d)
+        else:
+            c.and_(cd, d)
+            c.and_(a, b)
+        c.not_(a)  # Z: the reader that breaks the X/Y symmetry
+        return c.module
+
+    def test_construction_order_no_longer_leaks(self):
+        """The regression pair: equal modules, different build order,
+        previously different signatures."""
+        assert module_signature(self._module("xy")) == \
+            module_signature(self._module("yx"))
+
+    def test_refined_signature_still_sensitive(self):
+        """Refinement must not over-merge: breaking the reader symmetry
+        differently produces a different module signature."""
+        from repro.ir.builder import Circuit
+
+        def variant(extra_reader_of: str):
+            c = Circuit("refine")
+            a, b = c.input("a"), c.input("b")
+            cd, d = c.input("c"), c.input("d")
+            e = c.input("e")
+            c.output("y", c.not_(e))
+            c.and_(a, b)
+            c.and_(cd, d)
+            c.not_(a if extra_reader_of == "a" else b)
+            return c.module
+
+        # reading `a` twice vs reading `b` twice is a structural
+        # difference (and/not share an operand vs not): must not collide
+        assert module_signature(variant("a")) != \
+            module_signature(variant("b"))
+
+    def test_automorphic_ties_stay_order_free(self):
+        """Fully symmetric off-cone twins (a genuine automorphism) are
+        order-insensitive with or without refinement."""
+        from repro.ir.builder import Circuit
+
+        def build(order):
+            c = Circuit("auto")
+            a, b = c.input("a"), c.input("b")
+            cd, d = c.input("c"), c.input("d")
+            c.output("y", c.not_(c.input("e")))
+            pairs = [(a, b), (cd, d)]
+            for left, right in (pairs if order else reversed(pairs)):
+                c.and_(left, right)
+            return c.module
+
+        assert module_signature(build(True)) == module_signature(build(False))

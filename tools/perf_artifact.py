@@ -1,10 +1,10 @@
 """Aggregate the benchmark JSON mains into one per-PR perf artifact.
 
-Runs the three standalone benchmark entry points —
-``benchmarks/bench_structhash.py``, ``benchmarks/bench_incremental.py``
-and ``benchmarks/bench_design.py`` — each with ``--json`` into a
-temporary file, and folds their payloads into a single artifact
-(``BENCH_5.json`` at the repo root by default).  CI regenerates and
+Runs the standalone benchmark entry points —
+``benchmarks/bench_structhash.py``, ``benchmarks/bench_incremental.py``,
+``benchmarks/bench_design.py`` and ``benchmarks/bench_hierarchy.py`` —
+each with ``--json`` into a temporary file, and folds their payloads
+into a single artifact (``BENCH_6.json`` at the repo root by default).  CI regenerates and
 uploads it on every run, and the committed copy records the perf
 trajectory per PR; timings are recorded, never gated here (each bench's
 own pytest lane carries the hard thresholds), but a benchmark that fails
@@ -12,7 +12,7 @@ its *correctness* gates — area parity, hit rates — fails this tool too.
 
 Usage::
 
-    PYTHONPATH=src python tools/perf_artifact.py [--output BENCH_5.json]
+    PYTHONPATH=src python tools/perf_artifact.py [--output BENCH_6.json]
 """
 
 from __future__ import annotations
@@ -31,6 +31,7 @@ BENCHES = (
     ("structhash", "benchmarks/bench_structhash.py"),
     ("incremental", "benchmarks/bench_incremental.py"),
     ("design", "benchmarks/bench_design.py"),
+    ("hierarchy", "benchmarks/bench_hierarchy.py"),
 )
 
 
@@ -61,16 +62,16 @@ def run_bench(script: str, tmpdir: str) -> dict:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--output", default=str(REPO / "BENCH_5.json"),
-                        help="artifact path (default: BENCH_5.json at the "
+    parser.add_argument("--output", default=str(REPO / "BENCH_6.json"),
+                        help="artifact path (default: BENCH_6.json at the "
                              "repo root)")
     args = parser.parse_args(argv)
 
     artifact = {
-        "artifact": "BENCH_5",
+        "artifact": "BENCH_6",
         "description": "per-PR perf trajectory: structural-signature "
                        "caching, incremental engine, design-scope "
-                       "incrementality",
+                       "incrementality, hierarchical instance replay",
         "benches": {},
     }
     with tempfile.TemporaryDirectory() as tmpdir:
@@ -87,6 +88,10 @@ def main(argv=None) -> int:
             ["incremental"].get("wallclock", {}).get("reduction_pct"),
         "design_rerun_reduction_pct": artifact["benches"]["design"]
             ["rerun_wallclock"]["reduction_pct"],
+        "hierarchy_instance_dedup_hit_rate_pct": artifact["benches"]
+            ["hierarchy"]["replay"]["dedup_hit_rate_pct"],
+        "hierarchy_wallclock_reduction_pct": artifact["benches"]
+            ["hierarchy"]["wallclock"]["reduction_pct"],
     }
     artifact["headlines"] = headlines
 
