@@ -23,6 +23,12 @@ Everything a tool builder needs in one import::
   :class:`HierarchyError` on malformed trees.
 * :mod:`repro.events` re-exports — the structured progress channel
   (:class:`EventBus`, :class:`EventLog`, :class:`PrintObserver`).
+* Persistence — :class:`~repro.core.store.CacheStore` (the
+  content-addressed on-disk cache store behind ``Session(store_path=)``),
+  the :func:`~repro.core.store.atomic_write_text` /
+  :func:`~repro.core.store.atomic_write_bytes` crash-safe artifact
+  writers, and :class:`~repro.flow.serve.FlowServer` — the ``cli serve``
+  JSON-lines daemon multiplexing flow jobs onto warm-started sessions.
 
 Legacy entry points (``repro.flow.run_flow``, ``repro.flow.optimize``,
 ``repro.core.run_smartly``) remain as deprecated shims over this layer.
@@ -36,7 +42,9 @@ from .events import (
     JsonLinesObserver,
     PrintObserver,
 )
+from .core.store import CacheStore, atomic_write_bytes, atomic_write_text
 from .flow.reports import render_industrial, render_table2, render_table3
+from .flow.serve import FlowServer, serve_socket, serve_stdin
 from .flow.session import (
     EquivalenceError,
     HierarchyReport,
@@ -58,6 +66,7 @@ from .ir.design import Design
 from .ir.hierarchy import HierarchyError, HierarchyInfo, flatten, hierarchy
 
 __all__ = [
+    "CacheStore",
     "Design",
     "EquivalenceError",
     "HierarchyError",
@@ -67,6 +76,7 @@ __all__ = [
     "EventLog",
     "FlowEvent",
     "FlowScriptError",
+    "FlowServer",
     "FlowSpec",
     "JsonLinesObserver",
     "PRESETS",
@@ -78,11 +88,15 @@ __all__ = [
     "Session",
     "SmartlyOptions",
     "SuiteReport",
+    "atomic_write_bytes",
+    "atomic_write_text",
     "flatten",
     "hierarchy",
     "render_industrial",
     "render_table2",
     "render_table3",
     "resolve_flow",
+    "serve_socket",
+    "serve_stdin",
     "suite_cases",
 ]

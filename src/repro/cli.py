@@ -11,6 +11,7 @@
     smartly equiv gold.v gate.v
     smartly fuzz [--iterations N] [--seed-base S] [--json]
     smartly hier design.v [--top NAME] [--optimizer smartly] [--check] [--json]
+    smartly serve [--store DIR] [--jobs N] [--port P]
 
 ``opt``/``script`` run declarative flows through the :mod:`repro.api`
 Session layer; ``script`` accepts any Yosys-like flow script.  The ``bench``
@@ -18,7 +19,17 @@ subcommands regenerate the paper's tables on the synthetic benchmark suite
 in parallel (``--jobs``), with structured progress events rendered to
 stderr.  ``fuzz`` runs the differential-testing harness: random modules ×
 every flow preset, each result SAT-proven equivalent to its unoptimized
-original (exit status 1 when any check fails).
+original (exit status 1 when any check fails).  ``serve`` is the
+long-lived optimization-as-a-service daemon: JSON-lines flow jobs in over
+stdin (or ``--port``), progress events and reports streamed back out,
+with the result cache persisted across restarts via ``--store`` (see
+:mod:`repro.flow.serve`).  ``opt``/``script``/``hier`` accept the same
+``--store DIR`` to warm-start one-shot runs from (and contribute back to)
+that persistent cache.
+
+Artifacts written to ``--output`` paths go through
+:func:`repro.core.store.atomic_write_text`, so an interrupted run never
+leaves a truncated file under the target name.
 """
 
 from __future__ import annotations
@@ -29,6 +40,7 @@ from typing import Optional
 
 from .aig import aig_map, aig_stats, write_aiger
 from .api import PrintObserver, Session, suite_cases
+from .core.store import atomic_write_text
 from .flow import (
     OPTIMIZERS,
     render_industrial,
@@ -53,11 +65,15 @@ def _load_module(path: str, top: Optional[str]):
 
 def _run_and_report(module, flow, check: bool, as_json: bool,
                     verbose: bool = False,
-                    engine: str = "incremental") -> int:
-    session = Session(module, engine=engine)
+                    engine: str = "incremental",
+                    store: Optional[str] = None) -> int:
+    session = Session(module, engine=engine, store_path=store)
     if verbose:
         session.subscribe(PrintObserver(stream=sys.stderr, verbose=True))
-    report = session.run(flow, check=check)
+    try:
+        report = session.run(flow, check=check)
+    finally:
+        session.close()  # persists the --store delta even on failure
     if as_json:
         print(report.to_json(indent=2))
         return 0
@@ -88,7 +104,7 @@ def cmd_opt(args: argparse.Namespace) -> int:
     """Optimize one Verilog/AIGER file with a preset and report areas."""
     module = _load_module(args.source, args.top)
     return _run_and_report(module, args.optimizer, args.check, args.json,
-                           args.verbose, args.engine)
+                           args.verbose, args.engine, args.store)
 
 
 def cmd_script(args: argparse.Namespace) -> int:
@@ -105,7 +121,7 @@ def cmd_script(args: argparse.Namespace) -> int:
         return 2
     module = _load_module(args.source, args.top)
     return _run_and_report(module, spec, args.check, args.json, args.verbose,
-                           args.engine)
+                           args.engine, args.store)
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
@@ -123,8 +139,13 @@ def cmd_aig(args: argparse.Namespace) -> int:
     module = _load_module(args.source, args.top)
     aig = aig_map(module)
     if args.output:
-        with open(args.output, "w") as handle:
-            write_aiger(aig, handle)
+        import io
+
+        buffer = io.StringIO()
+        write_aiger(aig, buffer)
+        # tempfile + os.replace: a crash mid-write must never leave a
+        # truncated artifact under the real name
+        atomic_write_text(args.output, buffer.getvalue())
         print(f"wrote {args.output}: {aig_stats(aig)}")
     else:
         write_aiger(aig, sys.stdout)
@@ -141,8 +162,7 @@ def cmd_write(args: argparse.Namespace) -> int:
         optimize(module, args.optimizer)
     text = verilog_str(module)
     if args.output:
-        with open(args.output, "w") as handle:
-            handle.write(text)
+        atomic_write_text(args.output, text)
         print(f"wrote {args.output} ({args.optimizer})")
     else:
         sys.stdout.write(text)
@@ -210,10 +230,13 @@ def cmd_hier(args: argparse.Namespace) -> int:
     """Optimize a hierarchical design bottom-up with instance replay."""
     with open(args.source) as handle:
         design = compile_verilog(handle.read(), top=args.top)
-    session = Session(design)
-    report = session.run_hierarchy(
-        args.optimizer, top=args.top, check=args.check
-    )
+    session = Session(design, store_path=args.store)
+    try:
+        report = session.run_hierarchy(
+            args.optimizer, top=args.top, check=args.check
+        )
+    finally:
+        session.close()  # persists the --store delta even on failure
     if args.json:
         print(report.to_json(indent=2))
         return 0
@@ -237,6 +260,25 @@ def cmd_hier(args: argparse.Namespace) -> int:
     if args.check:
         print("equivalence checks: PASSED")
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the long-lived JSON-lines optimization daemon."""
+    from .flow.serve import FlowServer, serve_socket, serve_stdin
+
+    server = FlowServer(
+        store_path=args.store,
+        engine=args.engine,
+        max_workers=args.jobs,
+        keep_generations=args.keep_generations,
+    )
+    if args.port is not None:
+        def announce(port: int) -> None:
+            print(f"serving on 127.0.0.1:{port}", file=sys.stderr,
+                  flush=True)
+
+        return serve_socket(server, port=args.port, on_listening=announce)
+    return serve_stdin(server)
 
 
 def _format_cache_stats(stats: dict) -> str:
@@ -318,6 +360,9 @@ def build_parser() -> argparse.ArgumentParser:
                        default="incremental",
                        help="pass engine: incremental dirty-set worklists "
                             "(default) or eager whole-module sweeps")
+    p_opt.add_argument("--store", default=None, metavar="DIR",
+                       help="persistent result-cache directory: warm-start "
+                            "from it and write this run's delta back")
     p_opt.set_defaults(func=cmd_opt)
 
     p_script = sub.add_parser(
@@ -337,6 +382,10 @@ def build_parser() -> argparse.ArgumentParser:
                           default="incremental",
                           help="pass engine: incremental dirty-set worklists "
                                "(default) or eager whole-module sweeps")
+    p_script.add_argument("--store", default=None, metavar="DIR",
+                          help="persistent result-cache directory: "
+                               "warm-start from it and write this run's "
+                               "delta back")
     p_script.set_defaults(func=cmd_script)
 
     p_stats = sub.add_parser("stats", help="print cell and AIG statistics")
@@ -404,7 +453,33 @@ def build_parser() -> argparse.ArgumentParser:
                         help="SAT-prove every module (replays included)")
     p_hier.add_argument("--json", action="store_true",
                         help="print the HierarchyReport as JSON")
+    p_hier.add_argument("--store", default=None, metavar="DIR",
+                        help="persistent result-cache directory: warm-start "
+                             "from it and write this run's delta back")
     p_hier.set_defaults(func=cmd_hier)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="long-lived optimization daemon: JSON-lines flow jobs over "
+             "stdin (or --port), streamed progress events and reports",
+    )
+    p_serve.add_argument("--store", default=None, metavar="DIR",
+                         help="persistent result-cache directory shared "
+                              "across daemon restarts (and with opt/script/"
+                              "hier --store)")
+    p_serve.add_argument("-j", "--jobs", type=int, default=None,
+                         help="concurrent in-flight jobs (default: auto)")
+    p_serve.add_argument("--port", type=int, default=None,
+                         help="serve a localhost TCP socket on this port "
+                              "instead of stdin (0 = ephemeral, announced "
+                              "on stderr)")
+    p_serve.add_argument("--engine", choices=("incremental", "eager"),
+                         default="incremental",
+                         help="pass engine for served jobs")
+    p_serve.add_argument("--keep-generations", type=int, default=32,
+                         help="store generations kept by gc at each "
+                              "checkpoint (default: 32)")
+    p_serve.set_defaults(func=cmd_serve)
     return parser
 
 

@@ -9,6 +9,7 @@
 
 from .add import ADD, ADDNode, case_table
 from .cache import ResultCache
+from .store import CacheStore, StoreError, atomic_write_bytes, atomic_write_text
 from .inference import Contradiction, InferenceEngine, InferenceResult, infer
 from .redundancy import SatRedundancy
 from .restructure import CaseTree, MuxtreeRestructure, eq_aig_cost, mux_aig_cost
@@ -18,6 +19,7 @@ from .subgraph import SubGraph, extract_subgraph
 __all__ = [
     "ADD",
     "ADDNode",
+    "CacheStore",
     "CaseTree",
     "Contradiction",
     "InferenceEngine",
@@ -27,7 +29,10 @@ __all__ = [
     "SatRedundancy",
     "Smartly",
     "SmartlyOptions",
+    "StoreError",
     "SubGraph",
+    "atomic_write_bytes",
+    "atomic_write_text",
     "case_table",
     "eq_aig_cost",
     "extract_subgraph",

@@ -56,6 +56,7 @@ with session lifetime.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Container, Dict, Iterable, Mapping, Optional, Tuple
 
 from ..ir.struct_hash import StructKeyMemo
@@ -82,6 +83,14 @@ class ResultCache:
         self._entries: Dict[Tuple, Any] = {}
         self.counters: Dict[str, int] = {}
         self._struct_memo = StructKeyMemo() if structural else None
+        #: guards mutation sweeps and snapshot iteration: thread-suite
+        #: workers merge deltas into the shared session cache while the
+        #: owner may be exporting a snapshot for the next job (or the
+        #: serve daemon's next request) — iterating ``_entries`` unlocked
+        #: raced those inserts with ``RuntimeError: dictionary changed
+        #: size during iteration``.  ``lookup`` stays lock-free: a plain
+        #: ``dict.get`` is atomic under the GIL and is the hot path.
+        self._lock = threading.Lock()
 
     @property
     def struct_memo(self) -> Optional[StructKeyMemo]:
@@ -147,19 +156,27 @@ class ResultCache:
         self._bump(f"{kind}_hits")
         return True, value
 
+    def _evict_to_half(self) -> None:
+        """Sweep the oldest entries until the population is back at half
+        the cap (mutation orphans stale keys, so oldest-first eviction is
+        the right policy and plain-dict insertion order makes it free).
+        ``evictions`` counts dropped *entries*, not sweeps.  Caller holds
+        the lock."""
+        drop = len(self._entries) - self.max_entries // 2
+        if drop <= 0:
+            return
+        stale_keys = list(self._entries)[:drop]
+        for stale in stale_keys:
+            self._entries.pop(stale, None)
+        self._bump("evictions", len(stale_keys))
+
     def store(self, key: Tuple, value: Any) -> None:
-        """Memoize, dropping the oldest half at the size cap (mutation
-        orphans stale keys, so oldest-first eviction is the right policy
-        and plain-dict insertion order makes it free).  ``evictions``
-        counts dropped *entries*, not sweeps."""
-        if len(self._entries) >= self.max_entries:
-            stale_keys = list(self._entries)[: self.max_entries // 2]
-            for stale in stale_keys:
-                # pop, not del: concurrent thread-suite stores may race a
-                # sweep; losing a counter tick is fine, a KeyError is not
-                self._entries.pop(stale, None)
-            self._bump("evictions", len(stale_keys))
-        self._entries[key] = value
+        """Memoize, sweeping down to half the cap when full (see
+        :meth:`_evict_to_half`)."""
+        with self._lock:
+            if len(self._entries) >= self.max_entries:
+                self._evict_to_half()
+            self._entries[key] = value
 
     # -- snapshot / warm-start -------------------------------------------------
 
@@ -176,13 +193,15 @@ class ResultCache:
         """
         if self._struct_memo is None:
             return {}
+        # snapshot the items under the lock: concurrent thread-suite
+        # workers store()/merge() into the shared session cache, and an
+        # unlocked iteration raced their inserts (RuntimeError:
+        # dictionary changed size during iteration)
+        with self._lock:
+            items = list(self._entries.items())
         if not exclude:
-            return dict(self._entries)
-        return {
-            key: value
-            for key, value in self._entries.items()
-            if key not in exclude
-        }
+            return dict(items)
+        return {key: value for key, value in items if key not in exclude}
 
     def merge(self, entries: Mapping[Tuple, Any]) -> int:
         """Adopt a snapshot's entries (existing keys win; returns #added).
@@ -190,12 +209,19 @@ class ResultCache:
         Values are pure functions of their keys, so whichever side
         computed an entry first, the content is identical — keeping the
         existing entry just preserves this cache's insertion-age order.
+        The ``max_entries`` cap holds afterwards: an over-full merge
+        (repeated warm-start deltas, a large on-disk snapshot) sweeps
+        oldest-first back to half the cap exactly like :meth:`store`,
+        instead of growing the population unboundedly.
         """
         added = 0
-        for key, value in entries.items():
-            if key not in self._entries:
-                self._entries[key] = value
-                added += 1
+        with self._lock:
+            for key, value in entries.items():
+                if key not in self._entries:
+                    self._entries[key] = value
+                    added += 1
+            if len(self._entries) > self.max_entries:
+                self._evict_to_half()
         if added:
             self._bump("merged", added)
         return added

@@ -3,6 +3,7 @@ Table II/III/industrial report renderers."""
 
 from .pipeline import OPTIMIZERS, FlowResult, optimize, run_flow
 from .reports import render_industrial, render_table2, render_table3
+from .serve import FlowServer, serve_socket, serve_stdin
 from .session import (
     EquivalenceError,
     PassRecord,
@@ -24,6 +25,7 @@ __all__ = [
     "EquivalenceError",
     "FlowResult",
     "FlowScriptError",
+    "FlowServer",
     "FlowSpec",
     "OPTIMIZERS",
     "PRESETS",
@@ -39,5 +41,7 @@ __all__ = [
     "render_table3",
     "resolve_flow",
     "run_flow",
+    "serve_socket",
+    "serve_stdin",
     "suite_cases",
 ]

@@ -1,0 +1,352 @@
+"""The serve daemon: optimization-as-a-service over JSON lines.
+
+:class:`FlowServer` is a long-lived loop that accepts flow jobs as
+JSON-lines requests — over stdin (``smartly serve``) or a localhost TCP
+socket (``smartly serve --port N``) — multiplexes them onto the same
+thread-pool executor discipline :meth:`~repro.flow.session.Session.
+run_suite` uses (each job runs in a private warm-started sub-session,
+deltas merge back into the shared cache), and streams the session event
+channel back as JSON lines, so a client watches pass-level progress of
+every job it submitted while other jobs run concurrently.
+
+With ``store_path=`` the shared cache is backed by the on-disk
+:class:`~repro.core.store.CacheStore`: the daemon warm-starts from every
+generation previous daemons (or CI runs, or plain sessions) persisted,
+and checkpoints its own delta on ``flush`` and at shutdown — jobs the
+service proved once are replayed from the ``suite_job`` cache forever
+after, across restarts and machines sharing the directory.
+
+**Request protocol** — one JSON object per line; every request may carry
+an ``id`` (echoed verbatim on every related response so interleaved
+streams demultiplex):
+
+``{"op": "run", "source": <verilog>, "flow": <preset or script>,
+"check": bool, "top": <name>, "events": bool}``
+    Compile ``source`` and run ``flow`` (default ``"smartly"``) over the
+    top module.  Streams ``accepted`` immediately, ``event`` lines while
+    the job runs (suppressed with ``"events": false``), then one
+    ``result`` carrying the :class:`~repro.flow.session.RunReport` dict
+    plus ``replayed`` — whether the whole job was answered from the
+    shared ``suite_job`` cache without running a single pass.
+
+``{"op": "hier", ...}``
+    Same, but :meth:`~repro.flow.session.Session.run_hierarchy` over the
+    instance tree: the ``result`` carries the
+    :class:`~repro.flow.session.HierarchyReport` dict.
+
+``{"op": "ping"}`` / ``{"op": "stats"}`` / ``{"op": "flush"}``
+    Liveness probe; shared-cache counter snapshot; checkpoint the store
+    (one new generation) without shutting down.
+
+``{"op": "shutdown"}``
+    Drain in-flight jobs, checkpoint the store, answer ``bye``, stop.
+
+Malformed lines and failing jobs answer ``{"type": "error", ...}`` —
+the loop itself never dies on bad input (a daemon serving many clients
+must not let one of them crash the cache every other client is warm
+from).  End-of-input drains and checkpoints exactly like ``shutdown``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Callable, Dict, IO, Iterable, List, Optional
+
+from ..core.cache import ResultCache
+from ..core.smartly import SmartlyOptions
+from ..core.store import DEFAULT_KEEP_GENERATIONS, CacheStore
+from ..events import EventBus
+from .session import Session, _run_suite_job
+from .spec import FlowScriptError, resolve_flow
+
+#: response writer: one JSON-serializable dict per call, one line each
+Writer = Callable[[Dict[str, Any]], None]
+
+
+class FlowServer:
+    """Shared state of one serve daemon: the warm cache, its optional
+    on-disk store, and the tuning options every job runs under.
+
+    The server object is transport-free — :meth:`serve_lines` drives it
+    from any iterable of request lines and any response writer, which is
+    what the tests and the two CLI transports (:func:`serve_stdin`,
+    :func:`serve_socket`) do.
+    """
+
+    def __init__(
+        self,
+        *,
+        store_path: Optional[str] = None,
+        options: Optional[SmartlyOptions] = None,
+        engine: str = "incremental",
+        max_workers: Optional[int] = None,
+        keep_generations: int = DEFAULT_KEEP_GENERATIONS,
+    ):
+        self.options = options
+        self.engine = engine
+        self.max_workers = max_workers
+        self._cache = ResultCache(
+            structural=options.structural_keys if options is not None
+            else True
+        )
+        self._store: Optional[CacheStore] = None
+        self._keep_generations = keep_generations
+        self._known: set = set()
+        if store_path is not None:
+            self._store = CacheStore(store_path)
+            if self._cache.structural:
+                loaded = self._store.load()
+                if loaded:
+                    self._cache.merge(loaded)
+                self._known = set(loaded)
+        #: serializes merges of job deltas with snapshot exports; the
+        #: ResultCache is itself iteration-safe, but pairing "export then
+        #: count on it" sequences keeps per-job replay flags coherent
+        self._merge_lock = threading.Lock()
+        self.jobs_run = 0
+
+    # -- persistence -----------------------------------------------------------
+
+    def flush(self) -> int:
+        """Checkpoint the shared cache's unpersisted delta as one store
+        generation (0 without a store or when nothing new was learned)."""
+        if self._store is None or not self._cache.structural:
+            return 0
+        delta = self._cache.export(exclude=self._known)
+        if not delta:
+            return 0
+        self._store.save(delta)
+        self._known |= set(delta)
+        self._store.gc(keep_generations=self._keep_generations)
+        return len(delta)
+
+    def stats(self) -> Dict[str, int]:
+        totals = dict(self._cache.counters)
+        totals["entries"] = len(self._cache)
+        totals["jobs_run"] = self.jobs_run
+        if self._store is not None:
+            for key, value in self._store.counters.items():
+                totals[f"store_{key}"] = value
+        return totals
+
+    # -- one job ---------------------------------------------------------------
+
+    def _execute(self, request: Dict[str, Any], emit: Writer) -> Dict[str, Any]:
+        """Run one ``run``/``hier`` job in a private warm-started
+        sub-session; returns the ``result`` payload (exceptions are the
+        caller's to convert into ``error`` responses)."""
+        from ..frontend import compile_verilog
+
+        rid = request.get("id")
+        op = request["op"]
+        source = request.get("source")
+        if not isinstance(source, str) or not source.strip():
+            raise ValueError("missing 'source' (Verilog text)")
+        flow = request.get("flow", "smartly")
+        check = bool(request.get("check", False))
+        top = request.get("top")
+        spec = resolve_flow(flow, options=self.options)
+        design = compile_verilog(source, top=top)
+        bus = EventBus()
+        if request.get("events", True):
+            bus.subscribe(
+                lambda event: emit(
+                    {"type": "event", "id": rid, **event.to_dict()}
+                )
+            )
+        snapshot = self._cache.export()
+        with Session(design, options=self.options, events=bus,
+                     engine=self.engine) as session:
+            if snapshot:
+                session._result_cache.merge(snapshot)
+            if op == "hier":
+                report = session.run_hierarchy(spec, top=top, check=check)
+                payload = report.to_dict()
+                replayed = sorted(report.replayed)
+                job_replayed = bool(replayed) and not report.replay_fallbacks
+            else:
+                module = design.top
+                report = _run_suite_job(
+                    session, module, spec, check, self.engine,
+                    memoize=self._cache.structural,
+                )
+                payload = report.to_dict()
+                # the private session makes exactly one suite_job lookup
+                # (its own module's signature); a hit means the whole job
+                # replayed from the shared cache without running a pass
+                job_replayed = (
+                    session._result_cache.counters.get("suite_job_hits", 0)
+                    > 0
+                )
+            delta = session._result_cache.export(exclude=snapshot)
+        with self._merge_lock:
+            self._cache.merge(delta)
+            self.jobs_run += 1
+        return {
+            "type": "result",
+            "id": rid,
+            "op": op,
+            "flow": spec.label,
+            "replayed": job_replayed,
+            "report": payload,
+        }
+
+    # -- the loop --------------------------------------------------------------
+
+    def serve_lines(
+        self,
+        lines: Iterable[str],
+        write: Writer,
+    ) -> bool:
+        """Drive the daemon over one stream of JSON-lines requests.
+
+        Returns ``True`` when the stream ended with an explicit
+        ``shutdown`` (the daemon should stop accepting transports),
+        ``False`` on plain end-of-input (a socket client disconnecting —
+        the daemon keeps serving).  Either way, all in-flight jobs are
+        drained and the store is checkpointed before returning.
+        """
+        lock = threading.Lock()
+
+        def emit(payload: Dict[str, Any]) -> None:
+            with lock:
+                write(payload)
+
+        shutdown = False
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            pending: List[Future] = []
+
+            def submit(request: Dict[str, Any]) -> None:
+                rid = request.get("id")
+
+                def job() -> None:
+                    try:
+                        emit(self._execute(request, emit))
+                    except FlowScriptError as exc:
+                        emit({"type": "error", "id": rid,
+                              "error": f"bad flow: {exc}"})
+                    except Exception as exc:
+                        emit({"type": "error", "id": rid,
+                              "error": f"{type(exc).__name__}: {exc}"})
+
+                pending.append(pool.submit(job))
+
+            for line in lines:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    request = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    emit({"type": "error", "id": None,
+                          "error": f"bad JSON: {exc}"})
+                    continue
+                if not isinstance(request, dict):
+                    emit({"type": "error", "id": None,
+                          "error": "request must be a JSON object"})
+                    continue
+                op = request.get("op")
+                rid = request.get("id")
+                if op in ("run", "hier"):
+                    emit({"type": "accepted", "id": rid, "op": op})
+                    submit(request)
+                elif op == "ping":
+                    emit({"type": "pong", "id": rid})
+                elif op == "stats":
+                    emit({"type": "stats", "id": rid, "stats": self.stats()})
+                elif op == "flush":
+                    # drain first: in-flight jobs are still computing the
+                    # entries the caller wants on disk
+                    for future in pending:
+                        future.result()
+                    pending.clear()
+                    emit({"type": "flushed", "id": rid,
+                          "entries": self.flush()})
+                elif op == "shutdown":
+                    shutdown = True
+                    break
+                else:
+                    emit({"type": "error", "id": rid,
+                          "error": f"unknown op {op!r}"})
+            for future in pending:
+                future.result()
+        flushed = self.flush()
+        emit({
+            "type": "bye",
+            "jobs_run": self.jobs_run,
+            "flushed_entries": flushed,
+            "cache_entries": len(self._cache),
+        })
+        return shutdown
+
+
+def _json_line(payload: Dict[str, Any]) -> str:
+    return json.dumps(payload, sort_keys=True, default=str)
+
+
+def serve_stdin(
+    server: FlowServer,
+    in_stream: Optional[IO[str]] = None,
+    out_stream: Optional[IO[str]] = None,
+) -> int:
+    """Serve one JSON-lines session over stdio; returns an exit status."""
+    in_stream = in_stream if in_stream is not None else sys.stdin
+    out_stream = out_stream if out_stream is not None else sys.stdout
+
+    def write(payload: Dict[str, Any]) -> None:
+        print(_json_line(payload), file=out_stream, flush=True)
+
+    server.serve_lines(in_stream, write)
+    return 0
+
+
+def serve_socket(
+    server: FlowServer,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    on_listening: Optional[Callable[[int], None]] = None,
+) -> int:
+    """Serve JSON-lines sessions over a localhost TCP socket.
+
+    Connections are served one at a time (each gets the full shared
+    cache warmth); ``port=0`` binds an ephemeral port, reported through
+    ``on_listening`` before the first ``accept``.  A client ``shutdown``
+    stops the daemon; a disconnect just ends that client's session.
+    """
+    import socket
+
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((host, port))
+        sock.listen()
+        if on_listening is not None:
+            on_listening(sock.getsockname()[1])
+        while True:
+            conn, _addr = sock.accept()
+            with conn:
+                rfile = conn.makefile("r", encoding="utf-8", newline="\n")
+                wfile = conn.makefile("w", encoding="utf-8", newline="\n")
+
+                def write(payload: Dict[str, Any]) -> None:
+                    try:
+                        wfile.write(_json_line(payload) + "\n")
+                        wfile.flush()
+                    except (BrokenPipeError, ConnectionResetError, OSError):
+                        pass  # client went away; the job still merges back
+                try:
+                    stopped = server.serve_lines(rfile, write)
+                finally:
+                    for handle in (rfile, wfile):
+                        try:
+                            handle.close()
+                        except OSError:
+                            pass
+            if stopped:
+                return 0
+
+
+__all__ = ["FlowServer", "Writer", "serve_socket", "serve_stdin"]

@@ -11,9 +11,11 @@ table renderers in :mod:`repro.flow.reports` consume directly.
 
 Quickstart::
 
+    from pathlib import Path
+
     from repro.api import Session
 
-    session = Session.from_verilog(open("design.v").read())
+    session = Session.from_verilog(Path("design.v").read_text())
     report = session.run("opt_expr; smartly k=6; opt_clean", check=True)
     print(report.to_json())
 """
@@ -29,6 +31,7 @@ from concurrent.futures import (
     as_completed,
 )
 from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
 from typing import (
     Any,
     Callable,
@@ -46,6 +49,7 @@ from ..aig.aigmap import aig_map
 from ..aig.stats import AigStats, aig_stats
 from ..core.cache import ResultCache
 from ..core.smartly import SmartlyOptions
+from ..core.store import DEFAULT_KEEP_GENERATIONS, CacheStore
 from ..equiv.cec import check_equivalence
 from ..events import EventBus, Observer
 from ..ir import design as design_mod
@@ -373,6 +377,20 @@ class Session:
     every incremental flow, so inference/simulation outcomes memoize
     across rounds, runs and modules (``rcache_*`` pass stats).  Eager runs
     bypass all of this — they are the differential-testing reference.
+
+    **Persistence** (``store_path=``): the cache additionally survives the
+    process.  At open, every readable generation of the
+    :class:`~repro.core.store.CacheStore` at that directory is merged
+    into the session cache, so :meth:`run_suite` jobs, :meth:`
+    run_hierarchy` classes and sub-graph resolutions computed by earlier
+    sessions — or other machines sharing the directory — replay instead
+    of recomputing.  At :meth:`close` (or an explicit
+    :meth:`flush_store`) the delta this session learned is written back
+    as one new atomic, content-addressed generation and old generations
+    beyond ``store_keep_generations`` are garbage-collected.  Identity-
+    keyed sessions (``SmartlyOptions(structural_keys=False)``) keep the
+    store inert: their keys embed live wire objects that mean nothing in
+    another process.
     """
 
     def __init__(
@@ -382,6 +400,8 @@ class Session:
         options: Optional[SmartlyOptions] = None,
         events: Optional[EventBus] = None,
         engine: str = "incremental",
+        store_path: Optional[Union[str, "Path"]] = None,
+        store_keep_generations: Optional[int] = None,
     ):
         if engine not in ("incremental", "eager"):
             raise ValueError(
@@ -411,6 +431,30 @@ class Session:
             structural=options.structural_keys if options is not None
             else True
         )
+        #: optional on-disk persistence (see :mod:`repro.core.store`):
+        #: the store's generations warm-start this session's cache at
+        #: open, and :meth:`close`/:meth:`flush_store` persist the delta
+        #: this session learned as one new generation.  Identity-keyed
+        #: caches export nothing meaningful across processes, so the
+        #: store is inert for them (``store_incompatible_mode`` counts
+        #: the refusal).
+        self._store: Optional[CacheStore] = None
+        self._store_keep = (
+            store_keep_generations if store_keep_generations is not None
+            else DEFAULT_KEEP_GENERATIONS
+        )
+        #: keys already persisted (or loaded): flush_store exports only
+        #: what lies beyond them, so each flush is one delta generation
+        self._store_known: set = set()
+        if store_path is not None:
+            self._store = CacheStore(store_path)
+            if self._result_cache.structural:
+                loaded = self._store.load()
+                if loaded:
+                    self._result_cache.merge(loaded)
+                self._store_known = set(loaded)
+            else:
+                self._store._bump("incompatible_mode")
         #: SAT-oracle counters accumulated over every run so far; the
         #: session-lifetime side of :attr:`RunReport.cache_stats` (the
         #: oracles themselves live on per-(module, flow) pass objects)
@@ -482,8 +526,11 @@ class Session:
         shared design.  A closed session can still run flows, but every
         run is a full run — with the design no longer observed, skip/seed
         decisions would rest on edit windows that can never see an edit.
+        A session opened with ``store_path=`` also persists its cache
+        delta as one new store generation (see :meth:`flush_store`).
         Idempotent.
         """
+        self.flush_store()
         try:
             self.design.remove_listener(self._on_design_edit)
         except ValueError:
@@ -491,6 +538,27 @@ class Session:
         self._closed = True
         self._flow_states.clear()
         self._pending.clear()
+
+    def flush_store(self) -> int:
+        """Persist the cache entries learned since the last flush (or
+        since open) as one new generation of the session's on-disk
+        :class:`~repro.core.store.CacheStore`; returns the number of
+        entries written (0 without ``store_path=`` or when nothing new
+        was learned).  Long-lived owners — the serve daemon, a CI driver
+        between suites — call this to checkpoint without closing;
+        :meth:`close` calls it automatically.  Each flush also
+        garbage-collects the store down to the session's
+        ``store_keep_generations``.
+        """
+        if self._store is None or not self._result_cache.structural:
+            return 0
+        delta = self._result_cache.export(exclude=self._store_known)
+        if not delta:
+            return 0
+        self._store.save(delta)
+        self._store_known |= set(delta)
+        self._store.gc(keep_generations=self._store_keep)
+        return len(delta)
 
     def __enter__(self) -> "Session":
         return self
@@ -522,6 +590,9 @@ class Session:
         totals["entries"] = len(self._result_cache)
         for key, value in self._oracle_totals.items():
             totals[f"oracle_{key}"] = value
+        if self._store is not None:
+            for key, value in self._store.counters.items():
+                totals[f"store_{key}"] = value
         return totals
 
     # -- baselines -------------------------------------------------------------

@@ -72,6 +72,16 @@ from .signals import SigBit, SigSpec
 #: a structural signature: hex BLAKE2b-128 digest of the canonical encoding
 StructSignature = str
 
+#: Fingerprint of the structural keying scheme, embedded in every
+#: persisted cache artifact (see :class:`repro.core.store.CacheStore`).
+#: Signatures are only comparable between processes that canonicalize
+#: identically, so ANY change to the labeling walk, the operand
+#: encoding, the facts fold, the WL refinement or the digest layout MUST
+#: bump this string — stale on-disk generations written under the old
+#: scheme are then skipped instead of silently never hitting (or worse,
+#: colliding).
+SCHEME_FINGERPRINT = "structural/blake2b-16/wl3/v1"
+
 #: operand encoding: ("c", state) | ("i", input index) | ("d", cell, port, off)
 _Operand = Tuple
 
@@ -601,6 +611,7 @@ def renamed_copy(
 
 
 __all__ = [
+    "SCHEME_FINGERPRINT",
     "StructKeyMemo",
     "StructSignature",
     "module_signature",

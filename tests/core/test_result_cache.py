@@ -65,6 +65,100 @@ class TestUnit:
         assert cache.counters["evictions"] == 8
 
 
+class TestMergeCap:
+    def test_merge_enforces_max_entries(self):
+        """Regression: ``merge`` never evicted, so repeated warm-start
+        merges grew the cache unboundedly past ``max_entries``."""
+        cache = ResultCache(max_entries=8, structural=True)
+        snapshot = {("sim", f"sig-{i}", ()): i for i in range(100)}
+        added = cache.merge(snapshot)
+        assert added == 100
+        assert len(cache) <= cache.max_entries
+        assert cache.counters["evictions"] > 0
+        # the sweep is oldest-first, so the newest merged keys survive
+        assert cache.lookup(("sim", "sig-99", ()))[0] is True
+
+    def test_repeated_merges_stay_bounded(self):
+        cache = ResultCache(max_entries=16, structural=True)
+        for round_ in range(10):
+            cache.merge({
+                ("sim", f"r{round_}-{i}", ()): i for i in range(16)
+            })
+            assert len(cache) <= cache.max_entries
+
+    def test_merge_below_cap_never_evicts(self):
+        cache = ResultCache(max_entries=100, structural=True)
+        cache.store(("sim", "mine", ()), 1)
+        cache.merge({("sim", f"s{i}", ()): i for i in range(10)})
+        assert len(cache) == 11
+        assert "evictions" not in cache.counters
+
+
+class TestConcurrentExport:
+    def test_export_during_concurrent_stores(self):
+        """Regression: ``export`` iterated ``_entries`` while thread-suite
+        workers concurrently ``store()`` into the shared session cache —
+        ``RuntimeError: dictionary changed size during iteration``."""
+        import threading
+
+        cache = ResultCache(structural=True)
+        stop = threading.Event()
+        errors = []
+
+        def writer():
+            i = 0
+            try:
+                while not stop.is_set():
+                    cache.store(("sim", f"w-{i}", ()), i)
+                    i += 1
+            except Exception as exc:  # pragma: no cover - fails the test
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            known = {("sim", "w-0", ())}
+            for _ in range(300):
+                cache.export()
+                cache.export(exclude=known)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        assert not errors, errors
+
+    def test_merge_during_concurrent_stores(self):
+        import threading
+
+        cache = ResultCache(max_entries=4096, structural=True)
+        stop = threading.Event()
+        errors = []
+
+        def writer():
+            i = 0
+            try:
+                while not stop.is_set():
+                    cache.store(("sim", f"m-{i}", ()), i)
+                    i += 1
+            except Exception as exc:  # pragma: no cover - fails the test
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        try:
+            for round_ in range(200):
+                cache.merge({("infer", f"x-{round_}-{i}", ()): i
+                             for i in range(8)})
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        assert not errors, errors
+        assert len(cache) <= cache.max_entries
+
+
 class TestExportMerge:
     def test_structural_cache_exports_and_merges(self):
         cache = ResultCache(structural=True)

@@ -1,0 +1,288 @@
+"""CacheStore: content-addressed generations survive crashes, rot and GC.
+
+The store's contract is "a directory that rotted on disk degrades to a
+smaller warm-start, never an exception": truncated, garbled, renamed or
+wrong-scheme generation files must be *counted and skipped* by
+:meth:`CacheStore.load`, writes must be atomic (no torn generation ever
+appears under a final name), and :meth:`CacheStore.gc` must bound the
+directory while reaping temp files orphaned by crashed writers.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import random
+
+import pytest
+
+from repro.core.store import (
+    CacheStore,
+    DEFAULT_KEEP_GENERATIONS,
+    STORE_FORMAT,
+    StoreError,
+    atomic_write_bytes,
+    atomic_write_text,
+)
+from repro.ir.struct_hash import SCHEME_FINGERPRINT
+
+
+def _entries(seed: int, count: int) -> dict:
+    """A snapshot-shaped delta: tuple keys -> plain picklable outcomes."""
+    rng = random.Random(seed)
+    return {
+        ("sat", f"digest{seed}:{i}", ("k", i)): rng.randrange(1 << 30)
+        for i in range(count)
+    }
+
+
+def _age(path, seconds_ago: float) -> None:
+    """Force a generation's mtime so `generations()` ordering is exact."""
+    stamp = os.stat(path).st_mtime - seconds_ago
+    os.utime(path, (stamp, stamp))
+
+
+class TestRoundTrip:
+    def test_save_load_round_trip(self, tmp_path):
+        store = CacheStore(tmp_path / "store")
+        entries = _entries(1, 20)
+        gen = store.save(entries)
+        assert gen is not None and gen.is_file()
+        assert gen.name.startswith("gen-") and gen.name.endswith(".rcache")
+        assert CacheStore(tmp_path / "store").load() == entries
+
+    def test_empty_delta_writes_nothing(self, tmp_path):
+        store = CacheStore(tmp_path)
+        assert store.save({}) is None
+        assert store.generations() == []
+        assert store.load() == {}
+
+    def test_load_of_missing_directory_is_empty(self, tmp_path):
+        store = CacheStore(tmp_path / "never-created")
+        assert store.load() == {}
+        assert store.counters == {}
+
+    def test_multi_generation_union(self, tmp_path):
+        store = CacheStore(tmp_path)
+        first, second = _entries(1, 5), _entries(2, 7)
+        store.save(first)
+        store.save(second)
+        merged = store.load()
+        assert merged == {**first, **second}
+        assert store.counters["loaded_files"] == 2
+        assert store.counters["loaded_entries"] == 12
+
+    def test_collision_first_loaded_key_wins(self, tmp_path):
+        store = CacheStore(tmp_path)
+        key = ("suite_job", "shared", ())
+        older = store.save({key: "old", ("sat", "a", ()): 1})
+        newer = store.save({key: "new", ("sat", "b", ()): 2})
+        _age(older, 100)
+        _age(newer, 0)
+        assert store.load()[key] == "old"
+
+    def test_identical_delta_dedupes_to_one_file(self, tmp_path):
+        store = CacheStore(tmp_path)
+        entries = _entries(3, 10)
+        first = store.save(entries)
+        again = store.save(dict(entries))
+        assert first == again
+        assert len(store.generations()) == 1
+        assert store.counters["dedup_saves"] == 1
+        assert store.counters["saved_files"] == 1
+
+    def test_store_path_must_be_directory(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("not a directory")
+        with pytest.raises(StoreError):
+            CacheStore(blocker)
+
+
+class TestCrashRecovery:
+    def test_truncated_generation_is_skipped_not_raised(self, tmp_path):
+        store = CacheStore(tmp_path)
+        keep = _entries(1, 4)
+        store.save(keep)
+        victim = store.save(_entries(2, 50))
+        victim.write_bytes(victim.read_bytes()[: len(victim.read_bytes()) // 2])
+        loaded = store.load()
+        assert loaded == keep
+        assert store.counters["corrupt_skipped"] == 1
+        assert store.counters["loaded_files"] == 1
+
+    def test_garbage_file_is_skipped(self, tmp_path):
+        store = CacheStore(tmp_path)
+        keep = _entries(1, 3)
+        store.save(keep)
+        garbage = tmp_path / ("gen-" + "0" * 32 + ".rcache")
+        garbage.write_bytes(b"\x00\xff not a generation at all")
+        assert store.load() == keep
+        assert store.counters["corrupt_skipped"] == 1
+
+    def test_renamed_generation_fails_digest_check(self, tmp_path):
+        # content addressing doubles as integrity: the filename IS the
+        # digest of the bytes, so a renamed (or bit-flipped) file is
+        # detected before pickle ever sees it
+        store = CacheStore(tmp_path)
+        gen = store.save(_entries(4, 6))
+        gen.rename(tmp_path / ("gen-" + "ab" * 16 + ".rcache"))
+        assert store.load() == {}
+        assert store.counters["corrupt_skipped"] == 1
+
+    def test_unpicklable_payload_is_skipped(self, tmp_path):
+        import hashlib
+
+        store = CacheStore(tmp_path)
+        payload = (
+            f"smartly-rcache {STORE_FORMAT} {SCHEME_FINGERPRINT}\n".encode()
+            + b"this is not a pickle"
+        )
+        digest = hashlib.blake2b(payload, digest_size=16).hexdigest()
+        (tmp_path / f"gen-{digest}.rcache").write_bytes(payload)
+        assert store.load() == {}
+        assert store.counters["corrupt_skipped"] == 1
+
+    def test_non_dict_payload_is_skipped(self, tmp_path):
+        import hashlib
+
+        store = CacheStore(tmp_path)
+        payload = (
+            f"smartly-rcache {STORE_FORMAT} {SCHEME_FINGERPRINT}\n".encode()
+            + pickle.dumps(["a", "list"])
+        )
+        digest = hashlib.blake2b(payload, digest_size=16).hexdigest()
+        (tmp_path / f"gen-{digest}.rcache").write_bytes(payload)
+        assert store.load() == {}
+        assert store.counters["corrupt_skipped"] == 1
+
+    def test_wrong_scheme_is_incompatible_not_corrupt(self, tmp_path):
+        writer = CacheStore(tmp_path, scheme="structural/other-hash/v9")
+        writer.save(_entries(5, 8))
+        reader = CacheStore(tmp_path)  # current SCHEME_FINGERPRINT
+        assert reader.load() == {}
+        assert reader.counters["incompatible_skipped"] == 1
+        assert "corrupt_skipped" not in reader.counters
+
+    def test_wrong_format_version_is_incompatible(self, tmp_path):
+        import hashlib
+
+        payload = (
+            f"smartly-rcache {STORE_FORMAT + 1} {SCHEME_FINGERPRINT}\n"
+        ).encode() + pickle.dumps(_entries(6, 2))
+        digest = hashlib.blake2b(payload, digest_size=16).hexdigest()
+        (tmp_path / f"gen-{digest}.rcache").write_bytes(payload)
+        store = CacheStore(tmp_path)
+        assert store.load() == {}
+        assert store.counters["incompatible_skipped"] == 1
+
+    def test_mixed_rot_still_loads_the_healthy_rest(self, tmp_path):
+        store = CacheStore(tmp_path)
+        healthy_a, healthy_b = _entries(7, 4), _entries(8, 4)
+        store.save(healthy_a)
+        victim = store.save(_entries(9, 4))
+        store.save(healthy_b)
+        victim.write_bytes(b"torn")
+        # plus a foreign file that does not match the gen-*.rcache shape:
+        # ignored entirely, not even counted
+        (tmp_path / "README.txt").write_text("hands off")
+        loaded = store.load()
+        assert loaded == {**healthy_a, **healthy_b}
+        assert store.counters["corrupt_skipped"] == 1
+        assert store.counters["loaded_files"] == 2
+
+
+class TestGC:
+    def test_gc_keeps_newest_n(self, tmp_path):
+        store = CacheStore(tmp_path)
+        gens = [store.save(_entries(seed, 3)) for seed in range(6)]
+        for age, gen in enumerate(reversed(gens)):
+            _age(gen, age * 10)
+        removed = store.gc(keep_generations=2)
+        assert removed == 4
+        survivors = store.generations()
+        assert survivors == gens[-2:]
+        assert store.counters["gc_removed"] == 4
+
+    def test_gc_zero_empties_the_store(self, tmp_path):
+        store = CacheStore(tmp_path)
+        for seed in range(3):
+            store.save(_entries(seed, 2))
+        assert store.gc(keep_generations=0) == 3
+        assert store.generations() == []
+
+    def test_gc_reaps_orphaned_temp_files(self, tmp_path):
+        store = CacheStore(tmp_path)
+        gen = store.save(_entries(1, 2))
+        orphan = tmp_path / ".tmp-gen-crashed-writer.tmp"
+        orphan.write_bytes(b"half a generation")
+        removed = store.gc(keep_generations=DEFAULT_KEEP_GENERATIONS)
+        assert removed == 1
+        assert not orphan.exists()
+        assert gen.exists()
+
+    def test_gc_under_keep_is_noop(self, tmp_path):
+        store = CacheStore(tmp_path)
+        store.save(_entries(1, 2))
+        assert store.gc(keep_generations=8) == 0
+        assert len(store.generations()) == 1
+
+    def test_gc_rejects_negative_keep(self, tmp_path):
+        with pytest.raises(ValueError):
+            CacheStore(tmp_path).gc(keep_generations=-1)
+
+
+class TestAtomicWrite:
+    def test_atomic_write_text_round_trip(self, tmp_path):
+        target = tmp_path / "deep" / "out.v"
+        atomic_write_text(target, "module m; endmodule\n")
+        assert target.read_text() == "module m; endmodule\n"
+
+    def test_atomic_write_replaces_existing(self, tmp_path):
+        target = tmp_path / "out.json"
+        atomic_write_text(target, "old")
+        atomic_write_text(target, "new contents")
+        assert target.read_text() == "new contents"
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        atomic_write_bytes(tmp_path / "blob.bin", b"\x00" * 1024)
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["blob.bin"]
+
+    def test_failed_write_leaves_target_untouched(self, tmp_path):
+        target = tmp_path / "artifact.txt"
+        atomic_write_text(target, "good")
+
+        class Exploding:
+            def encode(self, encoding):
+                raise RuntimeError("simulated serialization crash")
+
+        with pytest.raises(RuntimeError):
+            atomic_write_text(target, Exploding())
+        assert target.read_text() == "good"
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["artifact.txt"]
+
+
+class TestRoundTripProperty:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_randomized_save_load_gc_round_trip(self, tmp_path, seed):
+        """Random save/gc interleavings: load() always returns exactly the
+        union of the surviving generations, no matter the history."""
+        rng = random.Random(seed)
+        store = CacheStore(tmp_path)
+        written: dict = {}  # path -> entries it holds
+        clock = [0.0]
+        for step in range(rng.randrange(3, 9)):
+            if written and rng.random() < 0.3:
+                keep = rng.randrange(0, len(written) + 1)
+                store.gc(keep_generations=keep)
+                alive = set(store.generations())
+                written = {p: e for p, e in written.items() if p in alive}
+            else:
+                delta = _entries(rng.randrange(1 << 16), rng.randrange(1, 9))
+                gen = store.save(delta)
+                clock[0] += 10
+                _age(gen, -clock[0])  # strictly increasing mtimes
+                written[gen] = delta
+        expected: dict = {}
+        for entries in written.values():
+            expected.update(entries)
+        assert CacheStore(tmp_path).load() == expected

@@ -1,0 +1,334 @@
+"""FlowServer: the JSON-lines serve daemon.
+
+``serve_lines`` is transport-free, so the protocol tests drive it with
+plain lists of request lines and collect the emitted dicts — accepted /
+event / result ordering, malformed-input tolerance, flush/stats/shutdown
+semantics, replay across daemon restarts through a shared store.  The
+transports get their own coverage: a live localhost socket session and a
+subprocess smoke of ``python -m repro.cli serve`` over stdin pipes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.api import FlowServer, Session, serve_socket
+from repro.frontend import compile_verilog
+
+MUX_SOURCE = (
+    "module m(input [1:0] s, input [3:0] a, b, output reg [3:0] y);"
+    " always @* begin case (s) 2'b00: y = a; 2'b01: y = b;"
+    " default: y = a; endcase end endmodule"
+)
+
+HIER_SOURCE = (
+    "module leaf(input [1:0] s, input [3:0] a, b, output reg [3:0] y);"
+    " always @* begin case (s) 2'b00: y = a; 2'b01: y = b;"
+    " default: y = a; endcase end endmodule\n"
+    "module top(input [1:0] s, input [3:0] a, b, output [3:0] y0, y1);"
+    " leaf u0(.s(s), .a(a), .b(b), .y(y0));"
+    " leaf u1(.s(s), .a(a), .b(b), .y(y1));"
+    " endmodule"
+)
+
+
+def request(**fields) -> str:
+    return json.dumps(fields)
+
+
+def drive(server: FlowServer, lines) -> tuple:
+    """Run one serve session in-process; returns (responses, stopped)."""
+    responses = []
+    stopped = server.serve_lines(lines, responses.append)
+    return responses, stopped
+
+
+def by_type(responses, kind):
+    return [r for r in responses if r["type"] == kind]
+
+
+class TestProtocol:
+    def test_run_job_streams_accepted_events_result(self):
+        server = FlowServer(max_workers=1)
+        responses, stopped = drive(server, [
+            request(op="run", id="j1", source=MUX_SOURCE, flow="smartly"),
+            request(op="shutdown"),
+        ])
+        assert stopped is True
+        kinds = [r["type"] for r in responses]
+        assert kinds[0] == "accepted" and kinds[-1] == "bye"
+        (result,) = by_type(responses, "result")
+        assert result["id"] == "j1" and result["op"] == "run"
+        assert result["replayed"] is False
+        assert result["report"]["converged"] is True
+        events = by_type(responses, "event")
+        assert events, "pass-level progress must stream by default"
+        assert all(e["id"] == "j1" for e in events)
+        assert kinds.index("accepted") < kinds.index("event")
+        assert kinds.index("event") < kinds.index("result")
+
+    def test_result_area_matches_direct_session(self):
+        server = FlowServer(max_workers=1)
+        responses, _ = drive(server, [
+            request(op="run", id="j", source=MUX_SOURCE, flow="smartly",
+                    events=False),
+        ])
+        (result,) = by_type(responses, "result")
+        design = compile_verilog(MUX_SOURCE)
+        direct = Session(design.top).run("smartly")
+        assert result["report"]["optimized_area"] == direct.optimized_area
+        assert result["report"]["original_area"] == direct.original_area
+
+    def test_events_false_suppresses_event_lines(self):
+        server = FlowServer(max_workers=1)
+        responses, _ = drive(server, [
+            request(op="run", id="q", source=MUX_SOURCE, events=False),
+        ])
+        assert by_type(responses, "event") == []
+        assert len(by_type(responses, "result")) == 1
+
+    def test_duplicate_job_replays_from_shared_cache(self):
+        # max_workers=1 serializes the jobs, so the second sees the
+        # first's delta in the shared cache and replays without a pass
+        server = FlowServer(max_workers=1)
+        responses, _ = drive(server, [
+            request(op="run", id="first", source=MUX_SOURCE, events=False),
+            request(op="run", id="second", source=MUX_SOURCE, events=False),
+        ])
+        results = {r["id"]: r for r in by_type(responses, "result")}
+        assert results["first"]["replayed"] is False
+        assert results["second"]["replayed"] is True
+        assert (
+            results["second"]["report"]["optimized_area"]
+            == results["first"]["report"]["optimized_area"]
+        )
+
+    def test_hier_job_returns_hierarchy_report(self):
+        server = FlowServer(max_workers=1)
+        responses, _ = drive(server, [
+            request(op="hier", id="h", source=HIER_SOURCE, top="top",
+                    events=False),
+        ])
+        (result,) = by_type(responses, "result")
+        report = result["report"]
+        assert result["op"] == "hier"
+        assert report["top"] == "top"
+        assert set(report["reports"]) == {"leaf", "top"}
+        assert report["total_area"] <= report["original_total_area"]
+
+    def test_ping_stats_flush(self):
+        server = FlowServer(max_workers=1)
+        responses, _ = drive(server, [
+            request(op="ping", id="p"),
+            request(op="run", id="j", source=MUX_SOURCE, events=False),
+            request(op="stats", id="s"),
+            request(op="flush", id="f"),
+        ])
+        (pong,) = by_type(responses, "pong")
+        assert pong["id"] == "p"
+        (stats,) = by_type(responses, "stats")
+        assert stats["id"] == "s"
+        assert isinstance(stats["stats"], dict)
+        (flushed,) = by_type(responses, "flushed")
+        # flush drains the in-flight job first, but without a store there
+        # is nothing to persist
+        assert flushed["entries"] == 0
+        assert server.jobs_run == 1
+
+    def test_eof_drains_and_says_bye_without_shutdown(self):
+        server = FlowServer(max_workers=1)
+        responses, stopped = drive(server, [
+            request(op="run", id="j", source=MUX_SOURCE, events=False),
+        ])
+        assert stopped is False  # plain end-of-input: daemon may keep serving
+        assert len(by_type(responses, "result")) == 1
+        (bye,) = by_type(responses, "bye")
+        assert bye["jobs_run"] == 1
+
+
+class TestBadInput:
+    def test_malformed_json_answers_error_and_continues(self):
+        server = FlowServer(max_workers=1)
+        responses, _ = drive(server, [
+            "{this is not json",
+            request(op="ping", id="p"),
+        ])
+        (error,) = by_type(responses, "error")
+        assert "bad JSON" in error["error"]
+        assert by_type(responses, "pong"), "the loop must survive bad lines"
+
+    def test_non_object_request_is_an_error(self):
+        server = FlowServer(max_workers=1)
+        responses, _ = drive(server, ['["a", "list"]'])
+        (error,) = by_type(responses, "error")
+        assert "JSON object" in error["error"]
+
+    def test_unknown_op_is_an_error(self):
+        server = FlowServer(max_workers=1)
+        responses, _ = drive(server, [request(op="reticulate", id="x")])
+        (error,) = by_type(responses, "error")
+        assert error["id"] == "x" and "unknown op" in error["error"]
+
+    def test_missing_source_fails_only_that_job(self):
+        server = FlowServer(max_workers=1)
+        responses, _ = drive(server, [
+            request(op="run", id="bad"),
+            request(op="run", id="good", source=MUX_SOURCE, events=False),
+        ])
+        (error,) = by_type(responses, "error")
+        assert error["id"] == "bad" and "source" in error["error"]
+        (result,) = by_type(responses, "result")
+        assert result["id"] == "good"
+
+    def test_bad_flow_script_is_an_error(self):
+        server = FlowServer(max_workers=1)
+        responses, _ = drive(server, [
+            request(op="run", id="b", source=MUX_SOURCE,
+                    flow="no_such_pass k=;;"),
+        ])
+        (error,) = by_type(responses, "error")
+        assert error["id"] == "b" and "bad flow" in error["error"]
+
+    def test_blank_lines_are_ignored(self):
+        server = FlowServer(max_workers=1)
+        responses, _ = drive(server, ["", "   ", request(op="ping", id="p")])
+        assert [r["type"] for r in responses] == ["pong", "bye"]
+
+
+class TestStoreBackedServe:
+    def test_replay_across_daemon_restarts(self, tmp_path):
+        store_dir = tmp_path / "store"
+        first = FlowServer(store_path=store_dir, max_workers=1)
+        responses, _ = drive(first, [
+            request(op="run", id="cold", source=MUX_SOURCE, events=False),
+            request(op="shutdown"),
+        ])
+        (bye,) = by_type(responses, "bye")
+        assert bye["flushed_entries"] > 0  # shutdown checkpointed the store
+
+        reborn = FlowServer(store_path=store_dir, max_workers=1)
+        responses, _ = drive(reborn, [
+            request(op="run", id="warm", source=MUX_SOURCE, events=False),
+        ])
+        (result,) = by_type(responses, "result")
+        assert result["replayed"] is True
+
+    def test_explicit_flush_checkpoints_without_shutdown(self, tmp_path):
+        from repro.core.store import CacheStore
+
+        store_dir = tmp_path / "store"
+        server = FlowServer(store_path=store_dir, max_workers=1)
+        responses, _ = drive(server, [
+            request(op="run", id="j", source=MUX_SOURCE, events=False),
+            request(op="flush", id="f"),
+        ])
+        (flushed,) = by_type(responses, "flushed")
+        assert flushed["entries"] > 0
+        assert CacheStore(store_dir).load()  # durable before shutdown
+        (bye,) = by_type(responses, "bye")
+        assert bye["flushed_entries"] == 0  # the delta was already flushed
+
+    def test_stats_include_store_counters(self, tmp_path):
+        store_dir = tmp_path / "store"
+        FlowServer(store_path=store_dir, max_workers=1).serve_lines(
+            [request(op="run", id="j", source=MUX_SOURCE, events=False)],
+            lambda _: None,
+        )
+        server = FlowServer(store_path=store_dir, max_workers=1)
+        assert server.stats().get("store_loaded_files", 0) >= 1
+
+
+class TestSocketTransport:
+    def test_socket_session_round_trip(self, tmp_path):
+        server = FlowServer(store_path=tmp_path / "store", max_workers=1)
+        ready = threading.Event()
+        port_box = {}
+
+        def listening(port):
+            port_box["port"] = port
+            ready.set()
+
+        daemon = threading.Thread(
+            target=serve_socket, args=(server,),
+            kwargs={"on_listening": listening}, daemon=True,
+        )
+        daemon.start()
+        assert ready.wait(timeout=10)
+
+        with socket.create_connection(
+            ("127.0.0.1", port_box["port"]), timeout=30
+        ) as conn:
+            rfile = conn.makefile("r", encoding="utf-8")
+            wfile = conn.makefile("w", encoding="utf-8")
+            for line in (
+                request(op="ping", id="p"),
+                request(op="run", id="j", source=MUX_SOURCE, events=False),
+                request(op="shutdown"),
+            ):
+                wfile.write(line + "\n")
+            wfile.flush()
+            conn.shutdown(socket.SHUT_WR)
+            responses = [json.loads(line) for line in rfile]
+        daemon.join(timeout=30)
+        assert not daemon.is_alive(), "shutdown must stop the accept loop"
+        kinds = [r["type"] for r in responses]
+        assert kinds == ["pong", "accepted", "result", "bye"]
+        assert responses[2]["report"]["converged"] is True
+
+
+class TestCliSubprocess:
+    def test_cli_serve_over_stdin_pipes(self, tmp_path):
+        repo_root = Path(__file__).resolve().parents[2]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            str(repo_root / "src") + os.pathsep + env.get("PYTHONPATH", "")
+        )
+        store_dir = tmp_path / "store"
+        lines = "\n".join([
+            request(op="ping", id="p"),
+            request(op="run", id="j1", source=MUX_SOURCE, flow="smartly"),
+            request(op="flush", id="f"),
+            request(op="shutdown"),
+        ]) + "\n"
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--store", str(store_dir), "--jobs", "1"],
+            input=lines, capture_output=True, text=True, timeout=120,
+            env=env,
+        )
+        assert proc.returncode == 0, proc.stderr
+        responses = [json.loads(line) for line in proc.stdout.splitlines()]
+        kinds = [r["type"] for r in responses]
+        assert kinds[0] == "pong" and kinds[-1] == "bye"
+        assert "accepted" in kinds and "result" in kinds and "event" in kinds
+        (result,) = by_type(responses, "result")
+        assert result["id"] == "j1"
+        assert result["report"]["optimized_area"] <= (
+            result["report"]["original_area"]
+        )
+        (flushed,) = by_type(responses, "flushed")
+        assert flushed["entries"] > 0
+
+        # a second daemon process warm-starts from the store and replays
+        proc2 = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--store", str(store_dir), "--jobs", "1"],
+            input=request(op="run", id="j2", source=MUX_SOURCE,
+                          events=False) + "\n",
+            capture_output=True, text=True, timeout=120, env=env,
+        )
+        assert proc2.returncode == 0, proc2.stderr
+        responses2 = [json.loads(line) for line in proc2.stdout.splitlines()]
+        (replay,) = by_type(responses2, "result")
+        assert replay["replayed"] is True
+        assert replay["report"]["optimized_area"] == (
+            result["report"]["optimized_area"]
+        )

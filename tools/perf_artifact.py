@@ -2,9 +2,10 @@
 
 Runs the standalone benchmark entry points —
 ``benchmarks/bench_structhash.py``, ``benchmarks/bench_incremental.py``,
-``benchmarks/bench_design.py`` and ``benchmarks/bench_hierarchy.py`` —
-each with ``--json`` into a temporary file, and folds their payloads
-into a single artifact (``BENCH_6.json`` at the repo root by default).  CI regenerates and
+``benchmarks/bench_design.py``, ``benchmarks/bench_hierarchy.py`` and
+``benchmarks/bench_store.py`` — each with ``--json`` into a temporary
+file, and folds their payloads into a single artifact (``BENCH_7.json``
+at the repo root by default).  CI regenerates and
 uploads it on every run, and the committed copy records the perf
 trajectory per PR; timings are recorded, never gated here (each bench's
 own pytest lane carries the hard thresholds), but a benchmark that fails
@@ -12,7 +13,7 @@ its *correctness* gates — area parity, hit rates — fails this tool too.
 
 Usage::
 
-    PYTHONPATH=src python tools/perf_artifact.py [--output BENCH_6.json]
+    PYTHONPATH=src python tools/perf_artifact.py [--output BENCH_7.json]
 """
 
 from __future__ import annotations
@@ -32,6 +33,7 @@ BENCHES = (
     ("incremental", "benchmarks/bench_incremental.py"),
     ("design", "benchmarks/bench_design.py"),
     ("hierarchy", "benchmarks/bench_hierarchy.py"),
+    ("store", "benchmarks/bench_store.py"),
 )
 
 
@@ -62,16 +64,17 @@ def run_bench(script: str, tmpdir: str) -> dict:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--output", default=str(REPO / "BENCH_6.json"),
-                        help="artifact path (default: BENCH_6.json at the "
+    parser.add_argument("--output", default=str(REPO / "BENCH_7.json"),
+                        help="artifact path (default: BENCH_7.json at the "
                              "repo root)")
     args = parser.parse_args(argv)
 
     artifact = {
-        "artifact": "BENCH_6",
+        "artifact": "BENCH_7",
         "description": "per-PR perf trajectory: structural-signature "
                        "caching, incremental engine, design-scope "
-                       "incrementality, hierarchical instance replay",
+                       "incrementality, hierarchical instance replay, "
+                       "persistent cache store + serve daemon",
         "benches": {},
     }
     with tempfile.TemporaryDirectory() as tmpdir:
@@ -92,6 +95,12 @@ def main(argv=None) -> int:
             ["hierarchy"]["replay"]["dedup_hit_rate_pct"],
         "hierarchy_wallclock_reduction_pct": artifact["benches"]
             ["hierarchy"]["wallclock"]["reduction_pct"],
+        "store_cold_process_replay_rate_pct": artifact["benches"]
+            ["store"]["cold_replay"]["replay_rate_pct"],
+        "store_warm_process_reduction_pct": artifact["benches"]
+            ["store"]["cold_replay"]["reduction_pct"],
+        "serve_restart_replayed": artifact["benches"]
+            ["store"]["serve_smoke"]["restart_replayed"],
     }
     artifact["headlines"] = headlines
 
