@@ -1,0 +1,230 @@
+"""Yosys-JSON ingestion parity and the design-space sweep runner.
+
+Before this PR the flow only consumed natively built modules or our own
+Verilog subset; real-world netlists arrive as ``yosys write_json``
+output.  This benchmark proves the interchange contract and measures the
+DSE runner built on it:
+
+1. **Ingestion parity** — every committed fixture under
+   ``tests/fixtures/yosys_json/`` (our exporter's output for the preset
+   sweep workloads) must re-ingest ``module_signature``-identical to the
+   natively constructed model and optimize to **byte-identical** areas.
+   Read/write throughput is recorded, never gated.
+2. **Sweep grid** — :func:`repro.flow.sweep.run_sweep` expands a
+   flow × sim-threshold grid over two workloads into one shared-baseline
+   suite; every grid cell must be reported and the best grid point must
+   actually reduce area (the reduction percentage is the ``--min-reduction``
+   gate, disabled in CI with ``--min-reduction 0``).
+
+Runable standalone for CI artifacts::
+
+    PYTHONPATH=src python benchmarks/bench_ingest.py --json out.json
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+FIXTURE_DIR = REPO / "tests" / "fixtures" / "yosys_json"
+
+SWEEP_WORKLOADS = ("top_cache_axi", "pci_bridge32")
+SWEEP_FLOWS = ("yosys", "smartly")
+SWEEP_THRESHOLDS = (0, 64)
+SWEEP_WIDTH = 4
+
+
+def _manifest() -> dict:
+    with open(FIXTURE_DIR / "manifest.json") as handle:
+        return json.load(handle)
+
+
+# -- 1. ingestion parity -------------------------------------------------------
+
+
+def measure_ingestion_parity() -> dict:
+    """Fixture corpus -> IR -> optimized area, against the native path."""
+    from repro.api import Session
+    from repro.frontend import load_yosys_json
+    from repro.ir import module_signature, yosys_json_str
+    from repro.workloads import build_case
+
+    manifest = _manifest()
+    width = manifest["width"]
+    cases = {}
+    total_cells = 0
+    read_s = 0.0
+    write_s = 0.0
+    all_identical = True
+    for name in sorted(manifest["cases"]):
+        start = time.perf_counter()
+        ingested = load_yosys_json(str(FIXTURE_DIR / f"{name}.json")).top
+        read_s += time.perf_counter() - start
+
+        native = build_case(name, width=width)
+        start = time.perf_counter()
+        yosys_json_str(native)
+        write_s += time.perf_counter() - start
+
+        identical = module_signature(ingested) == module_signature(native)
+        all_identical &= identical
+        native_report = Session(native).run("yosys")
+        ingested_report = Session(ingested).run("yosys")
+        total_cells += len(native.cells)
+        cases[name] = {
+            "cells": len(native.cells),
+            "signature_identical": identical,
+            "native_area": (native_report.original_area,
+                            native_report.optimized_area),
+            "ingested_area": (ingested_report.original_area,
+                              ingested_report.optimized_area),
+            "areas_identical": (
+                native_report.original_area == ingested_report.original_area
+                and native_report.optimized_area
+                == ingested_report.optimized_area
+            ),
+        }
+    return {
+        "width": width,
+        "cases": cases,
+        "total_cells": total_cells,
+        "read_s": round(read_s, 4),
+        "write_s": round(write_s, 4),
+        "read_cells_per_s": round(total_cells / read_s, 1) if read_s else 0.0,
+        "all_signatures_identical": all_identical,
+        "all_areas_identical": all(
+            row["areas_identical"] for row in cases.values()
+        ),
+    }
+
+
+def test_ingestion_parity(table_report):
+    row = measure_ingestion_parity()
+    lines = [
+        f"fixtures:            {len(row['cases'])} "
+        f"({row['total_cells']} cells, width={row['width']})",
+        f"read throughput:     {row['read_cells_per_s']:.0f} cells/s",
+        f"signatures identical: {row['all_signatures_identical']}",
+        f"areas identical:      {row['all_areas_identical']}",
+    ]
+    table_report.add(
+        "Yosys-JSON ingestion — fixture corpus parity", "\n".join(lines)
+    )
+    assert row["all_signatures_identical"], row
+    assert row["all_areas_identical"], row
+
+
+# -- 2. sweep grid -------------------------------------------------------------
+
+
+def measure_sweep() -> dict:
+    """One flow x sim-threshold grid as a shared-baseline suite."""
+    from repro.flow.sweep import run_sweep
+
+    start = time.perf_counter()
+    report = run_sweep(
+        workloads=list(SWEEP_WORKLOADS),
+        flows=SWEEP_FLOWS,
+        sim_thresholds=SWEEP_THRESHOLDS,
+        width=SWEEP_WIDTH,
+    )
+    elapsed = time.perf_counter() - start
+    totals = report.totals()
+    best_reduction = max(row["reduction"] for row in totals.values())
+    labels = [point.label for point in report.points]
+    return {
+        "workloads": list(report.workloads),
+        "grid_labels": labels,
+        "grid_points": len(labels),
+        "cells_reported": sum(
+            len(per) for per in report.suite.results.values()
+        ),
+        "cells_expected": len(report.workloads) * len(labels),
+        "best": report.best_labels(),
+        "totals": totals,
+        "best_total_reduction_pct": round(100.0 * best_reduction, 2),
+        "elapsed_s": round(elapsed, 4),
+        "suite_runtime_s": round(report.runtime_s, 4),
+    }
+
+
+def test_sweep_grid(table_report):
+    row = measure_sweep()
+    lines = [
+        f"grid: {row['grid_points']} points x "
+        f"{len(row['workloads'])} workloads in {row['elapsed_s']:.2f}s",
+        f"best total reduction: {row['best_total_reduction_pct']:.1f}%",
+        f"best per workload:    {row['best']}",
+    ]
+    table_report.add(
+        "Design-space sweep — flow x threshold grid", "\n".join(lines)
+    )
+    assert row["cells_reported"] == row["cells_expected"], row
+    assert row["best_total_reduction_pct"] > 0.0, row
+
+
+# -- CI entry point ------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    """Standalone run: ingestion-parity + sweep-grid payload."""
+    import argparse
+    import sys
+
+    sys.path.insert(0, str(REPO / "src"))
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", default=None,
+                        help="write the benchmark payload to this file")
+    parser.add_argument("--min-reduction", type=float, default=30.0,
+                        help="fail below this best-grid-point total area "
+                             "reduction percentage (<= 0 disables the "
+                             "gate — what CI uses; parity always gates)")
+    args = parser.parse_args(argv)
+
+    payload = {
+        "workload": {
+            "ingestion": "committed fixture corpus "
+                         "(tests/fixtures/yosys_json)",
+            "sweep": f"{list(SWEEP_FLOWS)} x sim_threshold"
+                     f"{list(SWEEP_THRESHOLDS)} over "
+                     f"{list(SWEEP_WORKLOADS)} (width={SWEEP_WIDTH})",
+        },
+    }
+
+    parity = measure_ingestion_parity()
+    payload["ingestion"] = parity
+    print(f"ingestion parity: {len(parity['cases'])} fixtures, "
+          f"{parity['total_cells']} cells at "
+          f"{parity['read_cells_per_s']:.0f} cells/s, signatures "
+          f"identical: {parity['all_signatures_identical']}, areas "
+          f"identical: {parity['all_areas_identical']}")
+
+    sweep = measure_sweep()
+    payload["sweep"] = sweep
+    print(f"sweep grid: {sweep['grid_points']} points x "
+          f"{len(sweep['workloads'])} workloads in "
+          f"{sweep['elapsed_s']:.2f}s, best total reduction "
+          f"{sweep['best_total_reduction_pct']:.1f}%")
+
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+        print(f"wrote {args.json}")
+
+    if not (parity["all_signatures_identical"]
+            and parity["all_areas_identical"]):
+        return 1
+    if sweep["cells_reported"] != sweep["cells_expected"]:
+        return 1
+    if args.min_reduction <= 0:
+        return 0  # timing/quality recorded, not gated
+    return 0 if sweep["best_total_reduction_pct"] >= args.min_reduction else 1
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -3,26 +3,30 @@
 Every combinational cell type is decomposed into 2-input AND/inverter
 structure with the *same semantics* as the simulator and the Tseitin
 encoder (pmux = priority select, unsigned arithmetic, logical shifts).
+The per-cell decompositions live in the unified cell-semantics registry
+(:mod:`repro.ir.celllib`); :class:`AigMapper` implements the registry's
+:class:`~repro.ir.celllib.LoweringEmitter` protocol and only provides the
+bit-to-literal bookkeeping around it.
 
-Inputs of the AIG are the module's primary inputs plus dff ``Q`` outputs and
-undriven wires; outputs are the module's primary outputs plus dff ``D`` (and
-clock-enable style) inputs, so all register-to-register logic is counted —
-flip-flops themselves contribute no AND nodes, matching the paper's "exclude
-flip-flop gates" accounting.
+Inputs of the AIG are the module's primary inputs plus sequential state
+outputs (dff ``Q``) and undriven wires; outputs are the module's primary
+outputs plus next-state inputs (dff ``D``), so all register-to-register
+logic is counted — flip-flops themselves contribute no AND nodes, matching
+the paper's "exclude flip-flop gates" accounting.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
-from ..ir.cells import CellType, input_ports
+from ..ir import celllib
 from ..ir.module import Cell, Module
-from ..ir.signals import SigBit, SigSpec, State
+from ..ir.signals import SigBit, State
 from ..ir.walker import NetIndex
 from .aig import AIG, FALSE_LIT, TRUE_LIT
 
 
-class AigMapper:
+class AigMapper(celllib.LoweringEmitter):
     """Maps one module into a fresh :class:`AIG`.
 
     The bit-to-literal map is exposed (:attr:`bit_lit`) so equivalence
@@ -51,17 +55,19 @@ class AigMapper:
         """Map the whole module and register outputs; returns the AIG."""
         self._declare_inputs()
         for cell in self.index.topo_cells():
-            self._map_cell(cell)
+            spec = celllib.spec_for(cell.type)
+            if spec.lower is not None:
+                spec.lower(self, cell)
         sigmap = self.index.sigmap
         for wire in self.module.outputs:
             for i in range(wire.width):
                 bit = sigmap.map_bit(SigBit(wire, i))
-                self.aig.add_output(self._lit(bit), f"{wire.name}[{i}]")
+                self.aig.add_output(self.lit(bit), f"{wire.name}[{i}]")
         for cell in self.module.cells.values():
-            if cell.type is CellType.DFF:
-                for i, bit in enumerate(cell.connections["D"]):
+            for pname in celllib.spec_for(cell.type).next_state_ports:
+                for i, bit in enumerate(cell.connections[pname]):
                     self.aig.add_output(
-                        self._lit(sigmap.map_bit(bit)), f"{cell.name}.D[{i}]"
+                        self.lit(sigmap.map_bit(bit)), f"{cell.name}.{pname}[{i}]"
                     )
         # instance bindings are boundary observables: parent cones feeding a
         # child count toward the parent's area (matching what those cones
@@ -70,10 +76,40 @@ class AigMapper:
             for pname in sorted(instance.connections):
                 for i, bit in enumerate(instance.connections[pname]):
                     self.aig.add_output(
-                        self._lit(sigmap.map_bit(bit)),
+                        self.lit(sigmap.map_bit(bit)),
                         f"{instance.name}.{pname}[{i}]",
                     )
         return self.aig
+
+    # -- LoweringEmitter protocol ------------------------------------------------
+
+    def lit(self, bit: SigBit) -> int:
+        cbit = self.index.sigmap.map_bit(bit)
+        if cbit.is_const:
+            if cbit.state is State.S1:
+                return TRUE_LIT
+            # x constants are mapped to 0 (a fixed, documented choice)
+            return FALSE_LIT
+        lit = self.bit_lit.get(cbit)
+        if lit is None:
+            raise KeyError(f"bit {cbit!r} mapped before its driver")
+        return lit
+
+    def port_lits(self, cell: Cell, port: str) -> List[int]:
+        return [self.lit(bit) for bit in cell.connections[port]]
+
+    def set_output(self, cell: Cell, port: str, lits: List[int]) -> None:
+        sigmap = self.index.sigmap
+        for bit, lit in zip(cell.connections[port], lits):
+            self.bit_lit[sigmap.map_bit(bit)] = lit
+
+    @property
+    def false_lit(self) -> int:
+        return FALSE_LIT
+
+    @property
+    def true_lit(self) -> int:
+        return TRUE_LIT
 
     # -- internals ---------------------------------------------------------------
 
@@ -97,9 +133,9 @@ class AigMapper:
                 for i in range(wire.width):
                     declare(SigBit(wire, i), f"{wire.name}[{i}]")
         for cell in self.module.cells.values():
-            if cell.type is CellType.DFF:
-                for i, bit in enumerate(cell.connections["Q"]):
-                    declare(bit, f"{cell.name}.Q[{i}]")
+            for pname in celllib.spec_for(cell.type).state_ports:
+                for i, bit in enumerate(cell.connections[pname]):
+                    declare(bit, f"{cell.name}.{pname}[{i}]")
         # undriven instance binding bits (child-output nets) are sources
         # with deterministic boundary names, shared by the miter builder
         for instance in self.module.instances.values():
@@ -108,165 +144,12 @@ class AigMapper:
                     declare(bit, f"{instance.name}.{pname}[{i}]")
         # any remaining undriven bits read by cells or outputs
         for cell in self.module.cells.values():
-            for pname in input_ports(cell.type):
+            for pname in celllib.spec_for(cell.type).input_ports:
                 for bit in cell.connections[pname]:
                     declare(bit, repr(bit))
         for wire in self.module.outputs:
             for i in range(wire.width):
                 declare(SigBit(wire, i), f"{wire.name}[{i}]")
-
-    def _lit(self, bit: SigBit) -> int:
-        cbit = self.index.sigmap.map_bit(bit)
-        if cbit.is_const:
-            if cbit.state is State.S1:
-                return TRUE_LIT
-            # x constants are mapped to 0 (a fixed, documented choice)
-            return FALSE_LIT
-        lit = self.bit_lit.get(cbit)
-        if lit is None:
-            raise KeyError(f"bit {cbit!r} mapped before its driver")
-        return lit
-
-    def _port_lits(self, cell: Cell, port: str) -> List[int]:
-        return [self._lit(bit) for bit in cell.connections[port]]
-
-    def _set_output(self, cell: Cell, port: str, lits: List[int]) -> None:
-        sigmap = self.index.sigmap
-        for bit, lit in zip(cell.connections[port], lits):
-            self.bit_lit[sigmap.map_bit(bit)] = lit
-
-    def _map_cell(self, cell: Cell) -> None:
-        aig = self.aig
-        t = cell.type
-        if t is CellType.DFF:
-            return
-        if t is CellType.NOT:
-            a = self._port_lits(cell, "A")
-            self._set_output(cell, "Y", [lit ^ 1 for lit in a])
-            return
-        if t in (CellType.AND, CellType.OR, CellType.XOR, CellType.XNOR,
-                 CellType.NAND, CellType.NOR):
-            a = self._port_lits(cell, "A")
-            b = self._port_lits(cell, "B")
-            op = {
-                CellType.AND: aig.and_,
-                CellType.OR: aig.or_,
-                CellType.XOR: aig.xor,
-                CellType.XNOR: aig.xnor,
-                CellType.NAND: lambda x, y: aig.and_(x, y) ^ 1,
-                CellType.NOR: lambda x, y: aig.or_(x, y) ^ 1,
-            }[t]
-            self._set_output(cell, "Y", [op(x, y) for x, y in zip(a, b)])
-            return
-        if t is CellType.MUX:
-            a = self._port_lits(cell, "A")
-            b = self._port_lits(cell, "B")
-            s = self._port_lits(cell, "S")[0]
-            self._set_output(cell, "Y", [aig.mux(x, y, s) for x, y in zip(a, b)])
-            return
-        if t is CellType.PMUX:
-            self._map_pmux(cell)
-            return
-        if t is CellType.EQ:
-            y = self._eq_lit(cell)
-            self._set_output(cell, "Y", [y])
-            return
-        if t is CellType.NE:
-            self._set_output(cell, "Y", [self._eq_lit(cell) ^ 1])
-            return
-        if t is CellType.LT:
-            a = self._port_lits(cell, "A")
-            b = self._port_lits(cell, "B")
-            self._set_output(cell, "Y", [self._ult(a, b)])
-            return
-        if t is CellType.LE:
-            a = self._port_lits(cell, "A")
-            b = self._port_lits(cell, "B")
-            self._set_output(cell, "Y", [self._ult(b, a) ^ 1])
-            return
-        if t is CellType.ADD:
-            a = self._port_lits(cell, "A")
-            b = self._port_lits(cell, "B")
-            self._set_output(cell, "Y", self._ripple_add(a, b, FALSE_LIT))
-            return
-        if t is CellType.SUB:
-            a = self._port_lits(cell, "A")
-            b = [lit ^ 1 for lit in self._port_lits(cell, "B")]
-            self._set_output(cell, "Y", self._ripple_add(a, b, TRUE_LIT))
-            return
-        if t in (CellType.SHL, CellType.SHR):
-            self._map_shift(cell, left=t is CellType.SHL)
-            return
-        if t is CellType.REDUCE_AND:
-            self._set_output(cell, "Y", [aig.and_reduce(self._port_lits(cell, "A"))])
-            return
-        if t in (CellType.REDUCE_OR, CellType.REDUCE_BOOL):
-            self._set_output(cell, "Y", [aig.or_reduce(self._port_lits(cell, "A"))])
-            return
-        if t is CellType.REDUCE_XOR:
-            self._set_output(cell, "Y", [aig.xor_reduce(self._port_lits(cell, "A"))])
-            return
-        if t is CellType.LOGIC_NOT:
-            self._set_output(
-                cell, "Y", [aig.or_reduce(self._port_lits(cell, "A")) ^ 1]
-            )
-            return
-        if t in (CellType.LOGIC_AND, CellType.LOGIC_OR):
-            a_any = aig.or_reduce(self._port_lits(cell, "A"))
-            b_any = aig.or_reduce(self._port_lits(cell, "B"))
-            y = aig.and_(a_any, b_any) if t is CellType.LOGIC_AND else aig.or_(a_any, b_any)
-            self._set_output(cell, "Y", [y])
-            return
-        raise NotImplementedError(f"no AIG mapping for cell type {t}")
-
-    def _map_pmux(self, cell: Cell) -> None:
-        aig = self.aig
-        width = cell.width
-        current = self._port_lits(cell, "A")
-        b = self._port_lits(cell, "B")
-        s = self._port_lits(cell, "S")
-        for i in range(cell.n - 1, -1, -1):
-            branch = b[i * width:(i + 1) * width]
-            current = [aig.mux(cur, br, s[i]) for cur, br in zip(current, branch)]
-        self._set_output(cell, "Y", current)
-
-    def _eq_lit(self, cell: Cell) -> int:
-        a = self._port_lits(cell, "A")
-        b = self._port_lits(cell, "B")
-        return self.aig.and_reduce([self.aig.xnor(x, y) for x, y in zip(a, b)])
-
-    def _ult(self, a: List[int], b: List[int]) -> int:
-        aig = self.aig
-        lt = FALSE_LIT
-        for x, y in zip(a, b):
-            eq = aig.xnor(x, y)
-            lt = aig.or_(aig.and_(x ^ 1, y), aig.and_(eq, lt))
-        return lt
-
-    def _ripple_add(self, a: List[int], b: List[int], carry: int) -> List[int]:
-        aig = self.aig
-        result = []
-        for x, y in zip(a, b):
-            axb = aig.xor(x, y)
-            result.append(aig.xor(axb, carry))
-            carry = aig.or_(aig.and_(x, y), aig.and_(carry, axb))
-        return result
-
-    def _map_shift(self, cell: Cell, left: bool) -> None:
-        aig = self.aig
-        width = cell.width
-        current = self._port_lits(cell, "A")
-        for j, sbit in enumerate(cell.connections["B"]):
-            s = self._lit(sbit)
-            amount = 1 << j
-            if amount >= width:
-                shifted = [FALSE_LIT] * width
-            elif left:
-                shifted = [FALSE_LIT] * amount + current[: width - amount]
-            else:
-                shifted = current[amount:] + [FALSE_LIT] * amount
-            current = [aig.mux(cur, sh, s) for cur, sh in zip(current, shifted)]
-        self._set_output(cell, "Y", current)
 
 
 def aig_map(module: Module, index: Optional[NetIndex] = None) -> AIG:

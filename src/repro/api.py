@@ -62,7 +62,18 @@ from .flow.spec import (
     PRESETS,
     resolve_flow,
 )
+from .flow.sweep import (
+    PRESET_WORKLOADS,
+    PRESET_WORKLOAD_NAMES,
+    SweepPoint,
+    SweepReport,
+    expand_grid,
+    preset_workloads,
+    run_sweep,
+)
+from .frontend.yosys_json import YosysJsonError, load_yosys_json, read_yosys_json
 from .ir.design import Design
+from .ir.json_writer import write_yosys_json, yosys_json_dict, yosys_json_str
 from .ir.hierarchy import HierarchyError, HierarchyInfo, flatten, hierarchy
 
 __all__ = [
@@ -81,6 +92,8 @@ __all__ = [
     "JsonLinesObserver",
     "PRESETS",
     "PRESET_NAMES",
+    "PRESET_WORKLOADS",
+    "PRESET_WORKLOAD_NAMES",
     "PassRecord",
     "PassStep",
     "PrintObserver",
@@ -88,15 +101,26 @@ __all__ = [
     "Session",
     "SmartlyOptions",
     "SuiteReport",
+    "SweepPoint",
+    "SweepReport",
+    "YosysJsonError",
     "atomic_write_bytes",
     "atomic_write_text",
+    "expand_grid",
     "flatten",
     "hierarchy",
+    "load_yosys_json",
+    "preset_workloads",
+    "read_yosys_json",
     "render_industrial",
     "render_table2",
     "render_table3",
     "resolve_flow",
+    "run_sweep",
     "serve_socket",
     "serve_stdin",
     "suite_cases",
+    "write_yosys_json",
+    "yosys_json_dict",
+    "yosys_json_str",
 ]

@@ -12,6 +12,7 @@
     smartly fuzz [--iterations N] [--seed-base S] [--json]
     smartly hier design.v [--top NAME] [--optimizer smartly] [--check] [--json]
     smartly serve [--store DIR] [--jobs N] [--port P]
+    smartly sweep [--flow F ...] [-k K ...] [--sim-threshold N ...] [--workload W ...]
 
 ``opt``/``script`` run declarative flows through the :mod:`repro.api`
 Session layer; ``script`` accepts any Yosys-like flow script.  The ``bench``
@@ -26,6 +27,16 @@ with the result cache persisted across restarts via ``--store`` (see
 :mod:`repro.flow.serve`).  ``opt``/``script``/``hier`` accept the same
 ``--store DIR`` to warm-start one-shot runs from (and contribute back to)
 that persistent cache.
+
+``sweep`` is the design-space-exploration runner: it expands a
+``flow × k × sim-threshold × workload`` grid into one shared-baseline
+parallel suite and renders a comparative Markdown/JSON report (see
+:mod:`repro.flow.sweep`).
+
+Design inputs are Verilog (``.v``), Yosys ``write_json`` netlists
+(``.json``), or ASCII AIGER (``.aag``) — sniffed from the suffix and
+content, or forced with ``--format``.  ``write --output foo.json`` (or
+``--output-format json``) exports Yosys JSON instead of Verilog.
 
 Artifacts written to ``--output`` paths go through
 :func:`repro.core.store.atomic_write_text`, so an interrupted run never
@@ -51,16 +62,49 @@ from .frontend import compile_verilog
 from .workloads import CASE_NAMES, build_case, build_industrial
 
 
-def _load_module(path: str, top: Optional[str]):
-    """Load Verilog (.v) or ASCII AIGER (.aag) into a netlist module."""
+#: ``--format`` choices for design inputs (``auto`` sniffs suffix/content)
+INPUT_FORMATS = ("auto", "verilog", "json", "aiger")
+
+
+def _detect_format(path: str, text: str) -> str:
+    """Sniff a design file's format from its suffix, then its content."""
+    if path.endswith(".json"):
+        return "json"
+    if path.endswith(".aag"):
+        return "aiger"
+    if path.endswith(".v"):
+        return "verilog"
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        return "json"
+    if text.startswith("aag "):
+        return "aiger"
+    return "verilog"
+
+
+def _load_design(path: str, top: Optional[str], fmt: str = "auto"):
+    """Load Verilog (.v), Yosys JSON (.json), or ASCII AIGER (.aag)
+    into a :class:`~repro.ir.design.Design`."""
     with open(path) as handle:
         text = handle.read()
-    if path.endswith(".aag") or text.startswith("aag "):
-        from .aig import aig_to_module, read_aiger
+    if fmt in (None, "auto"):
+        fmt = _detect_format(path, text)
+    if fmt == "json":
+        from .frontend import read_yosys_json
 
-        return aig_to_module(read_aiger(text), name=top or "from_aig")
-    design = compile_verilog(text, top=top)
-    return design.top
+        return read_yosys_json(text, top=top)
+    if fmt == "aiger":
+        from .aig import aig_to_module, read_aiger
+        from .ir import Design
+
+        module = aig_to_module(read_aiger(text), name=top or "from_aig")
+        return Design(top=module)
+    return compile_verilog(text, top=top)
+
+
+def _load_module(path: str, top: Optional[str], fmt: str = "auto"):
+    """Load a design file and return its top module."""
+    return _load_design(path, top, fmt).top
 
 
 def _run_and_report(module, flow, check: bool, as_json: bool,
@@ -101,8 +145,8 @@ def _run_and_report(module, flow, check: bool, as_json: bool,
 
 
 def cmd_opt(args: argparse.Namespace) -> int:
-    """Optimize one Verilog/AIGER file with a preset and report areas."""
-    module = _load_module(args.source, args.top)
+    """Optimize one Verilog/JSON/AIGER file with a preset and report areas."""
+    module = _load_module(args.source, args.top, args.format)
     return _run_and_report(module, args.optimizer, args.check, args.json,
                            args.verbose, args.engine, args.store)
 
@@ -119,7 +163,7 @@ def cmd_script(args: argparse.Namespace) -> int:
     except FlowScriptError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    module = _load_module(args.source, args.top)
+    module = _load_module(args.source, args.top, args.format)
     return _run_and_report(module, spec, args.check, args.json, args.verbose,
                            args.engine, args.store)
 
@@ -153,17 +197,26 @@ def cmd_aig(args: argparse.Namespace) -> int:
 
 
 def cmd_write(args: argparse.Namespace) -> int:
-    """Optimize (optionally) and write structural Verilog."""
+    """Optimize (optionally) and write structural Verilog or Yosys JSON."""
     from .flow.pipeline import optimize
-    from .ir import verilog_str
+    from .ir import verilog_str, yosys_json_str
 
     module = _load_module(args.source, args.top)
     if args.optimizer != "none":
         optimize(module, args.optimizer)
-    text = verilog_str(module)
+    out_format = args.output_format
+    if out_format == "auto":
+        out_format = (
+            "json" if args.output and args.output.endswith(".json")
+            else "verilog"
+        )
+    if out_format == "json":
+        text = yosys_json_str(module)
+    else:
+        text = verilog_str(module)
     if args.output:
         atomic_write_text(args.output, text)
-        print(f"wrote {args.output} ({args.optimizer})")
+        print(f"wrote {args.output} ({args.optimizer}, {out_format})")
     else:
         sys.stdout.write(text)
     return 0
@@ -203,7 +256,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         )
 
     report = run_differential(
-        seeds, on_result=progress if args.verbose else None
+        seeds, on_result=progress if args.verbose else None, roundtrip=True
     )
     if args.json:
         print(report.to_json(indent=2))
@@ -228,8 +281,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
 
 def cmd_hier(args: argparse.Namespace) -> int:
     """Optimize a hierarchical design bottom-up with instance replay."""
-    with open(args.source) as handle:
-        design = compile_verilog(handle.read(), top=args.top)
+    design = _load_design(args.source, args.top, args.format)
     session = Session(design, store_path=args.store)
     try:
         report = session.run_hierarchy(
@@ -338,6 +390,40 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run a flow × k × sim-threshold DSE grid over preset workloads."""
+    from .flow.sweep import run_sweep
+
+    try:
+        report = run_sweep(
+            workloads=args.workloads or None,
+            flows=args.flows or ("yosys", "smartly"),
+            ks=args.k or (),
+            sim_thresholds=args.sim_threshold or (),
+            width=args.width,
+            max_workers=args.jobs,
+            executor=args.executor,
+            check=args.check,
+            store_path=args.store,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.output_json:
+        atomic_write_text(args.output_json, report.to_json(indent=2) + "\n")
+        print(f"wrote {args.output_json}", file=sys.stderr)
+    if args.output_markdown:
+        atomic_write_text(args.output_markdown, report.to_markdown())
+        print(f"wrote {args.output_markdown}", file=sys.stderr)
+    if args.json:
+        print(report.to_json(indent=2))
+    else:
+        sys.stdout.write(report.to_markdown())
+        print(f"suite caches: "
+              f"{_format_cache_stats(report.suite.cache_stats)}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse command tree (one sub-parser per subcommand)."""
     parser = argparse.ArgumentParser(
@@ -363,6 +449,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_opt.add_argument("--store", default=None, metavar="DIR",
                        help="persistent result-cache directory: warm-start "
                             "from it and write this run's delta back")
+    p_opt.add_argument("--format", choices=INPUT_FORMATS, default="auto",
+                       help="input format (default: sniff suffix/content)")
     p_opt.set_defaults(func=cmd_opt)
 
     p_script = sub.add_parser(
@@ -386,6 +474,8 @@ def build_parser() -> argparse.ArgumentParser:
                           help="persistent result-cache directory: "
                                "warm-start from it and write this run's "
                                "delta back")
+    p_script.add_argument("--format", choices=INPUT_FORMATS, default="auto",
+                          help="input format (default: sniff suffix/content)")
     p_script.set_defaults(func=cmd_script)
 
     p_stats = sub.add_parser("stats", help="print cell and AIG statistics")
@@ -406,6 +496,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_write.add_argument("--top", default=None)
     p_write.add_argument("--optimizer", choices=OPTIMIZERS, default="smartly")
     p_write.add_argument("-o", "--output", default=None)
+    p_write.add_argument("--output-format", choices=("auto", "verilog", "json"),
+                         default="auto",
+                         help="netlist format: Verilog or Yosys JSON "
+                              "(default: json when --output ends in .json)")
     p_write.set_defaults(func=cmd_write)
 
     p_equiv = sub.add_parser(
@@ -456,6 +550,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_hier.add_argument("--store", default=None, metavar="DIR",
                         help="persistent result-cache directory: warm-start "
                              "from it and write this run's delta back")
+    p_hier.add_argument("--format", choices=INPUT_FORMATS, default="auto",
+                        help="input format (default: sniff suffix/content)")
     p_hier.set_defaults(func=cmd_hier)
 
     p_serve = sub.add_parser(
@@ -480,6 +576,48 @@ def build_parser() -> argparse.ArgumentParser:
                          help="store generations kept by gc at each "
                               "checkpoint (default: 32)")
     p_serve.set_defaults(func=cmd_serve)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="design-space sweep: a flow x k x sim-threshold grid over "
+             "preset workloads, one shared-baseline parallel suite",
+    )
+    p_sweep.add_argument("--flow", dest="flows", action="append",
+                         default=None, metavar="NAME",
+                         help="flow preset or script to sweep (repeatable; "
+                              "default: yosys + smartly)")
+    p_sweep.add_argument("--workload", dest="workloads", action="append",
+                         default=None, choices=CASE_NAMES, metavar="NAME",
+                         help="preset workload model (repeatable; default: "
+                              "the five primary IWLS cases)")
+    p_sweep.add_argument("-k", action="append", type=int, default=None,
+                         metavar="K",
+                         help="smartly cut-size value (repeatable; expands "
+                              "the smartly-family grid)")
+    p_sweep.add_argument("--sim-threshold", action="append", type=int,
+                         default=None, metavar="N",
+                         help="smartly simulation threshold (repeatable)")
+    p_sweep.add_argument("--width", type=int, default=8,
+                         help="workload model bit-width (default: 8)")
+    p_sweep.add_argument("-j", "--jobs", type=int, default=None,
+                         help="parallel suite workers (default: auto)")
+    p_sweep.add_argument("--executor", choices=("thread", "process"),
+                         default="thread",
+                         help="worker pool: GIL-bound threads (default) or "
+                              "a process pool for real CPU parallelism")
+    p_sweep.add_argument("--check", action="store_true",
+                         help="SAT-prove every grid point's result")
+    p_sweep.add_argument("--json", action="store_true",
+                         help="print the SweepReport as JSON instead of "
+                              "the Markdown table")
+    p_sweep.add_argument("--output-json", default=None, metavar="PATH",
+                         help="also write the JSON report to PATH")
+    p_sweep.add_argument("--output-markdown", default=None, metavar="PATH",
+                         help="also write the Markdown report to PATH")
+    p_sweep.add_argument("--store", default=None, metavar="DIR",
+                         help="persistent result-cache directory: warm-start "
+                              "from it and write this sweep's delta back")
+    p_sweep.set_defaults(func=cmd_sweep)
     return parser
 
 

@@ -140,6 +140,29 @@ class DifferentialReport:
         return json.dumps(self.to_dict(), **kwargs)
 
 
+def roundtrip_result(seed: int, golden: Module) -> DifferentialResult:
+    """The Yosys-JSON round-trip lane: ``read(write(m))`` must be
+    ``module_signature``-identical to ``m`` (exact structure, not just
+    SAT equivalence — the exporter/reader pair may not rewrite anything).
+    """
+    from ..frontend.yosys_json import read_yosys_json
+    from ..ir.json_writer import yosys_json_str
+    from ..ir.struct_hash import module_signature
+
+    restored = read_yosys_json(yosys_json_str(golden)).top
+    identical = module_signature(restored) == module_signature(golden)
+    return DifferentialResult(
+        seed=seed,
+        flow="json-roundtrip",
+        case_name=golden.name,
+        original_area=0,
+        optimized_area=0,
+        equivalent=identical,
+        undecided=False,
+        method="struct_hash",
+    )
+
+
 def run_differential(
     seeds: Iterable[int],
     flows: Sequence[Union[str, FlowSpec]] = PRESET_NAMES,
@@ -150,6 +173,7 @@ def run_differential(
     max_conflicts: Optional[int] = None,
     oracle: Optional[SatOracle] = None,
     on_result: Optional[Callable[[DifferentialResult], None]] = None,
+    roundtrip: bool = False,
 ) -> DifferentialReport:
     """Run the differential harness over ``seeds`` × ``flows``.
 
@@ -157,6 +181,10 @@ def run_differential(
     golden reference for every check, so flows cannot mask each other's
     bugs.  A shared :class:`~repro.sat.oracle.SatOracle` accumulates
     CEC counters for the whole session (reported in the result).
+
+    ``roundtrip=True`` adds one ``json-roundtrip`` lane per seed: the
+    golden module must survive Yosys-JSON export + re-ingestion with an
+    identical structural signature (see :func:`roundtrip_result`).
     """
     from ..flow.session import Session  # local import: flow layer is optional
     from .cec import check_equivalence
@@ -166,6 +194,11 @@ def run_differential(
     report = DifferentialReport()
     for seed in seeds:
         golden = random_module(seed, width=width, n_units=n_units)
+        if roundtrip:
+            result = roundtrip_result(seed, golden)
+            report.results.append(result)
+            if on_result is not None:
+                on_result(result)
         for flow in flows:
             module = golden.clone()
             run = Session(module).run(flow)
@@ -205,5 +238,6 @@ __all__ = [
     "DifferentialReport",
     "DifferentialResult",
     "random_module",
+    "roundtrip_result",
     "run_differential",
 ]

@@ -20,6 +20,15 @@ from .spec import (
     PRESETS,
     resolve_flow,
 )
+from .sweep import (
+    PRESET_WORKLOADS,
+    PRESET_WORKLOAD_NAMES,
+    SweepPoint,
+    SweepReport,
+    expand_grid,
+    preset_workloads,
+    run_sweep,
+)
 
 __all__ = [
     "EquivalenceError",
@@ -30,12 +39,19 @@ __all__ = [
     "OPTIMIZERS",
     "PRESETS",
     "PRESET_NAMES",
+    "PRESET_WORKLOADS",
+    "PRESET_WORKLOAD_NAMES",
     "PassRecord",
     "PassStep",
     "RunReport",
     "Session",
     "SuiteReport",
+    "SweepPoint",
+    "SweepReport",
+    "expand_grid",
     "optimize",
+    "preset_workloads",
+    "run_sweep",
     "render_industrial",
     "render_table2",
     "render_table3",

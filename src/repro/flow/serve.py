@@ -20,9 +20,12 @@ after, across restarts and machines sharing the directory.
 an ``id`` (echoed verbatim on every related response so interleaved
 streams demultiplex):
 
-``{"op": "run", "source": <verilog>, "flow": <preset or script>,
-"check": bool, "top": <name>, "events": bool}``
-    Compile ``source`` and run ``flow`` (default ``"smartly"``) over the
+``{"op": "run", "source": <verilog or yosys json>, "flow": <preset or
+script>, "check": bool, "top": <name>, "events": bool,
+"format": "auto"|"verilog"|"json"}``
+    Compile ``source`` — Verilog text, or a Yosys ``write_json`` netlist
+    when ``format`` is ``"json"`` (``"auto"``, the default, sniffs a
+    leading ``{``) — and run ``flow`` (default ``"smartly"``) over the
     top module.  Streams ``accepted`` immediately, ``event`` lines while
     the job runs (suppressed with ``"events": false``), then one
     ``result`` carrying the :class:`~repro.flow.session.RunReport` dict
@@ -64,6 +67,20 @@ from .spec import FlowScriptError, resolve_flow
 
 #: response writer: one JSON-serializable dict per call, one line each
 Writer = Callable[[Dict[str, Any]], None]
+
+
+def _compile_source(source: str, top: Optional[str], fmt: str):
+    """Compile a job's design text: Verilog, or a Yosys JSON netlist when
+    the request says ``"format": "json"`` (or the text looks like one)."""
+    from ..frontend import compile_verilog, read_yosys_json
+
+    if fmt == "auto":
+        fmt = "json" if source.lstrip().startswith("{") else "verilog"
+    if fmt == "json":
+        return read_yosys_json(source, top=top)
+    if fmt == "verilog":
+        return compile_verilog(source, top=top)
+    raise ValueError(f"unknown source format {fmt!r}")
 
 
 class FlowServer:
@@ -138,18 +155,16 @@ class FlowServer:
         """Run one ``run``/``hier`` job in a private warm-started
         sub-session; returns the ``result`` payload (exceptions are the
         caller's to convert into ``error`` responses)."""
-        from ..frontend import compile_verilog
-
         rid = request.get("id")
         op = request["op"]
         source = request.get("source")
         if not isinstance(source, str) or not source.strip():
-            raise ValueError("missing 'source' (Verilog text)")
+            raise ValueError("missing 'source' (Verilog or Yosys JSON text)")
         flow = request.get("flow", "smartly")
         check = bool(request.get("check", False))
         top = request.get("top")
         spec = resolve_flow(flow, options=self.options)
-        design = compile_verilog(source, top=top)
+        design = _compile_source(source, top, request.get("format", "auto"))
         bus = EventBus()
         if request.get("events", True):
             bus.subscribe(

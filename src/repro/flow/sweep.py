@@ -1,0 +1,318 @@
+"""Design-space-exploration sweep runner (the xeda ``flow_runner`` idiom).
+
+A *sweep* expands a ``(flow × k × sim_threshold × workload)`` grid into
+one parallel :meth:`~repro.flow.session.Session.run_suite` call — so all
+grid points share each workload's single cached baseline AIG, the
+PR 5 warm-start snapshot, and (via ``store_path``) the PR 7 on-disk
+cache — and renders the outcome as a comparative JSON + Markdown report:
+optimized area per grid point, the best flow per workload, and totals.
+
+Grid semantics: the smaRTLy-family presets (``smartly``,
+``smartly-sat``, ``smartly-rebuild``) get one grid point per
+``(k, sim_threshold)`` pair, labelled ``smartly[k=6,sim=0]``; flows the
+knobs cannot affect (``none``, ``yosys``, plain flow scripts) contribute
+exactly one point each.  Every point is a renamed
+:class:`~repro.flow.spec.FlowSpec` preset, so results stay keyed by a
+stable, human-readable label.
+
+``PRESET_WORKLOADS`` names five deterministic IWLS workload models
+(:func:`repro.workloads.build_case`) used by the CLI default grid, the
+committed Yosys-JSON fixture corpus, and the native-vs-ingested area
+parity acceptance test.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from functools import partial
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from ..workloads import CASE_NAMES, build_case
+from .session import RunReport, Session, SuiteReport
+from .spec import FlowSpec, PRESETS, resolve_flow
+
+#: preset names whose pipelines contain a tunable smaRTLy stage
+SMARTLY_PRESETS = ("smartly-sat", "smartly-rebuild", "smartly")
+
+#: the five deterministic preset workloads (first five Table-2 cases)
+PRESET_WORKLOAD_NAMES: Tuple[str, ...] = tuple(CASE_NAMES[:5])
+
+
+def preset_workloads(
+    names: Optional[Sequence[str]] = None, width: int = 8
+) -> Dict[str, Callable[[], Any]]:
+    """Named deterministic workload factories for sweeps and fixtures."""
+    selected = tuple(names) if names is not None else PRESET_WORKLOAD_NAMES
+    unknown = [name for name in selected if name not in CASE_NAMES]
+    if unknown:
+        raise ValueError(
+            f"unknown workloads {unknown}; choose from {list(CASE_NAMES)}"
+        )
+    return {name: partial(build_case, name, width=width) for name in selected}
+
+
+PRESET_WORKLOADS: Dict[str, Callable[[], Any]] = preset_workloads()
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point: a labelled flow variant plus the knobs it encodes."""
+
+    label: str
+    flow: str
+    spec: FlowSpec
+    k: Optional[int] = None
+    sim_threshold: Optional[int] = None
+
+    def params(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"flow": self.flow}
+        if self.k is not None:
+            payload["k"] = self.k
+        if self.sim_threshold is not None:
+            payload["sim_threshold"] = self.sim_threshold
+        return payload
+
+
+def expand_grid(
+    flows: Sequence[Union[str, FlowSpec]],
+    ks: Sequence[int] = (),
+    sim_thresholds: Sequence[int] = (),
+) -> List[SweepPoint]:
+    """Expand flow names × knob values into labelled :class:`SweepPoint`\\ s.
+
+    Duplicate labels (e.g. the same preset listed twice) are rejected up
+    front — suite results are keyed by label.
+    """
+    points: List[SweepPoint] = []
+    for flow in flows:
+        name = flow if isinstance(flow, str) else flow.label
+        if isinstance(flow, str) and flow in SMARTLY_PRESETS and (
+            ks or sim_thresholds
+        ):
+            for k in ks or (None,):
+                for threshold in sim_thresholds or (None,):
+                    overrides: Dict[str, Any] = {}
+                    tags: List[str] = []
+                    if k is not None:
+                        overrides["k"] = k
+                        tags.append(f"k={k}")
+                    if threshold is not None:
+                        overrides["sim_threshold"] = threshold
+                        tags.append(f"sim={threshold}")
+                    base = FlowSpec.preset(flow, **overrides)
+                    label = f"{flow}[{','.join(tags)}]"
+                    points.append(SweepPoint(
+                        label=label,
+                        flow=flow,
+                        spec=FlowSpec(
+                            base.steps,
+                            fixpoint=base.fixpoint,
+                            max_rounds=base.max_rounds,
+                            name=label,
+                        ),
+                        k=k,
+                        sim_threshold=threshold,
+                    ))
+        else:
+            # knob-free flows (none/yosys/scripts/specs): one point each
+            spec = resolve_flow(flow)
+            points.append(SweepPoint(label=spec.label, flow=name, spec=spec))
+    labels = [point.label for point in points]
+    duplicates = sorted({label for label in labels if labels.count(label) > 1})
+    if duplicates:
+        raise ValueError(f"duplicate grid labels {duplicates}")
+    return points
+
+
+@dataclass(frozen=True)
+class SweepReport:
+    """Results of one sweep: the grid, per-(workload × point) reports, and
+    comparative aggregates (best point per workload, per-point totals)."""
+
+    points: List[SweepPoint]
+    suite: SuiteReport
+    runtime_s: float = 0.0
+
+    @property
+    def workloads(self) -> List[str]:
+        return list(self.suite.results)
+
+    def report(self, workload: str, label: str) -> RunReport:
+        return self.suite.results[workload][label]
+
+    def best_labels(self) -> Dict[str, str]:
+        """Per workload: the grid label with the smallest optimized area
+        (ties break toward the earlier grid point)."""
+        best: Dict[str, str] = {}
+        for workload, per_label in self.suite.results.items():
+            best[workload] = min(
+                (point.label for point in self.points),
+                key=lambda label: per_label[label].optimized_area,
+            )
+        return best
+
+    def totals(self) -> Dict[str, Dict[str, Any]]:
+        """Per grid label: summed areas and reduction over all workloads."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for point in self.points:
+            original = sum(
+                per[point.label].original_area
+                for per in self.suite.results.values()
+            )
+            optimized = sum(
+                per[point.label].optimized_area
+                for per in self.suite.results.values()
+            )
+            out[point.label] = {
+                "original_area": original,
+                "optimized_area": optimized,
+                "reduction": 1.0 - optimized / original if original else 0.0,
+                "runtime_s": sum(
+                    per[point.label].runtime_s
+                    for per in self.suite.results.values()
+                ),
+            }
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "grid": [
+                {"label": point.label, **point.params(),
+                 "script": str(point.spec)}
+                for point in self.points
+            ],
+            "workloads": self.workloads,
+            "results": {
+                workload: {
+                    label: report.to_dict()
+                    for label, report in per_label.items()
+                }
+                for workload, per_label in self.suite.results.items()
+            },
+            "totals": self.totals(),
+            "best": self.best_labels(),
+            "runtime_s": self.runtime_s,
+            "cache_stats": dict(self.suite.cache_stats),
+        }
+
+    def to_json(self, **kwargs: Any) -> str:
+        kwargs.setdefault("sort_keys", True)
+        return json.dumps(self.to_dict(), **kwargs)
+
+    def to_markdown(self) -> str:
+        """The comparative report: one row per workload, one column per
+        grid point (optimized area, best point bolded), plus totals."""
+        labels = [point.label for point in self.points]
+        best = self.best_labels()
+        lines = ["# Design-space sweep", ""]
+        lines.append(
+            f"{len(self.workloads)} workload(s) x {len(labels)} grid "
+            f"point(s), {self.runtime_s:.2f}s wall-clock"
+        )
+        lines.append("")
+        lines.append("| workload | original | " + " | ".join(labels) + " |")
+        lines.append("|---" * (len(labels) + 2) + "|")
+        for workload in self.workloads:
+            per = self.suite.results[workload]
+            original = max(r.original_area for r in per.values())
+            cells = []
+            for label in labels:
+                report = per[label]
+                cell = f"{report.optimized_area}"
+                if label == best[workload]:
+                    cell = f"**{cell}**"
+                cells.append(cell)
+            lines.append(
+                f"| {workload} | {original} | " + " | ".join(cells) + " |"
+            )
+        totals = self.totals()
+        total_cells = [
+            f"{totals[label]['optimized_area']} "
+            f"({100 * totals[label]['reduction']:.1f}%)"
+            for label in labels
+        ]
+        total_original = sum(
+            max(r.original_area for r in per.values())
+            for per in self.suite.results.values()
+        )
+        lines.append(
+            f"| **total** | {total_original} | " + " | ".join(total_cells) + " |"
+        )
+        lines.append("")
+        lines.append("Best grid point per workload:")
+        for workload in self.workloads:
+            lines.append(f"- {workload}: `{best[workload]}`")
+        return "\n".join(lines) + "\n"
+
+
+def run_sweep(
+    workloads: Union[Mapping[str, Any], Sequence[str], None] = None,
+    flows: Sequence[Union[str, FlowSpec]] = ("yosys", "smartly"),
+    ks: Sequence[int] = (),
+    sim_thresholds: Sequence[int] = (),
+    *,
+    width: int = 8,
+    max_workers: Optional[int] = None,
+    executor: str = "thread",
+    check: bool = False,
+    warm_start: bool = True,
+    store_path: Optional[str] = None,
+    session: Optional[Session] = None,
+) -> SweepReport:
+    """Run the full DSE grid as one shared-baseline parallel suite.
+
+    ``workloads`` is a ``{name: module-or-factory}`` mapping (the
+    :meth:`~repro.flow.session.Session.run_suite` contract), a sequence
+    of preset workload names, or None for :data:`PRESET_WORKLOADS`.
+    When ``session`` is given it is reused (and left open — its caches
+    keep the sweep's results); otherwise a private session is created,
+    optionally backed by the persistent ``store_path`` cache store.
+    """
+    if workloads is None:
+        cases: Mapping[str, Any] = preset_workloads(width=width)
+    elif isinstance(workloads, Mapping):
+        cases = workloads
+    else:
+        cases = preset_workloads(workloads, width=width)
+    if not cases:
+        raise ValueError("no workloads selected")
+
+    points = expand_grid(flows, ks, sim_thresholds)
+    owned = session is None
+    active = session if session is not None else Session(store_path=store_path)
+    try:
+        suite = active.run_suite(
+            cases,
+            [point.spec for point in points],
+            max_workers=max_workers,
+            check=check,
+            executor=executor,
+            warm_start=warm_start,
+        )
+    finally:
+        if owned:
+            active.close()  # persists the store delta even on failure
+    return SweepReport(points=points, suite=suite, runtime_s=suite.runtime_s)
+
+
+__all__ = [
+    "PRESET_WORKLOADS",
+    "PRESET_WORKLOAD_NAMES",
+    "SMARTLY_PRESETS",
+    "SweepPoint",
+    "SweepReport",
+    "expand_grid",
+    "preset_workloads",
+    "run_sweep",
+]

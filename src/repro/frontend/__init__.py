@@ -4,6 +4,7 @@ from .ast import ModuleDecl, SourceFile
 from .elaborate import Elaborator, compile_verilog, elaborate
 from .lexer import FrontendError, Token, tokenize
 from .parser import Parser, parse_source
+from .yosys_json import YosysJsonError, load_yosys_json, read_yosys_json
 
 __all__ = [
     "Elaborator",
@@ -12,8 +13,11 @@ __all__ = [
     "Parser",
     "SourceFile",
     "Token",
+    "YosysJsonError",
     "compile_verilog",
     "elaborate",
+    "load_yosys_json",
     "parse_source",
+    "read_yosys_json",
     "tokenize",
 ]

@@ -1,0 +1,376 @@
+"""Yosys ``write_json`` netlist reader.
+
+``yosys -p 'prep; write_json design.json'`` is the universal interchange
+format real-world flows emit; this reader maps its word-level cell set
+(``$and``/``$or``/``$xor``/``$not``/``$mux``/``$pmux``/``$eq``/``$ne``/
+``$lt``/``$le``/``$gt``/``$ge``/``$add``/``$sub``/``$shl``/``$shr``/
+``$reduce_*``/``$logic_*``/``$dff``) onto the IR so real netlists run
+through the full optimization flow.
+
+Normalization is parameter-driven: operands are zero-/sign-extended per
+``A_SIGNED``/``B_SIGNED`` to each cell's internal width, compare/reduce
+results are zero-padded into wider declared outputs, and declared
+``port_directions`` are checked against the cell-semantics registry
+(:mod:`repro.ir.celllib`).  Cells of non-``$`` type become hierarchy
+:class:`~repro.ir.module.Instance` records feeding the PR 6 machinery.
+Anything unsupported (``$mem``, signed compares, negative-polarity
+``$dff``, …) raises :class:`YosysJsonError` with a diagnostic naming the
+module, cell and reason — never a silently wrong netlist.
+
+Net identity follows the format: every integer bit id is one net; ids are
+resolved against ports first, then ``netnames``, then fresh wires.  The
+string bits ``"0"``/``"1"``/``"x"``/``"z"`` map to constant IR bits
+(``z`` is treated as ``x``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Mapping, Optional, Union
+
+from ..ir import celllib
+from ..ir.cells import CellType, PortDir
+from ..ir.design import Design
+from ..ir.module import Module
+from ..ir.signals import BIT0, BIT1, BITX, SigBit, SigSpec
+from .lexer import FrontendError
+
+
+class YosysJsonError(FrontendError):
+    """The JSON netlist is malformed or uses an unsupported construct."""
+
+
+_CONST_BITS = {"0": BIT0, "1": BIT1, "x": BITX, "z": BITX}
+
+#: Yosys cell types accepted via argument swap (A>B == B<A, A>=B == B<=A)
+_SWAPPED_COMPARES = {"$gt": CellType.LT, "$ge": CellType.LE}
+
+
+def _param_int(value: Union[int, str, None], default: int = 0) -> int:
+    """Yosys parameters are ints or MSB-first bit-strings (x/z count as 0)."""
+    if value is None:
+        return default
+    if isinstance(value, int):
+        return value
+    text = str(value).strip()
+    if not text:
+        return default
+    return int("".join("1" if c == "1" else "0" for c in text), 2)
+
+
+class _ModuleReader:
+    """Builds one :class:`Module` from its JSON dict."""
+
+    def __init__(self, name: str, data: Mapping):
+        self.name = name
+        self.data = data
+        self.module = Module(name)
+        self.bit_map: Dict[int, SigBit] = {}
+
+    def fail(self, message: str) -> "YosysJsonError":
+        return YosysJsonError(f"module {self.name!r}: {message}")
+
+    # -- net resolution -------------------------------------------------------
+
+    def _map_bits(self, wire, bits: List[Union[int, str]], *,
+                  driven_by_wire: bool) -> None:
+        """Associate a wire's positions with net ids.
+
+        Unmapped ids adopt the wire bit.  Already-mapped ids mean the wire
+        aliases an existing net: the wire bit is connected as the driven
+        side when the wire is a sink (``driven_by_wire`` False), e.g. an
+        output port fed by an internal net.
+        """
+        for offset, token in enumerate(bits):
+            wire_bit = SigBit(wire, offset)
+            if isinstance(token, str):
+                const = _CONST_BITS.get(token)
+                if const is None:
+                    raise self.fail(f"wire {wire.name!r}: bad constant bit {token!r}")
+                self.module.connect(wire_bit, const)
+                continue
+            existing = self.bit_map.get(token)
+            if existing is None:
+                self.bit_map[token] = wire_bit
+            elif driven_by_wire:
+                self.module.connect(existing, wire_bit)
+            else:
+                self.module.connect(wire_bit, existing)
+
+    def resolve(self, bits: List[Union[int, str]], hint: str) -> SigSpec:
+        """Net-id list -> SigSpec, creating fresh wires for unseen ids."""
+        out: List[SigBit] = []
+        for token in bits:
+            if isinstance(token, str):
+                const = _CONST_BITS.get(token)
+                if const is None:
+                    raise self.fail(f"{hint}: bad constant bit {token!r}")
+                out.append(const)
+                continue
+            bit = self.bit_map.get(token)
+            if bit is None:
+                wire = self.module.add_wire(f"n${token}", 1)
+                bit = SigBit(wire, 0)
+                self.bit_map[token] = bit
+            out.append(bit)
+        return SigSpec(out)
+
+    # -- construction ---------------------------------------------------------
+
+    def build(self) -> Module:
+        self._read_ports()
+        self._read_netnames()
+        for cname, cdata in (self.data.get("cells") or {}).items():
+            ctype = str(cdata.get("type", ""))
+            if ctype.startswith("$"):
+                self._read_cell(cname, ctype, cdata)
+            else:
+                self._read_instance(cname, ctype, cdata)
+        return self.module
+
+    def _read_ports(self) -> None:
+        for pname, pdata in (self.data.get("ports") or {}).items():
+            direction = pdata.get("direction")
+            if direction not in ("input", "output"):
+                raise self.fail(
+                    f"port {pname!r}: unsupported direction {direction!r} "
+                    "(only input/output)"
+                )
+            bits = pdata.get("bits", [])
+            wire = self.module.add_wire(
+                pname,
+                max(1, len(bits)),
+                port_input=direction == "input",
+                port_output=direction == "output",
+            )
+            # input ports are net sources; output ports are sinks fed by
+            # whichever net drives their bit ids
+            self._map_bits(wire, bits, driven_by_wire=direction == "input")
+
+    def _read_netnames(self) -> None:
+        for nname, ndata in (self.data.get("netnames") or {}).items():
+            if nname in self.module.wires:
+                continue  # ports re-appear in netnames
+            bits = ndata.get("bits", [])
+            if not bits or not any(
+                isinstance(t, int) and t not in self.bit_map for t in bits
+            ):
+                continue  # purely cosmetic alias of already-known nets
+            wire = self.module.add_wire(nname, len(bits))
+            self._map_bits(wire, bits, driven_by_wire=False)
+
+    # -- hierarchy instances ---------------------------------------------------
+
+    def _read_instance(self, cname: str, ctype: str, cdata: Mapping) -> None:
+        connections = {
+            pname: self.resolve(bits, f"instance {cname!r} port {pname}")
+            for pname, bits in (cdata.get("connections") or {}).items()
+        }
+        instance = self.module.add_instance(ctype, name=cname, connections=connections)
+        for key, value in (cdata.get("attributes") or {}).items():
+            instance.attributes[key] = value
+
+    # -- $-cells ---------------------------------------------------------------
+
+    def _read_cell(self, cname: str, ctype: str, cdata: Mapping) -> None:
+        params = cdata.get("parameters") or {}
+        connections = cdata.get("connections") or {}
+
+        swap = ctype in _SWAPPED_COMPARES
+        if swap:
+            spec = celllib.spec_for(_SWAPPED_COMPARES[ctype])
+        else:
+            spec = celllib.spec_for_yosys(ctype)
+        if spec is None:
+            raise self.fail(
+                f"cell {cname!r}: unsupported Yosys cell type {ctype!r} "
+                "(supported: "
+                + ", ".join(sorted(s.yosys_type for s in celllib.all_specs()))
+                + "; run e.g. `yosys -p 'prep; memory; techmap t:$mul ...'` "
+                "to lower exotic cells first)"
+            )
+
+        self._check_port_directions(cname, ctype, spec, cdata.get("port_directions"))
+
+        def conn(port: str) -> List[Union[int, str]]:
+            if port not in connections:
+                raise self.fail(f"cell {cname!r} ({ctype}): port {port} unconnected")
+            return connections[port]
+
+        def operand(port: str) -> SigSpec:
+            return self.resolve(conn(port), f"cell {cname!r} port {port}")
+
+        a_signed = bool(_param_int(params.get("A_SIGNED")))
+        b_signed = bool(_param_int(params.get("B_SIGNED")))
+        out_name = spec.out_port
+        declared = conn(out_name)
+
+        ports: Dict[str, SigSpec] = {}
+        width = 1
+        n = 1
+
+        if not spec.combinational:  # $dff
+            if _param_int(params.get("CLK_POLARITY"), 1) != 1:
+                raise self.fail(
+                    f"cell {cname!r}: negative-polarity $dff is unsupported "
+                    "(run `yosys -p 'dffunmap; clk2fflogic'` or invert the clock)"
+                )
+            width = _param_int(params.get("WIDTH"), len(declared))
+            ports["CLK"] = self._fit(operand("CLK"), 1, False)
+            ports["D"] = self._fit(operand("D"), width, False)
+        elif spec.ctype is CellType.MUX:
+            width = _param_int(params.get("WIDTH"), len(declared))
+            ports["A"] = self._fit(operand("A"), width, a_signed)
+            ports["B"] = self._fit(operand("B"), width, b_signed)
+            ports["S"] = self._fit(operand("S"), 1, False)
+        elif spec.ctype is CellType.PMUX:
+            width = _param_int(params.get("WIDTH"), len(declared))
+            s = operand("S")
+            n = _param_int(params.get("S_WIDTH"), len(s))
+            ports["S"] = self._fit(s, n, False)
+            ports["A"] = self._fit(operand("A"), width, False)
+            ports["B"] = self._fit(operand("B"), width * n, False)
+        elif spec.ctype in (CellType.SHL, CellType.SHR):
+            if b_signed:
+                raise self.fail(
+                    f"cell {cname!r}: signed shift amounts are unsupported"
+                )
+            width = _param_int(params.get("Y_WIDTH"), len(declared))
+            b = operand("B")
+            n = len(b)
+            ports["A"] = self._fit(operand("A"), width, a_signed)
+            ports["B"] = b
+        elif "B" in spec.input_ports and spec.expected_width("Y", 7, 1) == 1:
+            # compares and $logic_and/$logic_or: widen to a common width
+            if spec.ctype in (CellType.LT, CellType.LE) and (a_signed or b_signed):
+                raise self.fail(
+                    f"cell {cname!r}: signed comparison ({ctype}) is "
+                    "unsupported (only unsigned $lt/$le/$gt/$ge)"
+                )
+            a, b = operand("A"), operand("B")
+            if swap:
+                a, b = b, a
+                a_signed, b_signed = b_signed, a_signed
+            width = max(1, len(a), len(b))
+            ports["A"] = self._fit(a, width, a_signed)
+            ports["B"] = self._fit(b, width, b_signed)
+        elif "B" in spec.input_ports:
+            # bitwise binary and $add/$sub: internal width is Y_WIDTH
+            width = _param_int(params.get("Y_WIDTH"), len(declared))
+            ports["A"] = self._fit(operand("A"), width, a_signed)
+            ports["B"] = self._fit(operand("B"), width, b_signed)
+        elif spec.expected_width("Y", 7, 1) == 1:
+            # reductions and $logic_not: width is the operand's
+            a = operand("A")
+            width = max(1, len(a))
+            ports["A"] = self._fit(a, width, a_signed)
+        else:  # $not
+            width = _param_int(params.get("Y_WIDTH"), len(declared))
+            ports["A"] = self._fit(operand("A"), width, a_signed)
+
+        out_width = spec.expected_width(out_name, width, n)
+        out_spec = self.resolve(declared, f"cell {cname!r} port {out_name}")
+        for bit in out_spec:
+            if bit.is_const:
+                raise self.fail(
+                    f"cell {cname!r} ({ctype}): constant bit in output "
+                    f"{out_name}"
+                )
+        if len(out_spec) == out_width:
+            ports[out_name] = out_spec
+            self.module.add_cell(spec.ctype, name=cname, width=width, n=n, **ports)
+        else:
+            # zero-pad (or truncate) the internal result into the declared net
+            cell = self.module.add_cell(
+                spec.ctype, name=cname, width=width, n=n, **ports
+            )
+            produced = cell.connections[out_name]
+            self.module.connect(out_spec, produced.extend(len(out_spec)))
+
+    def _check_port_directions(
+        self,
+        cname: str,
+        ctype: str,
+        spec: celllib.CellSpec,
+        directions: Optional[Mapping[str, str]],
+    ) -> None:
+        if not directions:
+            return
+        want = {p: ("input" if d is PortDir.IN else "output")
+                for p, d, _w in spec.ports}
+        for pname, direction in directions.items():
+            expected = want.get(pname)
+            if expected is not None and direction != expected:
+                raise self.fail(
+                    f"cell {cname!r} ({ctype}): port {pname} declared "
+                    f"{direction!r}, expected {expected!r}"
+                )
+
+    @staticmethod
+    def _fit(spec: SigSpec, width: int, signed: bool) -> SigSpec:
+        """Zero-/sign-extend or truncate to exactly ``width`` bits."""
+        return spec.extend(width, signed=signed)
+
+
+def read_yosys_json(source: Union[str, Mapping], top: Optional[str] = None) -> Design:
+    """Parse Yosys ``write_json`` output into a :class:`Design`.
+
+    ``source`` is the JSON text (or an already-parsed dict); ``top``
+    overrides top-module selection, which otherwise honours the Yosys
+    ``top`` attribute and falls back to the first uninstantiated module.
+    """
+    if isinstance(source, Mapping):
+        data = source
+    else:
+        try:
+            data = json.loads(source)
+        except json.JSONDecodeError as exc:
+            raise YosysJsonError(f"invalid JSON: {exc}") from None
+    modules_json = data.get("modules")
+    if not isinstance(modules_json, Mapping) or not modules_json:
+        raise YosysJsonError('no "modules" object in JSON netlist')
+
+    design = Design()
+    attr_top: Optional[str] = None
+    for mname, mdata in modules_json.items():
+        attributes = mdata.get("attributes") or {}
+        if _param_int(attributes.get("blackbox")) or _param_int(
+            attributes.get("whitebox")
+        ):
+            continue
+        design.add_module(_ModuleReader(mname, mdata).build())
+        if _param_int(attributes.get("top")):
+            attr_top = mname
+    if not len(design):
+        raise YosysJsonError("JSON netlist contains only blackbox modules")
+
+    if top is not None:
+        if top not in design:
+            raise YosysJsonError(
+                f"no module named {top!r} (available: {sorted(design.modules)})"
+            )
+        design.set_top(top)
+    elif attr_top is not None:
+        design.set_top(attr_top)
+    else:
+        instantiated = {
+            inst.module_name
+            for module in design
+            for inst in module.instances.values()
+            if inst.module_name != module.name
+        }
+        for name in design.modules:
+            if name not in instantiated:
+                design.set_top(name)
+                break
+    return design
+
+
+def load_yosys_json(path: str, top: Optional[str] = None) -> Design:
+    """Read a Yosys JSON netlist file into a :class:`Design`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    return read_yosys_json(text, top=top)
+
+
+__all__ = ["YosysJsonError", "load_yosys_json", "read_yosys_json"]

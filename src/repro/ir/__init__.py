@@ -16,6 +16,12 @@ The public surface mirrors a small subset of Yosys RTLIL:
 """
 
 from .builder import Circuit
+from .celllib import (
+    CellSpec,
+    all_specs,
+    spec_for,
+    spec_for_yosys,
+)
 from .cells import (
     BITWISE_BINARY_TYPES,
     COMBINATIONAL_TYPES,
@@ -49,6 +55,12 @@ from .struct_hash import (
     struct_signature,
     subgraph_signature,
 )
+from .json_writer import (
+    YosysJsonWriter,
+    write_yosys_json,
+    yosys_json_dict,
+    yosys_json_str,
+)
 from .validate import ValidationError, check_module, validate_module
 from .verilog_writer import VerilogWriter, verilog_str, write_verilog
 from .walker import CombLoopError, DriverConflictError, NetIndex
@@ -61,6 +73,7 @@ __all__ = [
     "COMBINATIONAL_TYPES",
     "COMPARE_TYPES",
     "Cell",
+    "CellSpec",
     "CellType",
     "Circuit",
     "CombLoopError",
@@ -78,6 +91,7 @@ __all__ = [
     "UNARY_TYPES",
     "ValidationError",
     "Wire",
+    "all_specs",
     "check_module",
     "concat",
     "const_bit",
@@ -87,10 +101,16 @@ __all__ = [
     "output_ports",
     "port_spec",
     "renamed_copy",
+    "spec_for",
+    "spec_for_yosys",
     "struct_signature",
     "subgraph_signature",
     "validate_module",
     "VerilogWriter",
+    "YosysJsonWriter",
     "verilog_str",
     "write_verilog",
+    "write_yosys_json",
+    "yosys_json_dict",
+    "yosys_json_str",
 ]

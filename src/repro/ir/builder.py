@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from .cells import CellType
+from .cells import CellType, output_ports
 from .module import Cell, Module
 from .signals import SigBit, SigLike, SigSpec, State, concat
 
@@ -59,8 +59,7 @@ class Circuit:
 
     def _cell(self, ctype: CellType, n: int = 1, **ports: SigLike) -> SigSpec:
         cell = self.module.add_cell(ctype, n=n, **ports)
-        out_port = "Q" if ctype is CellType.DFF else "Y"
-        return cell.connections[out_port]
+        return cell.connections[output_ports(ctype)[0]]
 
     def _binary(self, ctype: CellType, a: SigLike, b: SigLike) -> SigSpec:
         a_spec = SigSpec.coerce(a)

@@ -335,12 +335,20 @@ class Module:
         if name in self.cells:
             raise ValueError(f"duplicate cell name {name!r} in module {self.name!r}")
         if width is None:
-            probe = ports.get("A", ports.get("D"))
-            if probe is None:
-                raise ValueError(f"cell {name!r}: cannot infer width without A/D port")
-            width = len(SigSpec.coerce(probe))
-            if ctype in (CellType.SHL, CellType.SHR) and "B" in ports:
-                n = len(SigSpec.coerce(ports["B"]))
+            # shape inference is spec-driven (celllib imported lazily: this
+            # module is a dependency of the registry, not the reverse)
+            from . import celllib
+
+            spec = celllib.spec_for(ctype)
+            widths = {
+                pname: len(SigSpec.coerce(value))
+                for pname, value in ports.items()
+                if pname in (spec.width_port, spec.n_port)
+            }
+            try:
+                width, n = spec.infer_shape(widths)
+            except ValueError as exc:
+                raise ValueError(f"cell {name!r}: {exc}") from None
         cell = Cell(name, ctype, width, n)
         for pname, _direction, _expr in port_spec(ctype):
             if pname in ports:

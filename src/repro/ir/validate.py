@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import List
 
-from .cells import expected_width, input_ports, output_ports, port_spec
+from . import celllib
 from .module import Module
 from .walker import CombLoopError, DriverConflictError, NetIndex
 
@@ -27,25 +27,9 @@ def check_module(module: Module) -> List[str]:
     """Return a list of human-readable problems (empty list = valid)."""
     problems: List[str] = []
 
+    # port/width well-formedness is defined by the cell-semantics registry
     for cell in module.cells.values():
-        for pname, _direction, _expr in port_spec(cell.type):
-            if pname not in cell.connections:
-                problems.append(
-                    f"cell {cell.name!r} ({cell.type}): port {pname} unconnected"
-                )
-                continue
-            want = expected_width(cell.type, pname, cell.width, cell.n)
-            got = len(cell.connections[pname])
-            if got != want:
-                problems.append(
-                    f"cell {cell.name!r} ({cell.type}): port {pname} width "
-                    f"{got}, expected {want}"
-                )
-        extra = set(cell.connections) - {p for p, _d, _e in port_spec(cell.type)}
-        if extra:
-            problems.append(
-                f"cell {cell.name!r} ({cell.type}): unknown ports {sorted(extra)}"
-            )
+        problems.extend(celllib.spec_for(cell.type).check(cell))
 
     if problems:
         # port-level problems make the bit-level index unreliable

@@ -1,4 +1,4 @@
-"""Cell evaluators in two value domains.
+"""Cell evaluators in two value domains — thin registry delegations.
 
 * **Ternary**: each bit is a :class:`~repro.ir.signals.State` (0/1/x).  Used
   by constant propagation, the inference engine and x-aware simulation.
@@ -8,38 +8,21 @@
   cone using plain bitwise arithmetic — the "simulation" arm of the paper's
   sim-vs-SAT switch.
 
-PMUX semantics (shared with aigmap and the Tseitin encoder): the select is
-treated as a *priority* select — the lowest set bit of ``S`` wins, ``Y = A``
-when ``S == 0``.  For the one-hot selects produced by case elaboration this
-coincides with the Yosys one-hot semantics while staying fully defined.
+The actual per-cell semantics live in the unified cell-semantics registry
+(:mod:`repro.ir.celllib`) shared with AIG lowering and validation; these
+wrappers only dispatch, so the three soundness substrates cannot diverge.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List
 
-from ..ir.cells import CellType
+from ..ir import celllib
 from ..ir.module import Cell
 from ..ir.signals import State
-from .ternary import (
-    S0,
-    S1,
-    Sx,
-    t_add,
-    t_and,
-    t_eq,
-    t_lt,
-    t_mux,
-    t_not,
-    t_or,
-    t_reduce_and,
-    t_reduce_or,
-    t_reduce_xor,
-    t_xnor,
-    t_xor,
-)
 
 TernaryVec = List[State]
+MaskVec = List[int]
 
 
 def eval_cell_ternary(cell: Cell, inputs: Dict[str, TernaryVec]) -> Dict[str, TernaryVec]:
@@ -48,84 +31,10 @@ def eval_cell_ternary(cell: Cell, inputs: Dict[str, TernaryVec]) -> Dict[str, Te
     ``inputs`` maps input port names to LSB-first state lists; the result
     maps output port names the same way.
     """
-    t = cell.type
-    width = cell.width
-
-    if t is CellType.NOT:
-        return {"Y": [t_not(b) for b in inputs["A"]]}
-    if t is CellType.AND:
-        return {"Y": [t_and(a, b) for a, b in zip(inputs["A"], inputs["B"])]}
-    if t is CellType.OR:
-        return {"Y": [t_or(a, b) for a, b in zip(inputs["A"], inputs["B"])]}
-    if t is CellType.XOR:
-        return {"Y": [t_xor(a, b) for a, b in zip(inputs["A"], inputs["B"])]}
-    if t is CellType.XNOR:
-        return {"Y": [t_xnor(a, b) for a, b in zip(inputs["A"], inputs["B"])]}
-    if t is CellType.NAND:
-        return {"Y": [t_not(t_and(a, b)) for a, b in zip(inputs["A"], inputs["B"])]}
-    if t is CellType.NOR:
-        return {"Y": [t_not(t_or(a, b)) for a, b in zip(inputs["A"], inputs["B"])]}
-    if t is CellType.MUX:
-        s = inputs["S"][0]
-        return {"Y": [t_mux(a, b, s) for a, b in zip(inputs["A"], inputs["B"])]}
-    if t is CellType.PMUX:
-        result = list(inputs["A"])
-        b = inputs["B"]
-        # lowest-index select bit has priority: apply from high index down
-        for i in range(cell.n - 1, -1, -1):
-            s = inputs["S"][i]
-            branch = b[i * width:(i + 1) * width]
-            result = [t_mux(y, d, s) for y, d in zip(result, branch)]
-        return {"Y": result}
-    if t is CellType.EQ:
-        return {"Y": [t_eq(inputs["A"], inputs["B"])]}
-    if t is CellType.NE:
-        return {"Y": [t_not(t_eq(inputs["A"], inputs["B"]))]}
-    if t is CellType.LT:
-        return {"Y": [t_lt(inputs["A"], inputs["B"])]}
-    if t is CellType.LE:
-        return {"Y": [t_not(t_lt(inputs["B"], inputs["A"]))]}
-    if t is CellType.ADD:
-        return {"Y": t_add(inputs["A"], inputs["B"])}
-    if t is CellType.SUB:
-        # A - B = A + ~B + 1
-        return {"Y": t_add(inputs["A"], [t_not(b) for b in inputs["B"]], carry_in=S1)}
-    if t in (CellType.SHL, CellType.SHR):
-        return {"Y": _ternary_shift(inputs["A"], inputs["B"], left=t is CellType.SHL)}
-    if t is CellType.REDUCE_AND:
-        return {"Y": [t_reduce_and(inputs["A"])]}
-    if t is CellType.REDUCE_OR:
-        return {"Y": [t_reduce_or(inputs["A"])]}
-    if t is CellType.REDUCE_XOR:
-        return {"Y": [t_reduce_xor(inputs["A"])]}
-    if t is CellType.REDUCE_BOOL:
-        return {"Y": [t_reduce_or(inputs["A"])]}
-    if t is CellType.LOGIC_NOT:
-        return {"Y": [t_not(t_reduce_or(inputs["A"]))]}
-    if t is CellType.LOGIC_AND:
-        return {"Y": [t_and(t_reduce_or(inputs["A"]), t_reduce_or(inputs["B"]))]}
-    if t is CellType.LOGIC_OR:
-        return {"Y": [t_or(t_reduce_or(inputs["A"]), t_reduce_or(inputs["B"]))]}
-    raise NotImplementedError(f"no ternary evaluator for cell type {t}")
-
-
-def _ternary_shift(a: TernaryVec, b: TernaryVec, left: bool) -> TernaryVec:
-    """Barrel shifter in the ternary domain (mux ladder over shift bits)."""
-    width = len(a)
-    result = list(a)
-    for j, sbit in enumerate(b):
-        amount = 1 << j
-        if amount >= width:
-            shifted = [S0] * width
-        elif left:
-            shifted = [S0] * amount + result[: width - amount]
-        else:
-            shifted = result[amount:] + [S0] * amount
-        result = [t_mux(r, s, sbit) for r, s in zip(result, shifted)]
-    return result
-
-
-MaskVec = List[int]
+    evaluator = celllib.spec_for(cell.type).eval_ternary
+    if evaluator is None:
+        raise NotImplementedError(f"no ternary evaluator for cell type {cell.type}")
+    return evaluator(cell, inputs)
 
 
 def eval_cell_masks(
@@ -136,122 +45,7 @@ def eval_cell_masks(
     Every list entry is an integer whose bit *v* is the value of that signal
     bit in vector *v*; ``mask`` is ``(1 << nvec) - 1``.
     """
-    t = cell.type
-    width = cell.width
-
-    if t is CellType.NOT:
-        return {"Y": [~a & mask for a in inputs["A"]]}
-    if t is CellType.AND:
-        return {"Y": [a & b for a, b in zip(inputs["A"], inputs["B"])]}
-    if t is CellType.OR:
-        return {"Y": [a | b for a, b in zip(inputs["A"], inputs["B"])]}
-    if t is CellType.XOR:
-        return {"Y": [a ^ b for a, b in zip(inputs["A"], inputs["B"])]}
-    if t is CellType.XNOR:
-        return {"Y": [~(a ^ b) & mask for a, b in zip(inputs["A"], inputs["B"])]}
-    if t is CellType.NAND:
-        return {"Y": [~(a & b) & mask for a, b in zip(inputs["A"], inputs["B"])]}
-    if t is CellType.NOR:
-        return {"Y": [~(a | b) & mask for a, b in zip(inputs["A"], inputs["B"])]}
-    if t is CellType.MUX:
-        s = inputs["S"][0]
-        return {
-            "Y": [(a & ~s | b & s) & mask for a, b in zip(inputs["A"], inputs["B"])]
-        }
-    if t is CellType.PMUX:
-        result = list(inputs["A"])
-        b = inputs["B"]
-        for i in range(cell.n - 1, -1, -1):
-            s = inputs["S"][i]
-            branch = b[i * width:(i + 1) * width]
-            result = [(y & ~s | d & s) & mask for y, d in zip(result, branch)]
-        return {"Y": result}
-    if t is CellType.EQ:
-        return {"Y": [_mask_eq(inputs["A"], inputs["B"], mask)]}
-    if t is CellType.NE:
-        return {"Y": [~_mask_eq(inputs["A"], inputs["B"], mask) & mask]}
-    if t is CellType.LT:
-        return {"Y": [_mask_lt(inputs["A"], inputs["B"], mask)]}
-    if t is CellType.LE:
-        return {"Y": [~_mask_lt(inputs["B"], inputs["A"], mask) & mask]}
-    if t is CellType.ADD:
-        return {"Y": _mask_add(inputs["A"], inputs["B"], 0, mask)}
-    if t is CellType.SUB:
-        return {"Y": _mask_add(inputs["A"], [~b & mask for b in inputs["B"]], mask, mask)}
-    if t in (CellType.SHL, CellType.SHR):
-        return {"Y": _mask_shift(inputs["A"], inputs["B"], mask, left=t is CellType.SHL)}
-    if t is CellType.REDUCE_AND:
-        acc = mask
-        for a in inputs["A"]:
-            acc &= a
-        return {"Y": [acc]}
-    if t in (CellType.REDUCE_OR, CellType.REDUCE_BOOL):
-        acc = 0
-        for a in inputs["A"]:
-            acc |= a
-        return {"Y": [acc]}
-    if t is CellType.REDUCE_XOR:
-        acc = 0
-        for a in inputs["A"]:
-            acc ^= a
-        return {"Y": [acc]}
-    if t is CellType.LOGIC_NOT:
-        acc = 0
-        for a in inputs["A"]:
-            acc |= a
-        return {"Y": [~acc & mask]}
-    if t is CellType.LOGIC_AND:
-        a_any, b_any = 0, 0
-        for a in inputs["A"]:
-            a_any |= a
-        for b in inputs["B"]:
-            b_any |= b
-        return {"Y": [a_any & b_any]}
-    if t is CellType.LOGIC_OR:
-        a_any, b_any = 0, 0
-        for a in inputs["A"]:
-            a_any |= a
-        for b in inputs["B"]:
-            b_any |= b
-        return {"Y": [a_any | b_any]}
-    raise NotImplementedError(f"no mask evaluator for cell type {t}")
-
-
-def _mask_eq(a: MaskVec, b: MaskVec, mask: int) -> int:
-    acc = mask
-    for abit, bbit in zip(a, b):
-        acc &= ~(abit ^ bbit) & mask
-    return acc
-
-
-def _mask_lt(a: MaskVec, b: MaskVec, mask: int) -> int:
-    """Unsigned a < b, scanning LSB -> MSB so the MSB decision dominates."""
-    lt = 0
-    for abit, bbit in zip(a, b):
-        eq = ~(abit ^ bbit) & mask
-        lt = (~abit & bbit) | (eq & lt)
-    return lt & mask
-
-
-def _mask_add(a: MaskVec, b: MaskVec, carry: int, mask: int) -> MaskVec:
-    result: MaskVec = []
-    for abit, bbit in zip(a, b):
-        s = abit ^ bbit ^ carry
-        carry = (abit & bbit) | (carry & (abit ^ bbit))
-        result.append(s & mask)
-    return result
-
-
-def _mask_shift(a: MaskVec, b: MaskVec, mask: int, left: bool) -> MaskVec:
-    width = len(a)
-    result = list(a)
-    for j, sbit in enumerate(b):
-        amount = 1 << j
-        if amount >= width:
-            shifted = [0] * width
-        elif left:
-            shifted = [0] * amount + result[: width - amount]
-        else:
-            shifted = result[amount:] + [0] * amount
-        result = [(r & ~sbit | s & sbit) & mask for r, s in zip(result, shifted)]
-    return result
+    evaluator = celllib.spec_for(cell.type).eval_masks
+    if evaluator is None:
+        raise NotImplementedError(f"no mask evaluator for cell type {cell.type}")
+    return evaluator(cell, inputs, mask)

@@ -87,6 +87,37 @@ class TestProtocol:
         assert result["report"]["optimized_area"] == direct.optimized_area
         assert result["report"]["original_area"] == direct.original_area
 
+    def test_json_source_via_format_field(self):
+        from repro.ir import yosys_json_str
+
+        json_source = yosys_json_str(compile_verilog(MUX_SOURCE))
+        server = FlowServer(max_workers=1)
+        responses, _ = drive(server, [
+            request(op="run", id="j", source=json_source, format="json",
+                    flow="smartly", events=False),
+        ])
+        (result,) = by_type(responses, "result")
+        direct = Session(compile_verilog(MUX_SOURCE).top).run("smartly")
+        assert result["report"]["optimized_area"] == direct.optimized_area
+
+    def test_json_source_autodetected(self):
+        from repro.ir import yosys_json_str
+
+        json_source = yosys_json_str(compile_verilog(MUX_SOURCE))
+        server = FlowServer(max_workers=1)
+        responses, _ = drive(server, [
+            request(op="run", id="j", source=json_source, events=False),
+        ])
+        assert len(by_type(responses, "result")) == 1
+
+    def test_unknown_source_format_is_an_error(self):
+        server = FlowServer(max_workers=1)
+        responses, _ = drive(server, [
+            request(op="run", id="j", source=MUX_SOURCE, format="edif"),
+        ])
+        (error,) = by_type(responses, "error")
+        assert "unknown source format" in error["error"]
+
     def test_events_false_suppresses_event_lines(self):
         server = FlowServer(max_workers=1)
         responses, _ = drive(server, [

@@ -1,0 +1,175 @@
+"""The design-space-exploration sweep runner and its CLI surface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.flow.spec import FlowSpec
+from repro.flow.sweep import (
+    PRESET_WORKLOAD_NAMES,
+    SweepPoint,
+    expand_grid,
+    preset_workloads,
+    run_sweep,
+)
+
+
+# -- grid expansion -----------------------------------------------------------
+
+
+def test_expand_grid_crosses_smartly_knobs():
+    points = expand_grid(["yosys", "smartly"], ks=[4, 6], sim_thresholds=[0])
+    labels = [p.label for p in points]
+    assert labels == ["yosys", "smartly[k=4,sim=0]", "smartly[k=6,sim=0]"]
+    smartly4 = points[1]
+    assert smartly4.flow == "smartly"
+    assert smartly4.k == 4 and smartly4.sim_threshold == 0
+    assert smartly4.spec.label == "smartly[k=4,sim=0]"
+    assert smartly4.params() == {"flow": "smartly", "k": 4,
+                                 "sim_threshold": 0}
+    # the knob actually reaches the smartly step (k=4 is the default and
+    # is elided from step options, so check the non-default point)
+    smartly6 = points[2]
+    assert any(
+        dict(step.options).get("k") == 6
+        for step in smartly6.spec.steps if step.pass_name == "smartly"
+    )
+
+
+def test_expand_grid_knob_free_flows_get_one_point():
+    points = expand_grid(["none", "yosys"], ks=[4, 6])
+    assert [p.label for p in points] == ["none", "yosys"]
+    assert all(p.k is None for p in points)
+
+
+def test_expand_grid_accepts_flowspec_objects():
+    spec = FlowSpec.parse("opt_expr; opt_clean")
+    points = expand_grid([spec])
+    assert points[0].spec is spec
+
+
+def test_expand_grid_rejects_duplicate_labels():
+    with pytest.raises(ValueError, match="duplicate grid labels"):
+        expand_grid(["yosys", "yosys"])
+
+
+def test_expand_grid_without_knobs_keeps_plain_presets():
+    points = expand_grid(["smartly"])
+    assert [p.label for p in points] == ["smartly"]
+
+
+# -- workload presets ---------------------------------------------------------
+
+
+def test_preset_workloads_default_and_selection():
+    assert sorted(preset_workloads()) == sorted(PRESET_WORKLOAD_NAMES)
+    chosen = preset_workloads(["mem_ctrl"], width=4)
+    module = chosen["mem_ctrl"]()
+    assert module.name == "mem_ctrl"
+
+
+def test_preset_workloads_rejects_unknown_names():
+    with pytest.raises(ValueError, match="unknown workloads"):
+        preset_workloads(["not_a_case"])
+
+
+# -- running ------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    return run_sweep(
+        workloads=["top_cache_axi", "pci_bridge32"],
+        flows=["none", "yosys"],
+        width=4,
+    )
+
+
+def test_run_sweep_reports_every_grid_cell(small_sweep):
+    assert small_sweep.workloads == ["top_cache_axi", "pci_bridge32"]
+    labels = [p.label for p in small_sweep.points]
+    assert labels == ["none", "yosys"]
+    for workload in small_sweep.workloads:
+        for label in labels:
+            report = small_sweep.report(workload, label)
+            assert report.flow == label
+            assert report.optimized_area <= report.original_area
+
+
+def test_run_sweep_best_and_totals(small_sweep):
+    best = small_sweep.best_labels()
+    assert set(best) == set(small_sweep.workloads)
+    assert set(best.values()) <= {"none", "yosys"}
+    totals = small_sweep.totals()
+    for label, entry in totals.items():
+        assert entry["optimized_area"] <= entry["original_area"]
+        assert 0.0 <= entry["reduction"] <= 1.0
+    # yosys must beat the do-nothing flow in total
+    assert (totals["yosys"]["optimized_area"]
+            < totals["none"]["optimized_area"])
+
+
+def test_sweep_report_serializes(small_sweep):
+    data = json.loads(small_sweep.to_json())
+    assert [g["label"] for g in data["grid"]] == ["none", "yosys"]
+    assert set(data["results"]) == set(small_sweep.workloads)
+    assert data["best"] == small_sweep.best_labels()
+    markdown = small_sweep.to_markdown()
+    assert "| workload | original |" in markdown
+    assert "**total**" in markdown
+    for workload in small_sweep.workloads:
+        assert workload in markdown
+
+
+def test_run_sweep_persists_store(tmp_path):
+    store = tmp_path / "store"
+    report = run_sweep(
+        workloads=["pci_bridge32"], flows=["yosys"], width=4,
+        store_path=str(store),
+    )
+    assert report.suite.results
+    assert store.exists() and any(store.iterdir())
+
+
+def test_run_sweep_rejects_empty_workloads():
+    with pytest.raises(ValueError, match="no workloads"):
+        run_sweep(workloads={}, flows=["none"])
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def test_cli_sweep_markdown(capsys):
+    rc = main([
+        "sweep", "--flow", "none", "--flow", "yosys",
+        "--workload", "pci_bridge32", "--width", "4",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "# Design-space sweep" in out
+    assert "pci_bridge32" in out
+    assert "suite caches:" in out
+
+
+def test_cli_sweep_json_and_artifacts(tmp_path, capsys):
+    json_path = tmp_path / "sweep.json"
+    md_path = tmp_path / "sweep.md"
+    rc = main([
+        "sweep", "--flow", "none", "--flow", "yosys",
+        "--workload", "pci_bridge32", "--width", "4", "--json",
+        "--output-json", str(json_path),
+        "--output-markdown", str(md_path),
+    ])
+    assert rc == 0
+    data = json.loads(capsys.readouterr().out)
+    assert [g["label"] for g in data["grid"]] == ["none", "yosys"]
+    assert json.loads(json_path.read_text())["best"]
+    assert "# Design-space sweep" in md_path.read_text()
+
+
+def test_cli_sweep_rejects_duplicate_flows(capsys):
+    rc = main(["sweep", "--flow", "yosys", "--flow", "yosys",
+               "--workload", "pci_bridge32", "--width", "4"])
+    assert rc == 2
+    assert "duplicate grid labels" in capsys.readouterr().err

@@ -1,0 +1,363 @@
+"""Yosys ``write_json`` reader: normalization, diagnostics, hierarchy,
+and native-vs-ingested parity over the committed fixture corpus."""
+
+import json
+import os
+
+import pytest
+
+from repro.flow import Session
+from repro.frontend import YosysJsonError, load_yosys_json, read_yosys_json
+from repro.ir import module_signature
+from repro.sim import Simulator
+from repro.workloads import build_case
+
+FIXTURE_DIR = os.path.join(
+    os.path.dirname(__file__), "..", "fixtures", "yosys_json"
+)
+
+
+def netlist(cells, ports, netnames=None, name="t", attributes=None):
+    return {
+        "modules": {
+            name: {
+                "attributes": attributes or {},
+                "ports": ports,
+                "cells": cells,
+                "netnames": netnames or {},
+            }
+        }
+    }
+
+
+def binary_cell(ctype, a_bits, b_bits, y_bits, **params):
+    defaults = {
+        "A_SIGNED": 0,
+        "B_SIGNED": 0,
+        "A_WIDTH": len(a_bits),
+        "B_WIDTH": len(b_bits),
+        "Y_WIDTH": len(y_bits),
+    }
+    defaults.update(params)
+    return {
+        "type": ctype,
+        "parameters": defaults,
+        "port_directions": {"A": "input", "B": "input", "Y": "output"},
+        "connections": {"A": a_bits, "B": b_bits, "Y": y_bits},
+    }
+
+
+def two_input_ports(width=4):
+    a = list(range(2, 2 + width))
+    b = list(range(2 + width, 2 + 2 * width))
+    return a, b, {
+        "a": {"direction": "input", "bits": a},
+        "b": {"direction": "input", "bits": b},
+    }
+
+
+# -- word-level normalization -------------------------------------------------
+
+
+def test_and_cell_simulates():
+    a, b, ports = two_input_ports()
+    y = [20, 21, 22, 23]
+    ports["y"] = {"direction": "output", "bits": y}
+    design = read_yosys_json(netlist({"g": binary_cell("$and", a, b, y)}, ports))
+    sim = Simulator(design.top)
+    for va, vb in [(0b1100, 0b1010), (15, 7), (0, 9)]:
+        assert sim.run({"a": va, "b": vb})["y"] == va & vb
+
+
+@pytest.mark.parametrize("ctype,op", [
+    ("$gt", lambda a, b: int(a > b)),
+    ("$ge", lambda a, b: int(a >= b)),
+])
+def test_swapped_compares(ctype, op):
+    a, b, ports = two_input_ports()
+    ports["y"] = {"direction": "output", "bits": [20]}
+    design = read_yosys_json(
+        netlist({"g": binary_cell(ctype, a, b, [20])}, ports)
+    )
+    sim = Simulator(design.top)
+    for va, vb in [(3, 5), (5, 3), (7, 7), (0, 15)]:
+        assert sim.run({"a": va, "b": vb})["y"] == op(va, vb), (va, vb)
+
+
+def test_signed_operand_extension():
+    # 2-bit signed A into a 4-bit $add: A must sign-extend
+    ports = {
+        "a": {"direction": "input", "bits": [2, 3]},
+        "b": {"direction": "input", "bits": [4, 5, 6, 7]},
+        "y": {"direction": "output", "bits": [8, 9, 10, 11]},
+    }
+    cell = binary_cell("$add", [2, 3], [4, 5, 6, 7], [8, 9, 10, 11],
+                       A_SIGNED=1)
+    design = read_yosys_json(netlist({"g": cell}, ports))
+    sim = Simulator(design.top)
+    for va in range(4):
+        signed_a = va - 4 if va & 0b10 else va
+        for vb in (0, 5, 15):
+            assert sim.run({"a": va, "b": vb})["y"] == (signed_a + vb) % 16
+
+
+def test_wide_declared_output_zero_pads():
+    # $eq produces 1 bit; a 4-bit declared Y gets zero-padded
+    a, b, ports = two_input_ports()
+    y = [20, 21, 22, 23]
+    ports["y"] = {"direction": "output", "bits": y}
+    design = read_yosys_json(netlist({"g": binary_cell("$eq", a, b, y)}, ports))
+    sim = Simulator(design.top)
+    assert sim.run({"a": 9, "b": 9})["y"] == 1
+    assert sim.run({"a": 9, "b": 8})["y"] == 0
+
+
+def test_constant_bits_in_operands():
+    ports = {
+        "a": {"direction": "input", "bits": [2, 3]},
+        "y": {"direction": "output", "bits": [4, 5]},
+    }
+    cell = binary_cell("$and", [2, 3], ["1", "0"], [4, 5])
+    design = read_yosys_json(netlist({"g": cell}, ports))
+    sim = Simulator(design.top)
+    assert sim.run({"a": 0b11})["y"] == 0b01
+
+
+def test_dff_roundtrip_and_netnames():
+    ports = {
+        "clk": {"direction": "input", "bits": [2]},
+        "d": {"direction": "input", "bits": [3, 4]},
+        "q": {"direction": "output", "bits": [5, 6]},
+    }
+    cells = {
+        "ff": {
+            "type": "$dff",
+            "parameters": {"WIDTH": 2, "CLK_POLARITY": 1},
+            "port_directions": {"CLK": "input", "D": "input", "Q": "output"},
+            "connections": {"CLK": [2], "D": [3, 4], "Q": [5, 6]},
+        }
+    }
+    netnames = {"state": {"bits": [5, 6]}}
+    design = read_yosys_json(netlist(cells, ports, netnames))
+    module = design.top
+    assert len(module.cells) == 1
+    assert next(iter(module.cells.values())).width == 2
+
+
+def test_named_internal_nets_become_wires():
+    a, b, ports = two_input_ports(2)
+    ports["y"] = {"direction": "output", "bits": [30, 31]}
+    cells = {
+        "g1": binary_cell("$and", a, b, [20, 21]),
+        "g2": binary_cell("$or", [20, 21], b, [30, 31]),
+    }
+    netnames = {"mid": {"bits": [20, 21]}}
+    design = read_yosys_json(netlist(cells, ports, netnames))
+    assert "mid" in design.top.wires
+
+
+def test_parameter_bit_strings():
+    # Yosys may encode parameters as MSB-first bit-strings
+    ports = {
+        "a": {"direction": "input", "bits": [2, 3, 4, 5]},
+        "y": {"direction": "output", "bits": [6, 7, 8, 9]},
+    }
+    cell = {
+        "type": "$not",
+        "parameters": {"A_SIGNED": "0", "A_WIDTH": "00000100",
+                       "Y_WIDTH": "00000100"},
+        "connections": {"A": [2, 3, 4, 5], "Y": [6, 7, 8, 9]},
+    }
+    design = read_yosys_json(netlist({"g": cell}, ports))
+    sim = Simulator(design.top)
+    assert sim.run({"a": 0b0101})["y"] == 0b1010
+
+
+# -- hierarchy ----------------------------------------------------------------
+
+
+def hier_netlist():
+    return {
+        "modules": {
+            "parent": {
+                "attributes": {},
+                "ports": {
+                    "x": {"direction": "input", "bits": [2]},
+                    "z": {"direction": "output", "bits": [3]},
+                },
+                "cells": {
+                    "u0": {
+                        "type": "child",
+                        "parameters": {},
+                        "attributes": {"keep": 1},
+                        "connections": {"i": [2], "o": [3]},
+                    }
+                },
+                "netnames": {},
+            },
+            "child": {
+                "attributes": {},
+                "ports": {
+                    "i": {"direction": "input", "bits": [2]},
+                    "o": {"direction": "output", "bits": [3]},
+                },
+                "cells": {
+                    "g": {
+                        "type": "$not",
+                        "parameters": {"A_SIGNED": 0, "A_WIDTH": 1,
+                                       "Y_WIDTH": 1},
+                        "connections": {"A": [2], "Y": [3]},
+                    }
+                },
+                "netnames": {},
+            },
+        }
+    }
+
+
+def test_non_dollar_cells_become_instances():
+    design = read_yosys_json(hier_netlist())
+    assert design.top.name == "parent"  # child is instantiated
+    parent = design.modules["parent"]
+    assert list(parent.instances) == ["u0"]
+    instance = parent.instances["u0"]
+    assert instance.module_name == "child"
+    assert instance.attributes["keep"] == 1
+
+
+def test_top_attribute_and_override():
+    data = hier_netlist()
+    data["modules"]["child"]["attributes"]["top"] = 1
+    assert read_yosys_json(data).top.name == "child"
+    assert read_yosys_json(data, top="parent").top.name == "parent"
+
+
+def test_blackbox_modules_are_skipped():
+    data = hier_netlist()
+    data["modules"]["child"]["attributes"]["blackbox"] = 1
+    design = read_yosys_json(data)
+    assert sorted(design.modules) == ["parent"]
+
+
+# -- diagnostics --------------------------------------------------------------
+
+
+def expect_error(data, fragment, top=None):
+    with pytest.raises(YosysJsonError) as err:
+        read_yosys_json(data, top=top)
+    assert fragment in str(err.value), str(err.value)
+
+
+def test_unsupported_cell_type_diagnostic():
+    ports = {"y": {"direction": "output", "bits": [2]}}
+    cell = {"type": "$mem_v2", "parameters": {}, "connections": {}}
+    expect_error(netlist({"m": cell}, ports), "unsupported Yosys cell type")
+
+
+def test_signed_compare_diagnostic():
+    a, b, ports = two_input_ports()
+    ports["y"] = {"direction": "output", "bits": [20]}
+    cell = binary_cell("$lt", a, b, [20], A_SIGNED=1, B_SIGNED=1)
+    expect_error(netlist({"g": cell}, ports), "signed comparison")
+
+
+def test_negative_polarity_dff_diagnostic():
+    ports = {
+        "clk": {"direction": "input", "bits": [2]},
+        "d": {"direction": "input", "bits": [3]},
+        "q": {"direction": "output", "bits": [4]},
+    }
+    cell = {
+        "type": "$dff",
+        "parameters": {"WIDTH": 1, "CLK_POLARITY": 0},
+        "connections": {"CLK": [2], "D": [3], "Q": [4]},
+    }
+    expect_error(netlist({"ff": cell}, ports), "negative-polarity")
+
+
+def test_port_direction_mismatch_diagnostic():
+    a, b, ports = two_input_ports()
+    ports["y"] = {"direction": "output", "bits": [20]}
+    cell = binary_cell("$eq", a, b, [20])
+    cell["port_directions"]["A"] = "output"
+    expect_error(netlist({"g": cell}, ports), "declared 'output'")
+
+
+def test_inout_port_diagnostic():
+    ports = {"p": {"direction": "inout", "bits": [2]}}
+    expect_error(netlist({}, ports), "unsupported direction")
+
+
+def test_unconnected_port_diagnostic():
+    ports = {"y": {"direction": "output", "bits": [2]}}
+    cell = {
+        "type": "$not",
+        "parameters": {"A_WIDTH": 1, "Y_WIDTH": 1},
+        "connections": {"Y": [2]},
+    }
+    expect_error(netlist({"g": cell}, ports), "port A unconnected")
+
+
+def test_constant_output_bit_diagnostic():
+    ports = {"a": {"direction": "input", "bits": [2]}}
+    cell = {
+        "type": "$not",
+        "parameters": {"A_WIDTH": 1, "Y_WIDTH": 1},
+        "connections": {"A": [2], "Y": ["0"]},
+    }
+    expect_error(netlist({"g": cell}, ports), "constant bit in output")
+
+
+def test_invalid_json_diagnostic():
+    with pytest.raises(YosysJsonError) as err:
+        read_yosys_json("{not json")
+    assert "invalid JSON" in str(err.value)
+
+
+def test_missing_modules_diagnostic():
+    expect_error({"creator": "x"}, 'no "modules"')
+
+
+def test_unknown_top_diagnostic():
+    a, b, ports = two_input_ports()
+    ports["y"] = {"direction": "output", "bits": [20]}
+    data = netlist({"g": binary_cell("$eq", a, b, [20])}, ports)
+    expect_error(data, "no module named", top="missing")
+
+
+# -- fixture corpus parity ----------------------------------------------------
+
+
+def _manifest():
+    with open(os.path.join(FIXTURE_DIR, "manifest.json")) as handle:
+        return json.load(handle)
+
+
+def test_fixture_manifest_covers_preset_workloads():
+    from repro.flow.sweep import PRESET_WORKLOAD_NAMES
+
+    manifest = _manifest()
+    assert sorted(manifest["cases"]) == sorted(PRESET_WORKLOAD_NAMES)
+    for name in manifest["cases"]:
+        assert os.path.exists(os.path.join(FIXTURE_DIR, f"{name}.json"))
+
+
+@pytest.mark.parametrize("name", sorted(_manifest()["cases"]))
+def test_ingested_fixture_matches_native_path(name):
+    """The acceptance bar: a Yosys-JSON-ingested copy of each preset
+    workload must optimize to byte-identical areas vs native construction."""
+    manifest = _manifest()
+    native = build_case(name, width=manifest["width"])
+    ingested = load_yosys_json(
+        os.path.join(FIXTURE_DIR, f"{name}.json")
+    ).top
+
+    # structure-identical before any optimization...
+    assert module_signature(ingested) == module_signature(native)
+    assert module_signature(native) == manifest["cases"][name]["signature"]
+
+    # ...and byte-identical areas through the full flow
+    native_report = Session(native).run("smartly")
+    ingested_report = Session(ingested).run("smartly")
+    assert ingested_report.original_area == native_report.original_area
+    assert ingested_report.optimized_area == native_report.optimized_area

@@ -24,8 +24,9 @@ from repro.sat.oracle import SatOracle
 
 @pytest.mark.parametrize("seed", CI_CORPUS)
 def test_fixed_corpus_seed(seed):
-    report = run_differential([seed])
-    assert {r.flow for r in report.results} == set(PRESET_NAMES)
+    report = run_differential([seed], roundtrip=True)
+    expected = set(PRESET_NAMES) | {"json-roundtrip"}
+    assert {r.flow for r in report.results} == expected
     assert report.ok, report.to_json(indent=2)
 
 

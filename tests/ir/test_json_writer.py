@@ -1,0 +1,172 @@
+"""Yosys JSON exporter: schema shape and read(write(m)) identity."""
+
+import io
+import json
+
+import pytest
+
+from repro.equiv.differential import random_module
+from repro.frontend import read_yosys_json
+from repro.ir import (
+    CellType,
+    Circuit,
+    Design,
+    module_signature,
+    write_yosys_json,
+    yosys_json_dict,
+    yosys_json_str,
+)
+from repro.workloads import CASE_NAMES, build_case
+
+
+def small_module():
+    c = Circuit("t")
+    a, b = c.input("a", 4), c.input("b", 4)
+    s = c.input("s")
+    c.output("y", c.mux(c.and_(a, b), c.add(a, b), s))
+    return c.module
+
+
+def test_schema_shape():
+    data = yosys_json_dict(small_module())
+    assert "creator" in data
+    mod = data["modules"]["t"]
+    assert set(mod) == {"attributes", "ports", "cells", "netnames"}
+    assert mod["attributes"] == {"top": 1}
+    assert mod["ports"]["a"]["direction"] == "input"
+    assert mod["ports"]["y"]["direction"] == "output"
+    assert len(mod["ports"]["a"]["bits"]) == 4
+    for cell in mod["cells"].values():
+        assert cell["type"].startswith("$")
+        assert set(cell["connections"]) == set(cell["port_directions"])
+        assert "parameters" in cell
+
+
+def test_hide_name_marks_generated_names():
+    data = yosys_json_dict(small_module())
+    mod = data["modules"]["t"]
+    assert all(
+        entry["hide_name"] == (1 if "$" in name else 0)
+        for name, entry in mod["netnames"].items()
+    )
+
+
+def test_binary_cell_parameters():
+    data = yosys_json_dict(small_module())
+    cells = data["modules"]["t"]["cells"]
+    and_cell = next(c for c in cells.values() if c["type"] == "$and")
+    assert and_cell["parameters"] == {
+        "A_SIGNED": 0, "A_WIDTH": 4, "B_SIGNED": 0, "B_WIDTH": 4,
+        "Y_WIDTH": 4,
+    }
+    mux_cell = next(c for c in cells.values() if c["type"] == "$mux")
+    assert mux_cell["parameters"] == {"WIDTH": 4}
+
+
+def test_dff_parameters():
+    c = Circuit("t")
+    clk = c.input("clk")
+    d = c.input("d", 3)
+    c.output("q", c.dff(clk, d))
+    data = yosys_json_dict(c.module)
+    ff = next(
+        cell for cell in data["modules"]["t"]["cells"].values()
+        if cell["type"] == "$dff"
+    )
+    assert ff["parameters"] == {"WIDTH": 3, "CLK_POLARITY": 1}
+
+
+def test_json_str_is_valid_json_with_trailing_newline():
+    text = yosys_json_str(small_module())
+    assert text.endswith("\n")
+    assert json.loads(text)["modules"]["t"]
+
+
+def test_write_to_stream():
+    buffer = io.StringIO()
+    write_yosys_json(small_module(), buffer)
+    assert json.loads(buffer.getvalue())
+
+
+def test_serialization_is_deterministic():
+    assert yosys_json_str(small_module()) == yosys_json_str(small_module())
+
+
+def test_writer_does_not_attach_listeners():
+    module = small_module()
+    before = len(module._listeners)
+    yosys_json_dict(module)
+    assert len(module._listeners) == before
+
+
+def test_design_dict_marks_top():
+    design = Design()
+    child = Circuit("child")
+    child.output("o", child.not_(child.input("i", 2)))
+    design.add_module(child.module)
+    parent = Circuit("parent")
+    parent.output("z", parent.not_(parent.input("x", 2)))
+    design.add_module(parent.module, top=True)
+    data = yosys_json_dict(design)
+    assert data["modules"]["parent"]["attributes"] == {"top": 1}
+    assert data["modules"]["child"]["attributes"] == {}
+    # the whole design round-trips, top selection included
+    restored = read_yosys_json(yosys_json_str(design))
+    assert restored.top.name == "parent"
+    assert sorted(restored.modules) == ["child", "parent"]
+
+
+def test_instances_round_trip():
+    parent = Circuit("parent")
+    x = parent.input("x", 2)
+    z = parent.module.add_wire("z", 2, port_output=True)
+    parent.module.add_instance(
+        "child", name="u0", connections={"i": x, "o": z}
+    )
+    data = yosys_json_dict(parent.module)
+    entry = data["modules"]["parent"]["cells"]["u0"]
+    assert entry["type"] == "child"
+    assert entry["parameters"] == {}
+    restored = read_yosys_json({"modules": {
+        "parent": data["modules"]["parent"],
+    }}).top
+    assert restored.instances["u0"].module_name == "child"
+
+
+@pytest.mark.parametrize("name", CASE_NAMES)
+def test_workload_cases_round_trip_identically(name):
+    module = build_case(name, width=4)
+    restored = read_yosys_json(yosys_json_str(module)).top
+    assert module_signature(restored) == module_signature(module)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_random_modules_round_trip_identically(seed):
+    module = random_module(seed, width=4, n_units=3)
+    restored = read_yosys_json(yosys_json_str(module)).top
+    assert module_signature(restored) == module_signature(module)
+
+
+def test_every_cell_type_round_trips():
+    """One module containing every combinational cell type plus a dff."""
+    c = Circuit("allcells")
+    a, b = c.input("a", 4), c.input("b", 4)
+    s = c.input("s")
+    t = c.input("t", 2)
+    clk = c.input("clk")
+    outs = [
+        c.not_(a), c.and_(a, b), c.or_(a, b), c.xor(a, b), c.xnor(a, b),
+        c.nand(a, b), c.nor(a, b), c.mux(a, b, s),
+        c.pmux(a, [(t[0:1], a), (t[1:2], b)]),
+        c.eq(a, b), c.ne(a, b), c.lt(a, b), c.le(a, b),
+        c.add(a, b), c.sub(a, b), c.shl(a, t), c.shr(a, t),
+        c.reduce_and(a), c.reduce_or(a), c.reduce_xor(a), c.reduce_bool(a),
+        c.logic_not(a), c.logic_and(a, b), c.logic_or(a, b),
+        c.dff(clk, a),
+    ]
+    for i, out in enumerate(outs):
+        c.output(f"o{i}", out)
+    module = c.module
+    assert {cell.type for cell in module.cells.values()} == set(CellType)
+    restored = read_yosys_json(yosys_json_str(module)).top
+    assert module_signature(restored) == module_signature(module)

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Regenerate the committed Yosys-JSON fixture corpus.
+
+The corpus under ``tests/fixtures/yosys_json/`` holds one Yosys
+``write_json`` netlist per preset sweep workload
+(:data:`repro.flow.sweep.PRESET_WORKLOAD_NAMES`), produced by our own
+exporter from the deterministic IWLS workload models.  The ingestion
+tests read these files back and require the optimized areas to be
+byte-identical to the native-construction path, so the corpus pins the
+exporter/reader pair *and* the workload generators at once.
+
+Run from the repository root after changing either side::
+
+    python tools/make_yosys_fixtures.py
+
+Committed fixtures use a reduced ``--width`` so the diffs stay
+reviewable; the parity test rebuilds its native reference at the same
+width (recorded in ``manifest.json``).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.flow.sweep import PRESET_WORKLOAD_NAMES  # noqa: E402
+from repro.ir import module_signature, yosys_json_str  # noqa: E402
+from repro.workloads import build_case  # noqa: E402
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out-dir",
+        default=os.path.join(
+            os.path.dirname(__file__), "..", "tests", "fixtures", "yosys_json"
+        ),
+    )
+    parser.add_argument("--width", type=int, default=4,
+                        help="workload model bit-width (default: 4)")
+    args = parser.parse_args()
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    manifest = {"width": args.width, "cases": {}}
+    for name in PRESET_WORKLOAD_NAMES:
+        module = build_case(name, width=args.width)
+        path = os.path.join(args.out_dir, f"{name}.json")
+        with open(path, "w") as handle:
+            handle.write(yosys_json_str(module))
+        manifest["cases"][name] = {
+            "signature": module_signature(module),
+            "cells": len(module.cells),
+        }
+        print(f"wrote {path} ({len(module.cells)} cells)")
+    manifest_path = os.path.join(args.out_dir, "manifest.json")
+    with open(manifest_path, "w") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {manifest_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

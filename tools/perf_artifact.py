@@ -2,9 +2,10 @@
 
 Runs the standalone benchmark entry points —
 ``benchmarks/bench_structhash.py``, ``benchmarks/bench_incremental.py``,
-``benchmarks/bench_design.py``, ``benchmarks/bench_hierarchy.py`` and
-``benchmarks/bench_store.py`` — each with ``--json`` into a temporary
-file, and folds their payloads into a single artifact (``BENCH_7.json``
+``benchmarks/bench_design.py``, ``benchmarks/bench_hierarchy.py``,
+``benchmarks/bench_store.py`` and ``benchmarks/bench_ingest.py`` — each
+with ``--json`` into a temporary file, and folds their payloads into a
+single artifact (``BENCH_8.json``
 at the repo root by default).  CI regenerates and
 uploads it on every run, and the committed copy records the perf
 trajectory per PR; timings are recorded, never gated here (each bench's
@@ -13,7 +14,7 @@ its *correctness* gates — area parity, hit rates — fails this tool too.
 
 Usage::
 
-    PYTHONPATH=src python tools/perf_artifact.py [--output BENCH_7.json]
+    PYTHONPATH=src python tools/perf_artifact.py [--output BENCH_8.json]
 """
 
 from __future__ import annotations
@@ -34,6 +35,7 @@ BENCHES = (
     ("design", "benchmarks/bench_design.py"),
     ("hierarchy", "benchmarks/bench_hierarchy.py"),
     ("store", "benchmarks/bench_store.py"),
+    ("ingest", "benchmarks/bench_ingest.py"),
 )
 
 
@@ -64,17 +66,18 @@ def run_bench(script: str, tmpdir: str) -> dict:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--output", default=str(REPO / "BENCH_7.json"),
-                        help="artifact path (default: BENCH_7.json at the "
+    parser.add_argument("--output", default=str(REPO / "BENCH_8.json"),
+                        help="artifact path (default: BENCH_8.json at the "
                              "repo root)")
     args = parser.parse_args(argv)
 
     artifact = {
-        "artifact": "BENCH_7",
+        "artifact": "BENCH_8",
         "description": "per-PR perf trajectory: structural-signature "
                        "caching, incremental engine, design-scope "
                        "incrementality, hierarchical instance replay, "
-                       "persistent cache store + serve daemon",
+                       "persistent cache store + serve daemon, "
+                       "Yosys-JSON ingestion parity + DSE sweep runner",
         "benches": {},
     }
     with tempfile.TemporaryDirectory() as tmpdir:
@@ -101,6 +104,14 @@ def main(argv=None) -> int:
             ["store"]["cold_replay"]["reduction_pct"],
         "serve_restart_replayed": artifact["benches"]
             ["store"]["serve_smoke"]["restart_replayed"],
+        "ingest_fixture_areas_identical": artifact["benches"]
+            ["ingest"]["ingestion"]["all_areas_identical"],
+        "ingest_read_cells_per_s": artifact["benches"]
+            ["ingest"]["ingestion"]["read_cells_per_s"],
+        "sweep_grid_points": artifact["benches"]
+            ["ingest"]["sweep"]["grid_points"],
+        "sweep_best_total_reduction_pct": artifact["benches"]
+            ["ingest"]["sweep"]["best_total_reduction_pct"],
     }
     artifact["headlines"] = headlines
 
