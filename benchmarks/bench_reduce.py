@@ -1,0 +1,217 @@
+"""Delta-debugging reducer effectiveness on the injected-bug corpus.
+
+The auto-shrinking fuzz harness (:mod:`repro.testing`) is only useful if
+the reducer reliably collapses real counterexamples: this benchmark arms
+the deterministic ``opt_merge`` sort-key bug
+(:data:`repro.opt.opt_merge.BREAK_SORT_KEY_ENV`), reduces the committed
+corpus seeds against the cec oracle, and gates on the acceptance
+contract — every minimized case must still fail with the *same* label
+and shrink by at least the ``--min-reduction`` percentage (80% by
+default, the ISSUE acceptance bar; CI records timing only with
+``--min-reduction 0`` but label preservation always gates).  It also
+replays the committed fixtures under ``tests/fixtures/repros/`` both
+ways (healthy build passes, re-armed bug fails identically), so the
+artifact records that the shipped corpus is live.
+
+Runable standalone for CI artifacts::
+
+    PYTHONPATH=src python benchmarks/bench_reduce.py --json out.json
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+REPRO_DIR = REPO / "tests" / "fixtures" / "repros"
+
+#: (seed, flow) — mirrors tools/make_repro_corpus.py CASES
+REDUCE_CASES = (
+    (1000, "yosys"),
+    (1001, "smartly"),
+    (1003, "yosys"),
+)
+MAX_PROBES = 400
+
+
+def measure_reduction() -> dict:
+    """Arm the injected bug, reduce every corpus seed, verify labels."""
+    from repro.equiv.differential import random_module
+    from repro.opt.opt_merge import BREAK_SORT_KEY_ENV
+    from repro.testing import get_oracle, reduce_module
+
+    saved = os.environ.get(BREAK_SORT_KEY_ENV)
+    os.environ[BREAK_SORT_KEY_ENV] = "1"
+    cases = {}
+    try:
+        for seed, flow in REDUCE_CASES:
+            module = random_module(seed, width=4, n_units=3)
+            oracle = get_oracle("cec", flow=flow)
+            start = time.perf_counter()
+            result = reduce_module(module, oracle, max_probes=MAX_PROBES)
+            elapsed = time.perf_counter() - start
+            cases[f"seed{seed}.{flow}"] = {
+                "seed": seed,
+                "flow": flow,
+                "label": result.target,
+                "original_cells": result.original_cells,
+                "cells": result.cells,
+                "reduction_pct": round(100.0 * result.reduction, 2),
+                "probes": result.probes,
+                "elapsed_s": round(elapsed, 4),
+                "probes_per_s": round(result.probes / elapsed, 1)
+                if elapsed else 0.0,
+                "label_preserved":
+                    oracle.probe(result.module) == result.target,
+            }
+    finally:
+        if saved is None:
+            os.environ.pop(BREAK_SORT_KEY_ENV, None)
+        else:
+            os.environ[BREAK_SORT_KEY_ENV] = saved
+    return {
+        "max_probes": MAX_PROBES,
+        "cases": cases,
+        "min_reduction_pct": min(
+            row["reduction_pct"] for row in cases.values()
+        ),
+        "total_probes": sum(row["probes"] for row in cases.values()),
+        "total_elapsed_s": round(
+            sum(row["elapsed_s"] for row in cases.values()), 4
+        ),
+        "all_labels_preserved": all(
+            row["label_preserved"] for row in cases.values()
+        ),
+    }
+
+
+def measure_corpus_replay() -> dict:
+    """The committed fixtures stay live: healthy passes, re-armed fails."""
+    from repro.opt.opt_merge import BREAK_SORT_KEY_ENV
+    from repro.testing import PASS, get_oracle, load_repro
+
+    fixtures = sorted(glob.glob(str(REPRO_DIR / "*.json")))
+    saved = os.environ.get(BREAK_SORT_KEY_ENV)
+    cases = {}
+    try:
+        for path in fixtures:
+            design, meta = load_repro(path)
+            oracle = get_oracle(meta["oracle"], flow=meta["flow"])
+            target = design if oracle.scope == "design" else design.top
+            os.environ.pop(meta["inject"], None)
+            healthy = oracle.probe(target)
+            os.environ[meta["inject"]] = "1"
+            rearmed = oracle.probe(target)
+            os.environ.pop(meta["inject"], None)
+            cases[os.path.splitext(os.path.basename(path))[0]] = {
+                "cells": meta["cells"],
+                "healthy_passes": healthy == PASS,
+                "fails_identically": rearmed == meta["label"],
+            }
+    finally:
+        if saved is None:
+            os.environ.pop(BREAK_SORT_KEY_ENV, None)
+        else:
+            os.environ[BREAK_SORT_KEY_ENV] = saved
+    return {
+        "fixtures": len(fixtures),
+        "cases": cases,
+        "all_live": bool(cases) and all(
+            row["healthy_passes"] and row["fails_identically"]
+            for row in cases.values()
+        ),
+    }
+
+
+def test_reduction_effectiveness(table_report):
+    row = measure_reduction()
+    lines = [
+        f"corpus: {len(row['cases'])} seeds, budget {row['max_probes']} "
+        f"probes each",
+        f"min reduction:     {row['min_reduction_pct']:.1f}%  (gate: 80%)",
+        f"labels preserved:  {row['all_labels_preserved']}",
+        f"total probes:      {row['total_probes']} in "
+        f"{row['total_elapsed_s']:.2f}s",
+    ]
+    table_report.add(
+        "Delta reducer — injected opt_merge bug corpus", "\n".join(lines)
+    )
+    assert row["all_labels_preserved"], row
+    assert row["min_reduction_pct"] >= 80.0, row
+
+
+def test_committed_corpus_is_live(table_report):
+    row = measure_corpus_replay()
+    lines = [
+        f"fixtures: {row['fixtures']}",
+        f"healthy passes + re-armed fails identically: {row['all_live']}",
+    ]
+    table_report.add(
+        "Repro corpus — committed fixture replay", "\n".join(lines)
+    )
+    assert row["all_live"], row
+
+
+# -- CI entry point ------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    """Standalone run: reducer-effectiveness + corpus-replay payload."""
+    import argparse
+    import sys
+
+    sys.path.insert(0, str(REPO / "src"))
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", default=None,
+                        help="write the benchmark payload to this file")
+    parser.add_argument("--min-reduction", type=float, default=80.0,
+                        help="fail below this per-case cell-reduction "
+                             "percentage (<= 0 disables the gate — what "
+                             "CI uses; label preservation and corpus "
+                             "liveness always gate)")
+    args = parser.parse_args(argv)
+
+    payload = {
+        "workload": {
+            "reduce": f"random_module seeds {list(REDUCE_CASES)} with the "
+                      "opt_merge sort-key bug armed, cec oracle, "
+                      f"{MAX_PROBES}-probe budget",
+            "corpus": "committed tests/fixtures/repros replayed healthy "
+                      "and re-armed",
+        },
+    }
+
+    reduction = measure_reduction()
+    payload["reduce"] = reduction
+    print(f"reduce: {len(reduction['cases'])} seeds, min reduction "
+          f"{reduction['min_reduction_pct']:.1f}%, labels preserved: "
+          f"{reduction['all_labels_preserved']}, {reduction['total_probes']} "
+          f"probes in {reduction['total_elapsed_s']:.2f}s")
+
+    corpus = measure_corpus_replay()
+    payload["corpus"] = corpus
+    print(f"corpus: {corpus['fixtures']} fixtures live: {corpus['all_live']}")
+
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+        print(f"wrote {args.json}")
+
+    if not reduction["all_labels_preserved"]:
+        return 1
+    if not corpus["all_live"]:
+        return 1
+    if args.min_reduction <= 0:
+        return 0  # timing/quality recorded, not gated
+    return 0 if reduction["min_reduction_pct"] >= args.min_reduction else 1
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

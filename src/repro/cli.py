@@ -10,6 +10,8 @@
     smartly write design.v -o optimized.v [--optimizer smartly]
     smartly equiv gold.v gate.v
     smartly fuzz [--iterations N] [--seed-base S] [--json]
+                 [--all-lanes] [--artifacts DIR] [--shrink]
+    smartly reduce failing.v --oracle cec --flow yosys [-o minimized.v]
     smartly hier design.v [--top NAME] [--optimizer smartly] [--check] [--json]
     smartly serve [--store DIR] [--jobs N] [--port P]
     smartly sweep [--flow F ...] [-k K ...] [--sim-threshold N ...] [--workload W ...]
@@ -20,7 +22,13 @@ subcommands regenerate the paper's tables on the synthetic benchmark suite
 in parallel (``--jobs``), with structured progress events rendered to
 stderr.  ``fuzz`` runs the differential-testing harness: random modules ×
 every flow preset, each result SAT-proven equivalent to its unoptimized
-original (exit status 1 when any check fails).  ``serve`` is the
+original (exit status 1 when any check fails); ``--artifacts DIR`` dumps
+every failing seed's generating module, ``--shrink`` auto-minimizes each
+failure through the matching :mod:`repro.testing` oracle, and
+``--all-lanes`` adds the engine-divergence and seeded-rerun lanes.
+``reduce`` is the standalone delta-debugger: it shrinks a failing design
+while the named oracle keeps failing with the same label (exit status 2
+when the input does not fail at all).  ``serve`` is the
 long-lived optimization-as-a-service daemon: JSON-lines flow jobs in over
 stdin (or ``--port``), progress events and reports streamed back out,
 with the result cache persisted across restarts via ``--store`` (see
@@ -256,7 +264,10 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         )
 
     report = run_differential(
-        seeds, on_result=progress if args.verbose else None, roundtrip=True
+        seeds, on_result=progress if args.verbose else None, roundtrip=True,
+        divergence=args.all_lanes, seeded=args.all_lanes,
+        artifacts_dir=args.artifacts, shrink=args.shrink,
+        shrink_probes=args.shrink_probes,
     )
     if args.json:
         print(report.to_json(indent=2))
@@ -276,7 +287,75 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
                 f"  FAIL seed={failure.seed} flow={failure.flow} "
                 f"method={failure.method} cex={failure.counterexample}"
             )
+        for entry in report.reductions:
+            if "cells" in entry:
+                print(
+                    f"  shrunk seed={entry['seed']} flow={entry['flow']}: "
+                    f"{entry['original_cells']} -> {entry['cells']} cells "
+                    f"({100 * entry['reduction']:.1f}%, "
+                    f"oracle={entry['oracle']}, label={entry['label']})"
+                )
+            else:
+                print(
+                    f"  shrink FAILED seed={entry['seed']} "
+                    f"flow={entry['flow']}: {entry.get('error', '?')}"
+                )
+        for path in report.artifacts:
+            print(f"  wrote {path}")
     return 0 if report.ok else 1
+
+
+def cmd_reduce(args: argparse.Namespace) -> int:
+    """Delta-debug a failing case down to a minimal repro (exit 2 if the
+    input does not fail the oracle at all)."""
+    import json as _json
+
+    from .ir import verilog_str, yosys_json_str
+    from .testing import (
+        NotFailingError,
+        get_oracle,
+        reduce_design,
+        reduce_module,
+    )
+
+    oracle = get_oracle(args.oracle, flow=args.flow)
+    design = _load_design(args.source, args.top, args.format)
+    progress = None
+    if args.verbose:
+        progress = lambda msg: print(f"  {msg}", file=sys.stderr)  # noqa: E731
+    try:
+        if oracle.scope == "design":
+            result = reduce_design(design, oracle,
+                                   max_probes=args.max_probes,
+                                   on_progress=progress)
+            minimized = result.design
+            modules = list(minimized)
+        else:
+            result = reduce_module(design.top, oracle,
+                                   max_probes=args.max_probes,
+                                   on_progress=progress)
+            minimized = result.module
+            modules = [minimized]
+    except NotFailingError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"reduce: {result.original_cells} -> {result.cells} cells "
+        f"({100 * result.reduction:.1f}%), label {result.target!r}, "
+        f"{result.probes} probes", file=sys.stderr,
+    )
+    if args.json:
+        print(_json.dumps(result.summary(), indent=2, sort_keys=True))
+    if args.output:
+        if args.output.endswith(".json"):
+            text = yosys_json_str(minimized)
+        else:
+            text = "\n".join(verilog_str(m) for m in modules)
+        atomic_write_text(args.output, text)
+        print(f"wrote {args.output}", file=sys.stderr)
+    elif not args.json:
+        sys.stdout.write("\n".join(verilog_str(m) for m in modules))
+    return 0
 
 
 def cmd_hier(args: argparse.Namespace) -> int:
@@ -534,7 +613,48 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print the fuzz report as JSON")
     p_fuzz.add_argument("-v", "--verbose", action="store_true",
                         help="stream per-check progress to stderr")
+    p_fuzz.add_argument("--all-lanes", action="store_true",
+                        help="also run the engine-divergence and "
+                             "seeded-rerun lanes per seed x flow")
+    p_fuzz.add_argument("--artifacts", default=None, metavar="DIR",
+                        help="dump every failing seed's generating module "
+                             "(.v + .json) into DIR before any reduction")
+    p_fuzz.add_argument("--shrink", action="store_true",
+                        help="auto-minimize each failure through its "
+                             "matching repro.testing oracle")
+    p_fuzz.add_argument("--shrink-probes", type=int, default=400,
+                        metavar="N",
+                        help="oracle-probe budget per shrink (default: 400)")
     p_fuzz.set_defaults(func=cmd_fuzz)
+
+    from .testing import ORACLE_NAMES
+
+    p_reduce = sub.add_parser(
+        "reduce",
+        help="delta-debug a failing design to a minimal repro while an "
+             "oracle keeps failing with the same label",
+    )
+    p_reduce.add_argument("source")
+    p_reduce.add_argument("--oracle", choices=ORACLE_NAMES, default="cec",
+                          help="interestingness predicate (default: cec)")
+    p_reduce.add_argument("--flow", default="smartly",
+                          help="flow preset or script the oracle runs "
+                               "(default: smartly)")
+    p_reduce.add_argument("--top", default=None)
+    p_reduce.add_argument("--max-probes", type=int, default=2000,
+                          metavar="N",
+                          help="oracle-probe budget (default: 2000)")
+    p_reduce.add_argument("-o", "--output", default=None, metavar="PATH",
+                          help="write the minimized netlist to PATH "
+                               "(Yosys JSON when it ends in .json, "
+                               "Verilog otherwise; default: stdout)")
+    p_reduce.add_argument("--json", action="store_true",
+                          help="print the reduction summary as JSON")
+    p_reduce.add_argument("-v", "--verbose", action="store_true",
+                          help="stream per-shrink progress to stderr")
+    p_reduce.add_argument("--format", choices=INPUT_FORMATS, default="auto",
+                          help="input format (default: sniff suffix/content)")
+    p_reduce.set_defaults(func=cmd_reduce)
 
     p_hier = sub.add_parser(
         "hier",

@@ -108,10 +108,17 @@ class DifferentialResult:
 
 @dataclass
 class DifferentialReport:
-    """All verdicts of one harness run plus the shared oracle's counters."""
+    """All verdicts of one harness run plus the shared oracle's counters.
+
+    When the harness runs with ``artifacts_dir``/``shrink``,
+    :attr:`artifacts` lists every repro file written and
+    :attr:`reductions` one summary dict per auto-shrunk failure.
+    """
 
     results: List[DifferentialResult] = field(default_factory=list)
     oracle_stats: Dict[str, int] = field(default_factory=dict)
+    artifacts: List[str] = field(default_factory=list)
+    reductions: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def failures(self) -> List[DifferentialResult]:
@@ -133,6 +140,8 @@ class DifferentialReport:
         return {
             "summary": self.summary(),
             "failures": [asdict(r) for r in self.failures],
+            "reductions": list(self.reductions),
+            "artifacts": list(self.artifacts),
         }
 
     def to_json(self, **kwargs: Any) -> str:
@@ -144,13 +153,20 @@ def roundtrip_result(seed: int, golden: Module) -> DifferentialResult:
     """The Yosys-JSON round-trip lane: ``read(write(m))`` must be
     ``module_signature``-identical to ``m`` (exact structure, not just
     SAT equivalence — the exporter/reader pair may not rewrite anything).
+    Exceptions become failing results (``method="roundtrip:error:..."``)
+    rather than aborting the whole harness run.
     """
     from ..frontend.yosys_json import read_yosys_json
     from ..ir.json_writer import yosys_json_str
     from ..ir.struct_hash import module_signature
 
-    restored = read_yosys_json(yosys_json_str(golden)).top
-    identical = module_signature(restored) == module_signature(golden)
+    try:
+        restored = read_yosys_json(yosys_json_str(golden)).top
+        identical = module_signature(restored) == module_signature(golden)
+        method = "struct_hash"
+    except Exception as exc:  # noqa: BLE001 — any break in the pair is the bug
+        identical = False
+        method = f"roundtrip:error:{type(exc).__name__}"
     return DifferentialResult(
         seed=seed,
         flow="json-roundtrip",
@@ -159,8 +175,116 @@ def roundtrip_result(seed: int, golden: Module) -> DifferentialResult:
         optimized_area=0,
         equivalent=identical,
         undecided=False,
-        method="struct_hash",
+        method=method,
     )
+
+
+def _flow_label(flow: Union[str, FlowSpec]) -> str:
+    if isinstance(flow, str):
+        return flow
+    return getattr(flow, "name", None) or str(flow)
+
+
+def _failure_label(result: DifferentialResult) -> str:
+    """The oracle label a failing result corresponds to (reducer target)."""
+    if result.method.startswith(
+        ("crash:", "divergence:", "seeded:", "roundtrip:")
+    ):
+        return result.method
+    if result.flow == "json-roundtrip":
+        return "roundtrip:signature"
+    if result.undecided:
+        return "cec:undecided"
+    return "cec:counterexample"
+
+
+def _oracle_for(result: DifferentialResult, *, random_vectors: int = 64,
+                max_conflicts: Optional[int] = None):
+    """Map a failing lane result to the oracle that reproduces it.
+
+    Every lane the harness runs — CEC mismatch/undecided, engine
+    divergence, seeded-rerun divergence, json-roundtrip, and crashes —
+    routes to a :mod:`repro.testing.oracles` predicate here, which is
+    what lets :func:`run_differential` auto-shrink any failure.
+    """
+    from ..testing.oracles import (
+        CecOracle,
+        CrashOracle,
+        DivergenceOracle,
+        RoundtripOracle,
+        SeededRerunOracle,
+    )
+
+    if result.flow == "json-roundtrip":
+        return RoundtripOracle()
+    if result.flow.startswith("divergence:"):
+        return DivergenceOracle(flow=result.flow.split(":", 1)[1])
+    if result.flow.startswith("seeded:"):
+        return SeededRerunOracle(flow=result.flow.split(":", 1)[1])
+    if result.method.startswith("crash:"):
+        return CrashOracle(flow=result.flow)
+    return CecOracle(flow=result.flow, random_vectors=random_vectors,
+                     max_conflicts=max_conflicts)
+
+
+def _process_failure(
+    report: DifferentialReport,
+    result: DifferentialResult,
+    golden: Module,
+    *,
+    artifacts_dir: Optional[str],
+    shrink: bool,
+    shrink_probes: int,
+    random_vectors: int,
+    max_conflicts: Optional[int],
+    generator: Dict[str, Any],
+) -> None:
+    """Dump the failing case and (optionally) auto-shrink it.
+
+    The pre-reduction dump happens unconditionally when ``artifacts_dir``
+    is set — a failing seed is reproducible even when reduction is
+    skipped or the reducer cannot confirm the failure.
+    """
+    from ..testing.reduce import NotFailingError, reduce_module, write_repro
+
+    label = _failure_label(result)
+    slug = result.flow.replace(":", "-")
+    stem = f"seed{result.seed}.{slug}"
+    meta = {
+        "seed": result.seed,
+        "flow": result.flow,
+        "label": label,
+        "generator": dict(generator),
+    }
+    if artifacts_dir:
+        report.artifacts.extend(write_repro(
+            artifacts_dir, f"{stem}.orig", golden,
+            meta={**meta, "reduced": False},
+        ))
+    if not shrink:
+        return
+    oracle = _oracle_for(result, random_vectors=random_vectors,
+                         max_conflicts=max_conflicts)
+    entry: Dict[str, Any] = {"seed": result.seed, "flow": result.flow,
+                             "oracle": oracle.name, "label": label}
+    try:
+        reduction = reduce_module(golden, oracle, max_probes=shrink_probes)
+    except NotFailingError:
+        # flaky outside the harness run (e.g. shared-oracle state): keep
+        # the original dump, note that the shrink could not confirm it
+        entry["error"] = "not-reproducible"
+        report.reductions.append(entry)
+        return
+    entry.update(reduction.summary())
+    if artifacts_dir:
+        paths = write_repro(
+            artifacts_dir, f"{stem}.min", reduction.module,
+            meta={**meta, "reduced": True, "label": reduction.target,
+                  "reduction": reduction.summary()},
+        )
+        report.artifacts.extend(paths)
+        entry["artifact"] = paths[1]
+    report.reductions.append(entry)
 
 
 def run_differential(
@@ -174,17 +298,33 @@ def run_differential(
     oracle: Optional[SatOracle] = None,
     on_result: Optional[Callable[[DifferentialResult], None]] = None,
     roundtrip: bool = False,
+    divergence: bool = False,
+    seeded: bool = False,
+    artifacts_dir: Optional[str] = None,
+    shrink: bool = False,
+    shrink_probes: int = 400,
 ) -> DifferentialReport:
     """Run the differential harness over ``seeds`` × ``flows``.
 
     Every flow runs on a private clone; the unoptimized module is the
     golden reference for every check, so flows cannot mask each other's
     bugs.  A shared :class:`~repro.sat.oracle.SatOracle` accumulates
-    CEC counters for the whole session (reported in the result).
+    CEC counters for the whole session (reported in the result).  A flow
+    that raises becomes a failing ``crash:<ExcType>`` result instead of
+    aborting the run.
 
     ``roundtrip=True`` adds one ``json-roundtrip`` lane per seed: the
     golden module must survive Yosys-JSON export + re-ingestion with an
     identical structural signature (see :func:`roundtrip_result`).
+    ``divergence=True`` / ``seeded=True`` add one engine-divergence /
+    seeded-rerun lane per seed × flow (reported as ``divergence:<flow>``
+    and ``seeded:<flow>``; opt-in, the fixed CI corpus stays CEC-shaped).
+
+    ``artifacts_dir`` dumps every failing seed's generating module as a
+    ``.v`` + ``.json`` pair *before* any reduction; ``shrink=True``
+    additionally routes each failure to its matching
+    :mod:`repro.testing` oracle and writes the minimized repro next to
+    it (``seed<seed>.<lane>.min.*``, budget ``shrink_probes``).
     """
     from ..flow.session import Session  # local import: flow layer is optional
     from .cec import check_equivalence
@@ -192,25 +332,50 @@ def run_differential(
     if oracle is None:
         oracle = SatOracle()
     report = DifferentialReport()
+    generator = {"width": width, "n_units": n_units}
+
+    def emit(result: DifferentialResult, golden: Module) -> None:
+        report.results.append(result)
+        if on_result is not None:
+            on_result(result)
+        if not result.ok and (artifacts_dir or shrink):
+            _process_failure(
+                report, result, golden,
+                artifacts_dir=artifacts_dir, shrink=shrink,
+                shrink_probes=shrink_probes, random_vectors=random_vectors,
+                max_conflicts=max_conflicts,
+                generator={**generator, "seed": result.seed},
+            )
+
     for seed in seeds:
         golden = random_module(seed, width=width, n_units=n_units)
         if roundtrip:
-            result = roundtrip_result(seed, golden)
-            report.results.append(result)
-            if on_result is not None:
-                on_result(result)
+            emit(roundtrip_result(seed, golden), golden)
         for flow in flows:
             module = golden.clone()
-            run = Session(module).run(flow)
-            equiv = check_equivalence(
-                golden,
-                module,
-                random_vectors=random_vectors,
-                seed=seed,
-                max_conflicts=max_conflicts,
-                oracle=oracle,
-            )
-            result = DifferentialResult(
+            try:
+                run = Session(module).run(flow)
+                equiv = check_equivalence(
+                    golden,
+                    module,
+                    random_vectors=random_vectors,
+                    seed=seed,
+                    max_conflicts=max_conflicts,
+                    oracle=oracle,
+                )
+            except Exception as exc:  # noqa: BLE001 — crashes are lane failures
+                emit(DifferentialResult(
+                    seed=seed,
+                    flow=_flow_label(flow),
+                    case_name=golden.name,
+                    original_area=0,
+                    optimized_area=0,
+                    equivalent=False,
+                    undecided=False,
+                    method=f"crash:{type(exc).__name__}",
+                ), golden)
+                continue
+            emit(DifferentialResult(
                 seed=seed,
                 flow=run.flow,
                 case_name=golden.name,
@@ -220,10 +385,27 @@ def run_differential(
                 undecided=equiv.undecided,
                 method=equiv.method,
                 counterexample=dict(equiv.counterexample),
-            )
-            report.results.append(result)
-            if on_result is not None:
-                on_result(result)
+            ), golden)
+        extra_lanes = []
+        if divergence:
+            extra_lanes.append("divergence")
+        if seeded:
+            extra_lanes.append("seeded")
+        for lane in extra_lanes:
+            from ..testing.oracles import PASS, get_oracle
+
+            for flow in flows:
+                label = get_oracle(lane, flow=flow).probe(golden)
+                emit(DifferentialResult(
+                    seed=seed,
+                    flow=f"{lane}:{_flow_label(flow)}",
+                    case_name=golden.name,
+                    original_area=0,
+                    optimized_area=0,
+                    equivalent=label == PASS,
+                    undecided=False,
+                    method=label if label != PASS else "oracle",
+                ), golden)
     report.oracle_stats = oracle.stats.as_dict()
     return report
 

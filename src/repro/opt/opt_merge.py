@@ -14,6 +14,7 @@ streams and stats are reproducible run to run.
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from typing import Dict, Optional, Tuple
 
@@ -56,6 +57,16 @@ def _spec_sort_key(spec) -> Tuple[Tuple[int, str, int, int], ...]:
     return tuple(_bit_sort_key(bit) for bit in spec)
 
 
+#: test-only fault injection: when this environment variable is set, the
+#: structural key of commutative cells is truncated to its first operand,
+#: so ``and(a, b)`` wrongly merges with ``and(a, c)`` — a deliberate,
+#: deterministic miscompile used by the reducer/fuzz-harness acceptance
+#: tests (tests/testing, benchmarks/bench_reduce.py) to prove the CEC
+#: lanes catch it and the minimized repro still triggers it.  Never set
+#: outside those tests.
+BREAK_SORT_KEY_ENV = "SMARTLY_TEST_BREAK_OPT_MERGE"
+
+
 @register_pass
 class OptMerge(Pass):
     """Alias outputs of structurally identical cells and drop duplicates."""
@@ -84,6 +95,8 @@ class OptMerge(Pass):
             # correctly; a run-stable one additionally makes results
             # reproducible (see _bit_sort_key)
             specs.sort(key=_spec_sort_key)
+            if os.environ.get(BREAK_SORT_KEY_ENV):
+                specs = specs[:1]
         return ((cell.type.value, cell.width, cell.n), tuple(specs))
 
     def execute(self, module: Module, result: PassResult) -> None:

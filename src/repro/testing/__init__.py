@@ -1,0 +1,48 @@
+"""Self-testing infrastructure: failure oracles and the case reducer.
+
+The fuzz lanes (``repro.equiv.differential``, ``tests/fuzz``) generate
+whole randomized workload modules; when one fails, this package shrinks
+it to a minimal repro while a pluggable *oracle* keeps failing:
+
+* :mod:`repro.testing.oracles` wraps every differential lane as an
+  interestingness predicate (``probe(module) -> label``);
+* :mod:`repro.testing.reduce` is the ddmin-style delta-debugging loop
+  that drops cells, constifies/merges input bits, narrows ports, prunes
+  hierarchy instances and rename-normalizes — all through the notifying
+  Module/Design edit APIs, so every candidate doubles as a stress test
+  of the live :class:`~repro.ir.walker.NetIndex`.
+
+Reduced repros are written as ``.v`` + self-describing ``.json`` pairs
+(:func:`write_repro` / :func:`load_repro`); the committed corpus under
+``tests/fixtures/repros/`` replays them in tier-1.
+"""
+
+from .oracles import (
+    PASS,
+    ORACLE_NAMES,
+    Oracle,
+    get_oracle,
+)
+from .reduce import (
+    DeltaReducer,
+    NotFailingError,
+    ReductionResult,
+    load_repro,
+    reduce_design,
+    reduce_module,
+    write_repro,
+)
+
+__all__ = [
+    "PASS",
+    "ORACLE_NAMES",
+    "Oracle",
+    "get_oracle",
+    "DeltaReducer",
+    "NotFailingError",
+    "ReductionResult",
+    "load_repro",
+    "reduce_design",
+    "reduce_module",
+    "write_repro",
+]

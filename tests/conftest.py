@@ -23,6 +23,13 @@ def pytest_addoption(parser):
         help="run N extra random differential-fuzz seeds beyond the fixed "
         "CI corpus (tests/fuzz/test_differential.py)",
     )
+    parser.addoption(
+        "--fuzz-artifacts",
+        default=None,
+        metavar="DIR",
+        help="dump every failing fuzz seed's generating module (.v + .json, "
+        "pre-reduction) plus its auto-shrunk minimized repro into DIR",
+    )
 
 
 def random_circuit(

@@ -1,0 +1,28 @@
+module fuzz1003(i0, i1, i2, o0);
+  input [3:0] i0;
+  input [3:0] i1;
+  input i2;
+  output [3:0] o0;
+  wire [3:0] n0;
+  wire [3:0] n1;
+  wire [3:0] n2;
+  wire [3:0] n3;
+  wire [3:0] n4;
+  wire [3:0] n5;
+
+  assign n0 = i0 ^ 4'b0010;
+  assign n2 = n1 ^ i0;
+  assign n3 = n2 ^ i1;
+  assign n5 = i2 ? n4 : n3;
+  assign o0 = n5;
+  assign n4 = 4'b0000;
+  assign n1 = 4'b0000;
+  assign i1[2] = 1'b0;
+  assign i1[3] = 1'b0;
+  assign i2 = 1'b0;
+  assign i0[3] = 1'b0;
+  assign i0[2] = 1'b0;
+  assign i0[1] = 1'b0;
+  assign i1[0] = 1'b0;
+  assign i1[1] = i0[0];
+endmodule

@@ -57,12 +57,21 @@ def test_report_aggregates_shared_oracle_counters():
 
 
 def test_extended_fuzz(request):
-    """Opt-in exploration beyond the fixed corpus (--fuzz-iterations=N)."""
+    """Opt-in exploration beyond the fixed corpus (--fuzz-iterations=N).
+
+    With ``--fuzz-artifacts=DIR`` every failing seed dumps its generating
+    module pre-reduction and auto-shrinks a minimized repro next to it,
+    so a red run is debuggable even if the seed never reproduces again.
+    """
     iterations = request.config.getoption("--fuzz-iterations")
     if not iterations:
         pytest.skip("pass --fuzz-iterations=N to fuzz beyond the fixed corpus")
+    artifacts_dir = request.config.getoption("--fuzz-artifacts")
     seeds = [random.randrange(1 << 30) for _ in range(iterations)]
-    report = run_differential(seeds)
+    report = run_differential(
+        seeds, roundtrip=True,
+        artifacts_dir=artifacts_dir, shrink=bool(artifacts_dir),
+    )
     assert report.ok, (
         "differential fuzz found optimizer bugs; failing seeds reproduce "
         "via repro.equiv.run_differential([seed]):\n" + report.to_json(indent=2)

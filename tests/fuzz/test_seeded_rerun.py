@@ -108,12 +108,31 @@ def test_seeded_rerun_is_actually_seeded():
 
 
 def test_extended_seeded_fuzz(request):
-    """Opt-in exploration beyond the fixed corpus (--fuzz-iterations=N)."""
+    """Opt-in exploration beyond the fixed corpus (--fuzz-iterations=N).
+
+    With ``--fuzz-artifacts=DIR`` a failing seed dumps its generating
+    module (pre-reduction source) before the assertion propagates, so
+    the counterexample survives the CI run even when nobody re-runs it.
+    """
     iterations = request.config.getoption("--fuzz-iterations")
     if not iterations:
         pytest.skip("pass --fuzz-iterations=N to fuzz beyond the fixed corpus")
+    artifacts_dir = request.config.getoption("--fuzz-artifacts")
     for _ in range(iterations):
-        _check_seed(random.randrange(1 << 30), flows=("smartly",))
+        seed = random.randrange(1 << 30)
+        try:
+            _check_seed(seed, flows=("smartly",))
+        except AssertionError:
+            if artifacts_dir:
+                from repro.testing import write_repro
+
+                write_repro(
+                    artifacts_dir, f"seed{seed}.seeded-smartly.orig",
+                    random_module(seed, width=4, n_units=3),
+                    meta={"seed": seed, "flow": "smartly",
+                          "oracle": "seeded", "reduced": False},
+                )
+            raise
 
 
 # -- hierarchical designs: cross-boundary seeded re-runs ----------------------

@@ -1,0 +1,73 @@
+"""Shared hierarchical fixtures for the reducer/oracle tests.
+
+``buggy_design`` is crafted so the injected ``opt_merge`` sort-key bug
+(:data:`repro.opt.opt_merge.BREAK_SORT_KEY_ENV`) miscompiles exactly one
+child class: ``bad`` computes ``a&b`` and ``a&d`` — two AND cells whose
+truncated commutative keys collide, so the broken pass merges them and
+``y2`` wrongly aliases ``y1``.  ``clean`` has nothing mergeable.  The
+top instantiates ``bad`` three times and ``clean`` once with airtight
+per-site bindings, so design-scope reduction should converge to a
+single ``bad`` instance and drop ``clean`` entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.ir.builder import Circuit
+from repro.ir.design import Design
+from repro.ir.module import Module
+from repro.ir.signals import SigSpec
+
+
+def _bad_child(width: int = 2) -> Module:
+    c = Circuit("bad")
+    a = c.input("a", width)
+    b = c.input("b", width)
+    d = c.input("d", width)
+    c.output("y1", c.and_(a, b))
+    c.output("y2", c.and_(a, d))
+    return c.module
+
+
+def _clean_child(width: int = 2) -> Module:
+    c = Circuit("clean")
+    x = c.input("x", width)
+    z = c.input("z", width)
+    c.output("y", c.xor(x, z))
+    return c.module
+
+
+def _bind(c: Circuit, child: Module, prefix: str) -> Dict[str, SigSpec]:
+    """Airtight bindings: fresh top inputs per child input, private
+    wires per child output (no sharing between instantiation sites)."""
+    bindings: Dict[str, SigSpec] = {}
+    for wire in child.inputs:
+        bindings[wire.name] = c.input(f"{prefix}_{wire.name}", wire.width)
+    for wire in child.outputs:
+        bindings[wire.name] = SigSpec.from_wire(
+            c.module.add_wire(f"{prefix}_{wire.name}", wire.width)
+        )
+    return bindings
+
+
+def buggy_design(n_bad: int = 3, width: int = 2) -> Design:
+    bad = _bad_child(width)
+    clean = _clean_child(width)
+    top_c = Circuit("top")
+
+    outputs = []
+    for i in range(n_bad):
+        bindings = _bind(top_c, bad, f"b{i}")
+        top_c.module.add_instance("bad", f"b{i}", bindings)
+        outputs.append(top_c.xor(bindings["y1"], bindings["y2"]))
+    bindings = _bind(top_c, clean, "c0")
+    top_c.module.add_instance("clean", "c0", bindings)
+    outputs.append(bindings["y"])
+    for i, value in enumerate(outputs):
+        top_c.output(f"o{i}", value)
+
+    design = Design(top=top_c.module)
+    design.add_module(bad)
+    design.add_module(clean)
+    return design

@@ -1,0 +1,87 @@
+"""Design-scope reduction: instance pruning, module dropping, and
+incremental-engine health of the reduced hierarchy.
+
+The crafted :func:`hier_cases.buggy_design` fails ``hier-cec`` under the
+injected ``opt_merge`` bug only while at least one ``bad`` instance is
+reachable from the top — so a correct reducer must converge to exactly
+one instance and drop the unrelated ``clean`` child entirely.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hier_cases import buggy_design
+
+from repro.api import Session
+from repro.opt.opt_merge import BREAK_SORT_KEY_ENV
+from repro.testing import get_oracle, reduce_design
+from repro.testing.oracles import _apply_edits, _plan_edits
+
+
+@pytest.fixture
+def reduced(monkeypatch):
+    monkeypatch.setenv(BREAK_SORT_KEY_ENV, "1")
+    design = buggy_design(n_bad=3)
+    oracle = get_oracle("hier-cec", flow="yosys")
+    return reduce_design(design, oracle, max_probes=400), oracle, design
+
+
+def test_shrinks_to_single_instance(reduced):
+    result, oracle, original = reduced
+    assert result.target == "cec:counterexample"
+    assert result.original_instances == 4
+    assert result.instances == 1
+    # the only surviving instance is the bug-carrying child
+    (inst,) = [
+        inst for mod in result.design for inst in mod.instances.values()
+    ]
+    assert inst.module_name == "bad"
+    # the unrelated clean child is gone along with its instance
+    assert set(result.design.modules) == {"top", "bad"}
+    assert oracle.probe(result.design) == result.target
+    # the input design was never mutated
+    assert sum(len(m.instances) for m in original) == 4
+
+
+def test_reduced_design_cells_shrink(reduced):
+    result, _oracle, _original = reduced
+    assert result.cells < result.original_cells
+    # bad keeps exactly the colliding AND pair the bug needs
+    assert len(result.design["bad"].cells) == 2
+
+
+def test_no_stale_net_index_after_pruning(reduced):
+    """Every surviving module's live index must be rebuildable and
+    consistent — instance pruning went through the notifying APIs."""
+    result, _oracle, _original = reduced
+    for module in result.design:
+        module.net_index().check_consistent()
+
+
+def test_child_edits_propagate_after_reduction(reduced, monkeypatch):
+    """``child_edited`` propagation survives instance pruning: a seeded
+    incremental re-run after editing the surviving child matches an
+    eager re-run from the identical state, and the parent is not
+    silently skipped on stale design-incremental seeds."""
+    monkeypatch.delenv(BREAK_SORT_KEY_ENV, raising=False)
+    result, _oracle, _original = reduced
+    design = result.design.clone()
+
+    session = Session(design, engine="incremental")
+    session.run_all("smartly")
+
+    twin = design.clone()
+    rng = random.Random(99)
+    plans = _plan_edits(design["bad"], rng)
+    if _apply_edits(design["bad"], plans) == 0:
+        pytest.skip("reduced child offered no applicable edits")
+    assert _apply_edits(twin["bad"], plans) > 0
+
+    seeded = session.run_all("smartly")
+    eager = Session(twin, engine="eager").run_all("smartly")
+    for name in seeded:
+        assert seeded[name].optimized_area == eager[name].optimized_area, name
+    for parent in design.instantiators("bad"):
+        assert seeded[parent].design_cache != "skipped", parent

@@ -1,0 +1,66 @@
+"""Tier-1 replay of the committed minimized-repro corpus.
+
+Every ``tests/fixtures/repros/*.json`` is a self-describing minimized
+counterexample (see ``tools/make_repro_corpus.py``): on a healthy build
+its oracle passes, and with the recorded fault injection re-armed it
+fails with exactly the recorded label.  A corpus entry going stale —
+passing when it should fail, or failing differently — is a behavior
+change in the passes, the reducer, or the JSON interchange, and this
+test names the artifact that caught it.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+
+import pytest
+
+from repro.testing import PASS, get_oracle, load_repro
+
+REPRO_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "fixtures", "repros",
+)
+
+JSON_FIXTURES = sorted(glob.glob(os.path.join(REPRO_DIR, "*.json")))
+
+
+def _ids(paths):
+    return [os.path.splitext(os.path.basename(p))[0] for p in paths]
+
+
+def test_corpus_is_present():
+    assert JSON_FIXTURES, f"no repro fixtures under {REPRO_DIR}"
+    for path in JSON_FIXTURES:
+        assert os.path.exists(path[: -len(".json")] + ".v"), path
+
+
+@pytest.mark.parametrize("path", JSON_FIXTURES, ids=_ids(JSON_FIXTURES))
+def test_repro_passes_on_healthy_build(path, monkeypatch):
+    design, meta = load_repro(path)
+    monkeypatch.delenv(meta["inject"], raising=False)
+    oracle = get_oracle(meta["oracle"], flow=meta["flow"])
+    target = design if oracle.scope == "design" else design.top
+    assert oracle.probe(target) == PASS, path
+
+
+@pytest.mark.parametrize("path", JSON_FIXTURES, ids=_ids(JSON_FIXTURES))
+def test_repro_fails_identically_when_bug_rearmed(path, monkeypatch):
+    design, meta = load_repro(path)
+    monkeypatch.setenv(meta["inject"], "1")
+    oracle = get_oracle(meta["oracle"], flow=meta["flow"])
+    target = design if oracle.scope == "design" else design.top
+    assert oracle.probe(target) == meta["label"], path
+
+
+@pytest.mark.parametrize("path", JSON_FIXTURES, ids=_ids(JSON_FIXTURES))
+def test_repro_metadata_is_self_describing(path):
+    with open(path) as handle:
+        payload = json.load(handle)
+    for key in ("repro", "seed", "flow", "oracle", "label", "inject",
+                "reduced", "cells", "netlist"):
+        assert key in payload, (path, key)
+    assert payload["reduced"] is True
+    assert payload["reduction"]["reduction"] >= 0.8, path

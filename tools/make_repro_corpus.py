@@ -1,0 +1,77 @@
+"""Regenerate the committed repro corpus under tests/fixtures/repros/.
+
+Each fixture is a minimized counterexample produced by the delta
+reducer (:mod:`repro.testing`) against a deliberately injected,
+deterministic bug — today the ``opt_merge`` commutative sort-key
+truncation behind :data:`repro.opt.opt_merge.BREAK_SORT_KEY_ENV`.  The
+JSON artifacts are self-describing: ``inject`` names the environment
+variable that re-arms the bug, ``oracle``/``flow``/``label`` say how to
+reproduce the failure, and ``tests/testing/test_repro_corpus.py``
+replays exactly that in tier-1 (healthy build passes, re-armed bug
+fails with the recorded label).
+
+Usage::
+
+    PYTHONPATH=src python tools/make_repro_corpus.py
+
+Deterministic: rerunning produces byte-identical fixtures (the reducer
+is hash-seed independent), so a diff after regeneration means reducer
+or generator behavior actually changed.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.equiv.differential import random_module  # noqa: E402
+from repro.opt.opt_merge import BREAK_SORT_KEY_ENV  # noqa: E402
+from repro.testing import get_oracle, reduce_module, write_repro  # noqa: E402
+
+CORPUS_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "tests", "fixtures", "repros",
+)
+
+#: (seed, flow) cells of the committed corpus — append, don't renumber
+CASES = (
+    (1000, "yosys"),
+    (1001, "smartly"),
+    (1003, "yosys"),
+)
+
+
+def main() -> int:
+    os.environ[BREAK_SORT_KEY_ENV] = "1"
+    for seed, flow in CASES:
+        module = random_module(seed, width=4, n_units=3)
+        oracle = get_oracle("cec", flow=flow)
+        result = reduce_module(module, oracle, max_probes=400)
+        stem = f"seed{seed}.{flow}"
+        paths = write_repro(
+            CORPUS_DIR, stem, result.module,
+            meta={
+                "seed": seed,
+                "flow": flow,
+                "oracle": "cec",
+                "label": result.target,
+                "inject": BREAK_SORT_KEY_ENV,
+                "reduced": True,
+                "reduction": result.summary(),
+            },
+        )
+        print(
+            f"{stem}: {result.original_cells} -> {result.cells} cells "
+            f"({100 * result.reduction:.1f}%), label {result.target}"
+        )
+        for path in paths:
+            print(f"  wrote {os.path.relpath(path)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,9 +3,10 @@
 Runs the standalone benchmark entry points —
 ``benchmarks/bench_structhash.py``, ``benchmarks/bench_incremental.py``,
 ``benchmarks/bench_design.py``, ``benchmarks/bench_hierarchy.py``,
-``benchmarks/bench_store.py`` and ``benchmarks/bench_ingest.py`` — each
+``benchmarks/bench_store.py``, ``benchmarks/bench_ingest.py`` and
+``benchmarks/bench_reduce.py`` — each
 with ``--json`` into a temporary file, and folds their payloads into a
-single artifact (``BENCH_8.json``
+single artifact (``BENCH_9.json``
 at the repo root by default).  CI regenerates and
 uploads it on every run, and the committed copy records the perf
 trajectory per PR; timings are recorded, never gated here (each bench's
@@ -14,7 +15,7 @@ its *correctness* gates — area parity, hit rates — fails this tool too.
 
 Usage::
 
-    PYTHONPATH=src python tools/perf_artifact.py [--output BENCH_8.json]
+    PYTHONPATH=src python tools/perf_artifact.py [--output BENCH_9.json]
 """
 
 from __future__ import annotations
@@ -36,6 +37,7 @@ BENCHES = (
     ("hierarchy", "benchmarks/bench_hierarchy.py"),
     ("store", "benchmarks/bench_store.py"),
     ("ingest", "benchmarks/bench_ingest.py"),
+    ("reduce", "benchmarks/bench_reduce.py"),
 )
 
 
@@ -66,18 +68,20 @@ def run_bench(script: str, tmpdir: str) -> dict:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--output", default=str(REPO / "BENCH_8.json"),
-                        help="artifact path (default: BENCH_8.json at the "
+    parser.add_argument("--output", default=str(REPO / "BENCH_9.json"),
+                        help="artifact path (default: BENCH_9.json at the "
                              "repo root)")
     args = parser.parse_args(argv)
 
     artifact = {
-        "artifact": "BENCH_8",
+        "artifact": "BENCH_9",
         "description": "per-PR perf trajectory: structural-signature "
                        "caching, incremental engine, design-scope "
                        "incrementality, hierarchical instance replay, "
                        "persistent cache store + serve daemon, "
-                       "Yosys-JSON ingestion parity + DSE sweep runner",
+                       "Yosys-JSON ingestion parity + DSE sweep runner, "
+                       "delta-debugging case reducer on the injected-bug "
+                       "corpus",
         "benches": {},
     }
     with tempfile.TemporaryDirectory() as tmpdir:
@@ -112,6 +116,12 @@ def main(argv=None) -> int:
             ["ingest"]["sweep"]["grid_points"],
         "sweep_best_total_reduction_pct": artifact["benches"]
             ["ingest"]["sweep"]["best_total_reduction_pct"],
+        "reduce_min_reduction_pct": artifact["benches"]
+            ["reduce"]["reduce"]["min_reduction_pct"],
+        "reduce_labels_preserved": artifact["benches"]
+            ["reduce"]["reduce"]["all_labels_preserved"],
+        "repro_corpus_live": artifact["benches"]
+            ["reduce"]["corpus"]["all_live"],
     }
     artifact["headlines"] = headlines
 
