@@ -1,0 +1,432 @@
+"""Fault-injection survival: the serve daemon under chaos, measured.
+
+The fault-tolerant serve layer claims that no single job failure can
+take down the daemon or poison its warm cache.  This benchmark injects
+every fault in the :mod:`repro.core.faults` registry against live
+process-isolated daemons and records the survival matrix:
+
+1. **Survival matrix** (``max_retries=0`` so each fault's raw shape is
+   visible) — for each registered fault: the affected job answers a
+   *structured* outcome (a retryable error for worker crash/hang, a
+   normal result for merge/store faults, whose damage is absorbed),
+   every subsequent job is answered **byte-identical** to an undisturbed
+   daemon's, and the daemon never exits.  ``survival_rate_pct`` must be
+   100.
+2. **Retry recovery** — with ``max_retries=2`` a first-attempt worker
+   crash and a first-attempt hang (killed at its budget, retried under a
+   doubled one) both end in a successful result with ``attempts == 2``.
+3. **Overload shedding** — a one-worker daemon with ``queue_limit=2``
+   fed a hung job plus a flood answers ``busy`` for the excess instead
+   of queueing unboundedly, then finishes every admitted job.
+
+Runable standalone for CI artifacts::
+
+    PYTHONPATH=src python benchmarks/bench_faults.py --json out.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.api import FlowServer
+from repro.core.faults import FAULT_NAMES
+
+MUX_SOURCE = (
+    "module m(input [1:0] s, input [3:0] a, b, output reg [3:0] y);"
+    " always @* begin case (s) 2'b00: y = a; 2'b01: y = b;"
+    " default: y = a; endcase end endmodule"
+)
+
+
+def req(**fields) -> str:
+    return json.dumps(fields)
+
+
+def run_line(rid, **extra) -> str:
+    return req(op="run", id=rid, source=MUX_SOURCE, flow="smartly",
+               events=False, **extra)
+
+
+def drive(server, lines):
+    responses = []
+    stopped = server.serve_lines(lines, responses.append)
+    return responses, stopped
+
+
+def by_type(responses, kind):
+    return [r for r in responses if r["type"] == kind]
+
+
+def functional(value):
+    """Strip per-session instrumentation (lookup counters, timings) so
+    reports compare on what the flow produced."""
+    if isinstance(value, dict):
+        return {
+            k: functional(v) for k, v in value.items()
+            if k not in ("cache_stats", "runtime_s")
+        }
+    if isinstance(value, list):
+        return [functional(v) for v in value]
+    return value
+
+
+def make_server(**kw):
+    kw.setdefault("max_workers", 1)
+    kw.setdefault("isolation", "process")
+    kw.setdefault("allow_fault_injection", True)
+    return FlowServer(**kw)
+
+
+_reference = None
+
+
+def reference_report():
+    """What an undisturbed daemon answers for the canonical job."""
+    global _reference
+    if _reference is None:
+        server = FlowServer(max_workers=1)
+        try:
+            responses, _ = drive(server, [run_line("ref")])
+        finally:
+            server.close()
+        (result,) = by_type(responses, "result")
+        _reference = functional(result["report"])
+    return _reference
+
+
+# -- 1. survival matrix --------------------------------------------------------
+
+
+def _inject_worker_fault(fault: str) -> dict:
+    """Crash/hang faults: retryable structured error, daemon survives."""
+    kw = {"max_retries": 0}
+    if fault == "worker-hang":
+        kw["default_timeout_s"] = 1.0
+    server = make_server(**kw)
+    start = time.perf_counter()
+    try:
+        responses, stopped = drive(server, [
+            run_line("affected", inject=fault),
+            run_line("follow-up"),
+        ])
+    finally:
+        server.close()
+    errors = by_type(responses, "error")
+    results = by_type(responses, "result")
+    structured = (
+        len(errors) == 1
+        and errors[0]["id"] == "affected"
+        and errors[0]["retryable"] is True
+    )
+    identical = (
+        len(results) == 1
+        and results[0]["id"] == "follow-up"
+        and functional(results[0]["report"]) == reference_report()
+    )
+    return {
+        "fault": fault,
+        "structured_error": structured,
+        "error_kind": errors[0]["kind"] if errors else None,
+        "follow_up_identical": identical,
+        "daemon_alive": stopped is False,
+        "survived": structured and identical and stopped is False,
+        "elapsed_s": round(time.perf_counter() - start, 4),
+    }
+
+
+def _inject_merge_error() -> dict:
+    """Merge fault: the result is still answered; the delta is dropped."""
+    server = make_server()
+    start = time.perf_counter()
+    try:
+        responses, stopped = drive(server, [
+            run_line("affected", inject="merge-error"),
+            run_line("follow-up"),
+        ])
+        merge_errors = server.stats().get("merge_errors", 0)
+    finally:
+        server.close()
+    results = {r["id"]: r for r in by_type(responses, "result")}
+    answered = (
+        "affected" in results
+        and functional(results["affected"]["report"]) == reference_report()
+    )
+    identical = (
+        "follow-up" in results
+        and functional(results["follow-up"]["report"]) == reference_report()
+        # the dropped delta means the follow-up had to recompute
+        and results["follow-up"]["replayed"] is False
+    )
+    return {
+        "fault": "merge-error",
+        "structured_error": answered,  # the fault never surfaces as one
+        "error_kind": None,
+        "merge_errors_counted": merge_errors,
+        "follow_up_identical": identical,
+        "daemon_alive": stopped is False,
+        "survived": (
+            answered and identical and stopped is False
+            and merge_errors == 1
+        ),
+        "elapsed_s": round(time.perf_counter() - start, 4),
+    }
+
+
+def _inject_store_corruption() -> dict:
+    """Store fault: the garbled generation degrades a later warm-start
+    to a colder cache — results stay byte-identical, nothing raises."""
+    start = time.perf_counter()
+    with tempfile.TemporaryDirectory() as tmpdir:
+        store = str(Path(tmpdir) / "store")
+        server = make_server(store_path=store)
+
+        def lines():
+            yield run_line("warmup")
+            deadline = time.monotonic() + 120
+            while server.jobs_run < 1 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            yield req(op="flush", id="f",
+                      inject="store-corrupt-generation")
+
+        try:
+            responses, stopped = drive(server, lines())
+            corrupted = server.stats().get("store_corrupted", 0)
+        finally:
+            server.close()
+        flushed = by_type(responses, "flushed")
+        checkpointed = bool(flushed) and flushed[0]["entries"] > 0
+
+        reborn = make_server(store_path=store)
+        try:
+            reborn_responses, reborn_stopped = drive(
+                reborn, [run_line("reborn")]
+            )
+            skipped = reborn.stats().get("store_corrupt_skipped", 0)
+        finally:
+            reborn.close()
+    results = by_type(reborn_responses, "result")
+    identical = (
+        len(results) == 1
+        and functional(results[0]["report"]) == reference_report()
+    )
+    degraded = checkpointed and skipped >= 1 and (
+        results[0]["replayed"] is False if results else False
+    )
+    return {
+        "fault": "store-corrupt-generation",
+        "structured_error": True,  # nothing ever raises for this fault
+        "error_kind": None,
+        "checkpointed": checkpointed,
+        "generations_corrupted": corrupted,
+        "corrupt_skipped_on_reload": skipped,
+        "follow_up_identical": identical,
+        "daemon_alive": stopped is False and reborn_stopped is False,
+        "survived": identical and degraded and stopped is False,
+        "elapsed_s": round(time.perf_counter() - start, 4),
+    }
+
+
+def measure_survival_matrix() -> dict:
+    rows = [
+        _inject_worker_fault("worker-crash"),
+        _inject_worker_fault("worker-hang"),
+        _inject_store_corruption(),
+        _inject_merge_error(),
+    ]
+    assert {row["fault"] for row in rows} == set(FAULT_NAMES)
+    survived = sum(1 for row in rows if row["survived"])
+    return {
+        "faults_injected": len(rows),
+        "faults_survived": survived,
+        "survival_rate_pct": round(100.0 * survived / len(rows), 2),
+        "matrix": rows,
+    }
+
+
+def test_survival_matrix(table_report):
+    row = measure_survival_matrix()
+    lines = [
+        f"{entry['fault']:<26} survived={entry['survived']} "
+        f"(follow-up identical={entry['follow_up_identical']}, "
+        f"daemon alive={entry['daemon_alive']})"
+        for entry in row["matrix"]
+    ]
+    lines.append(
+        f"survival rate: {row['faults_survived']}/"
+        f"{row['faults_injected']} ({row['survival_rate_pct']:.0f}%)"
+    )
+    table_report.add(
+        "Fault injection — survival matrix (process isolation)",
+        "\n".join(lines),
+    )
+    assert row["survival_rate_pct"] == 100.0, row
+
+
+# -- 2. retry recovery ---------------------------------------------------------
+
+
+def measure_retry_recovery() -> dict:
+    server = make_server(max_retries=2)
+    try:
+        responses, _ = drive(server, [
+            run_line("crash-retry", inject="worker-crash"),
+            run_line("hang-retry", inject="worker-hang", timeout_s=1.0),
+        ])
+    finally:
+        server.close()
+    results = {r["id"]: r for r in by_type(responses, "result")}
+    retried = [e for e in by_type(responses, "event")
+               if e.get("kind") == "job_retried"]
+    crash = results.get("crash-retry", {})
+    hang = results.get("hang-retry", {})
+    return {
+        "crash_recovered": functional(crash.get("report")) == (
+            reference_report()
+        ),
+        "crash_attempts": crash.get("attempts"),
+        "hang_recovered": functional(hang.get("report")) == (
+            reference_report()
+        ),
+        "hang_attempts": hang.get("attempts"),
+        "retry_events": len(retried),
+        "retry_reasons": sorted({e["reason"] for e in retried}),
+    }
+
+
+def test_retry_recovery(table_report):
+    row = measure_retry_recovery()
+    table_report.add(
+        "Fault injection — retry recovery",
+        f"worker-crash: recovered={row['crash_recovered']} in "
+        f"{row['crash_attempts']} attempts\n"
+        f"worker-hang:  recovered={row['hang_recovered']} in "
+        f"{row['hang_attempts']} attempts (budget doubled on retry)\n"
+        f"job_retried events: {row['retry_events']} "
+        f"({', '.join(row['retry_reasons'])})",
+    )
+    assert row["crash_recovered"] and row["crash_attempts"] == 2, row
+    assert row["hang_recovered"] and row["hang_attempts"] == 2, row
+
+
+# -- 3. overload shedding ------------------------------------------------------
+
+FLOOD_JOBS = 6
+
+
+def measure_overload_shedding() -> dict:
+    server = make_server(max_retries=0, queue_limit=2)
+    try:
+        lines = [run_line("hog", inject="worker-hang", timeout_s=4.0)]
+        lines += [run_line(f"flood-{i}") for i in range(FLOOD_JOBS)]
+        start = time.perf_counter()
+        responses, stopped = drive(server, lines)
+        elapsed = time.perf_counter() - start
+    finally:
+        server.close()
+    busy = by_type(responses, "busy")
+    accepted = by_type(responses, "accepted")
+    results = by_type(responses, "result")
+    errors = by_type(responses, "error")
+    identical = all(
+        functional(r["report"]) == reference_report() for r in results
+    )
+    return {
+        "submitted": 1 + FLOOD_JOBS,
+        "queue_limit": 2,
+        "accepted": len(accepted),
+        "busy_responses": len(busy),
+        "results_answered": len(results),
+        "hog_timed_out": (
+            len(errors) == 1 and errors[0]["id"] == "hog"
+            and errors[0]["kind"] == "timeout"
+        ),
+        "admitted_all_answered": (
+            len(results) + len(errors) == len(accepted)
+        ),
+        "results_identical": identical,
+        "daemon_alive": stopped is False,
+        "elapsed_s": round(elapsed, 4),
+    }
+
+
+def test_overload_shedding(table_report):
+    row = measure_overload_shedding()
+    table_report.add(
+        "Fault injection — overload shedding",
+        f"submitted {row['submitted']} jobs at queue_limit="
+        f"{row['queue_limit']}: {row['accepted']} accepted, "
+        f"{row['busy_responses']} shed with busy\n"
+        f"admitted jobs all answered: {row['admitted_all_answered']} "
+        f"(hog timed out: {row['hog_timed_out']})",
+    )
+    assert row["busy_responses"] >= 1, row
+    assert row["admitted_all_answered"], row
+    assert row["results_identical"], row
+    assert row["daemon_alive"], row
+
+
+# -- CI entry point ------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    """Standalone run: survival matrix + retry + overload payload."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", default=None,
+                        help="write the benchmark payload to this file")
+    parser.add_argument("--min-reduction", type=float, default=0.0,
+                        help="accepted for interface parity with the other "
+                             "benches; survival is always gated at 100%%")
+    args = parser.parse_args(argv)
+
+    payload = {
+        "workload": {
+            "faults": list(FAULT_NAMES),
+            "daemon": "process isolation, 1 worker, canonical mux job",
+        },
+    }
+
+    matrix = measure_survival_matrix()
+    payload["survival"] = matrix
+    print(f"survival matrix: {matrix['faults_survived']}/"
+          f"{matrix['faults_injected']} faults survived "
+          f"({matrix['survival_rate_pct']}%)")
+    for entry in matrix["matrix"]:
+        print(f"  {entry['fault']:<26} survived={entry['survived']} "
+              f"({entry['elapsed_s']}s)")
+
+    retry = measure_retry_recovery()
+    payload["retry"] = retry
+    print(f"retry recovery: crash attempts={retry['crash_attempts']}, "
+          f"hang attempts={retry['hang_attempts']}")
+
+    overload = measure_overload_shedding()
+    payload["overload"] = overload
+    print(f"overload: {overload['busy_responses']}/{overload['submitted']} "
+          f"shed with busy at queue_limit={overload['queue_limit']}, "
+          f"admitted all answered: {overload['admitted_all_answered']}")
+
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True,
+                      default=str)
+        print(f"wrote {args.json}")
+
+    if matrix["survival_rate_pct"] < 100.0:
+        return 1
+    if not (retry["crash_recovered"] and retry["hang_recovered"]):
+        return 1
+    if not (overload["busy_responses"] >= 1
+            and overload["admitted_all_answered"]
+            and overload["results_identical"]):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,11 +29,22 @@ Everything a tool builder needs in one import::
   :func:`~repro.core.store.atomic_write_bytes` crash-safe artifact
   writers, and :class:`~repro.flow.serve.FlowServer` — the ``cli serve``
   JSON-lines daemon multiplexing flow jobs onto warm-started sessions.
+* Robustness — :class:`~repro.flow.workers.WorkerPool` (the supervised
+  worker-subprocess pool behind ``serve --isolation process``) and the
+  :mod:`repro.core.faults` chaos registry (:data:`~repro.core.faults.
+  FAULT_NAMES`, :class:`~repro.core.faults.InjectedFault`) that proves
+  the serve layer's survival invariants on demand.
 
 Legacy entry points (``repro.flow.run_flow``, ``repro.flow.optimize``,
 ``repro.core.run_smartly``) remain as deprecated shims over this layer.
 """
 
+from .core.faults import (
+    FAULT_NAMES,
+    FaultError,
+    FaultSpec,
+    InjectedFault,
+)
 from .core.smartly import SmartlyOptions
 from .events import (
     EventBus,
@@ -71,6 +82,7 @@ from .flow.sweep import (
     preset_workloads,
     run_sweep,
 )
+from .flow.workers import JobOutcome, WorkerPool
 from .frontend.yosys_json import YosysJsonError, load_yosys_json, read_yosys_json
 from .ir.design import Design
 from .ir.json_writer import write_yosys_json, yosys_json_dict, yosys_json_str
@@ -80,6 +92,9 @@ __all__ = [
     "CacheStore",
     "Design",
     "EquivalenceError",
+    "FAULT_NAMES",
+    "FaultError",
+    "FaultSpec",
     "HierarchyError",
     "HierarchyInfo",
     "HierarchyReport",
@@ -89,6 +104,8 @@ __all__ = [
     "FlowScriptError",
     "FlowServer",
     "FlowSpec",
+    "InjectedFault",
+    "JobOutcome",
     "JsonLinesObserver",
     "PRESETS",
     "PRESET_NAMES",
@@ -103,6 +120,7 @@ __all__ = [
     "SuiteReport",
     "SweepPoint",
     "SweepReport",
+    "WorkerPool",
     "YosysJsonError",
     "atomic_write_bytes",
     "atomic_write_text",

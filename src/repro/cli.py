@@ -14,6 +14,9 @@
     smartly reduce failing.v --oracle cec --flow yosys [-o minimized.v]
     smartly hier design.v [--top NAME] [--optimizer smartly] [--check] [--json]
     smartly serve [--store DIR] [--jobs N] [--port P]
+                  [--isolation thread|process] [--timeout S] [--max-retries N]
+                  [--queue-limit N] [--per-client N] [--drain S]
+                  [--allow-fault-injection]
     smartly sweep [--flow F ...] [-k K ...] [--sim-threshold N ...] [--workload W ...]
 
 ``opt``/``script`` run declarative flows through the :mod:`repro.api`
@@ -32,7 +35,12 @@ when the input does not fail at all).  ``serve`` is the
 long-lived optimization-as-a-service daemon: JSON-lines flow jobs in over
 stdin (or ``--port``), progress events and reports streamed back out,
 with the result cache persisted across restarts via ``--store`` (see
-:mod:`repro.flow.serve`).  ``opt``/``script``/``hier`` accept the same
+:mod:`repro.flow.serve`).  ``--isolation process`` executes jobs in a
+supervised pool of worker subprocesses — a crashed or hung job is killed,
+retried (``--max-retries``, wall-clock ``--timeout``) and answered as a
+structured retryable error while the daemon and its warm cache survive;
+``--queue-limit``/``--per-client`` shed overload with ``busy`` responses
+and ``--drain`` bounds how long shutdown waits for stragglers.  ``opt``/``script``/``hier`` accept the same
 ``--store DIR`` to warm-start one-shot runs from (and contribute back to)
 that persistent cache.
 
@@ -395,13 +403,26 @@ def cmd_hier(args: argparse.Namespace) -> int:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the long-lived JSON-lines optimization daemon."""
-    from .flow.serve import FlowServer, serve_socket, serve_stdin
+    from .flow.serve import (
+        DEFAULT_QUEUE_LIMIT,
+        FlowServer,
+        serve_socket,
+        serve_stdin,
+    )
 
     server = FlowServer(
         store_path=args.store,
         engine=args.engine,
         max_workers=args.jobs,
         keep_generations=args.keep_generations,
+        isolation=args.isolation,
+        default_timeout_s=args.timeout,
+        max_retries=args.max_retries,
+        queue_limit=(args.queue_limit if args.queue_limit is not None
+                     else DEFAULT_QUEUE_LIMIT),
+        per_client_limit=args.per_client,
+        drain_timeout_s=args.drain,
+        allow_fault_injection=args.allow_fault_injection,
     )
     if args.port is not None:
         def announce(port: int) -> None:
@@ -695,6 +716,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--keep-generations", type=int, default=32,
                          help="store generations kept by gc at each "
                               "checkpoint (default: 32)")
+    p_serve.add_argument("--isolation", choices=("thread", "process"),
+                         default="thread",
+                         help="job execution: in-process threads, or a "
+                              "supervised pool of worker subprocesses that "
+                              "survive crashes/hangs (default: thread)")
+    p_serve.add_argument("--timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="default per-job wall-clock budget; on expiry "
+                              "the worker is killed and the job retried "
+                              "under a doubled budget (process isolation "
+                              "only; requests override with 'timeout_s')")
+    p_serve.add_argument("--max-retries", type=int, default=2,
+                         help="retries for retryable failures — worker "
+                              "death, timeout — with exponential backoff "
+                              "(default: 2)")
+    p_serve.add_argument("--queue-limit", type=int, default=None,
+                         metavar="N",
+                         help="jobs in flight or queued before new ones are "
+                              "shed with a 'busy' response (default: 256)")
+    p_serve.add_argument("--per-client", type=int, default=None,
+                         metavar="N",
+                         help="in-flight jobs allowed per request 'client' "
+                              "key before that client gets 'busy' "
+                              "(default: unlimited)")
+    p_serve.add_argument("--drain", type=float, default=None,
+                         metavar="SECONDS",
+                         help="shutdown drain deadline: in-flight jobs get "
+                              "this long to finish before they are "
+                              "cancelled and reported (default: wait)")
+    p_serve.add_argument("--allow-fault-injection", action="store_true",
+                         help="honor the test-only 'inject' request field "
+                              "(chaos drills; see repro.core.faults)")
     p_serve.set_defaults(func=cmd_serve)
 
     p_sweep = sub.add_parser(

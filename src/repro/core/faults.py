@@ -1,0 +1,199 @@
+"""Named injectable faults: the chaos-testing registry of the serve layer.
+
+A service that claims to survive worker crashes, hung SAT calls and
+rotted store generations has to *prove* it — on demand, determin-
+istically, in CI — not wait for production to produce the failure.
+This module is the single registry of every fault the codebase knows how
+to inject, so the chaos suite (``tests/flow/test_faults.py``), the
+survival benchmark (``benchmarks/bench_faults.py``) and ad-hoc operator
+drills all speak the same names:
+
+``worker-crash``
+    The worker subprocess executing the job dies abruptly
+    (``os._exit``), simulating a segfault or the OOM killer.  Only
+    meaningful under ``--isolation process``; a thread-isolated server
+    refuses it with a structured error instead of killing itself.
+``worker-hang``
+    The worker stops responding mid-job (sleeps forever), simulating a
+    heavy-tailed SAT call that never returns.  The supervisor's
+    watchdog must kill it at the job's wall-clock budget.
+``store-corrupt-generation``
+    The newest on-disk :class:`~repro.core.store.CacheStore` generation
+    is garbled right after it is written, simulating torn disk state.
+    A later load must count it ``corrupt_skipped`` and degrade to a
+    colder cache — never raise.
+``merge-error``
+    Merging a finished job's cache delta back into the daemon's shared
+    cache raises, simulating a poisoned snapshot.  The job's result
+    must still be answered; only the delta is dropped (counted as
+    ``merge_errors``).
+
+**Activation** is two-channel:
+
+* the ``SMARTLY_FAULTS`` environment variable — a comma-separated list
+  of fault names armed for the whole process tree (worker subprocesses
+  inherit it), e.g. ``SMARTLY_FAULTS=worker-crash``.  An env-armed
+  fault fires on *every* pass through its site, so retries exhaust and
+  the caller sees the terminal structured error;
+* a test-only ``"inject": "<name>"`` request field on serve jobs,
+  honored only when the server was constructed with
+  ``allow_fault_injection=True`` (the CLI's ``--allow-fault-injection``).
+  Request-injected worker faults fire on the *first attempt only*, so a
+  retrying server demonstrably recovers.
+
+Sites call :func:`trip` with the fault name and the request-injected
+name (if any); an armed fault raises :class:`InjectedFault`, which the
+site's owner converts into whatever the invariant demands (a dead
+worker, a dropped delta, a garbled file).  Unknown names raise
+:class:`FaultError` at validation time — a typo must not silently arm
+nothing.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import FrozenSet, Optional, Union
+
+#: environment variable arming faults process-wide (comma-separated names)
+ENV_VAR = "SMARTLY_FAULTS"
+
+
+class FaultError(ValueError):
+    """An unknown fault name was requested (typos must fail loudly)."""
+
+
+class InjectedFault(RuntimeError):
+    """An armed fault fired at its site; ``.fault`` names it."""
+
+    def __init__(self, fault: str):
+        super().__init__(f"injected fault: {fault}")
+        self.fault = fault
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One registered fault: where it fires and what surviving it means."""
+
+    name: str
+    #: which subsystem hosts the injection site
+    site: str  # "worker" | "store" | "merge"
+    description: str
+    #: the survival invariant the chaos suite asserts when this fires
+    invariant: str
+
+
+REGISTRY = {
+    spec.name: spec
+    for spec in (
+        FaultSpec(
+            "worker-crash",
+            site="worker",
+            description="the worker subprocess os._exit()s mid-job "
+                        "(segfault / OOM-kill stand-in)",
+            invariant="daemon answers a retryable structured error (or "
+                      "retries onto a replacement worker), keeps its warm "
+                      "cache, and serves every later job byte-identically",
+        ),
+        FaultSpec(
+            "worker-hang",
+            site="worker",
+            description="the worker sleeps forever mid-job (heavy-tailed "
+                        "SAT call stand-in)",
+            invariant="the watchdog kills the worker at the job's "
+                      "wall-clock budget; the timeout error is retryable "
+                      "and the daemon keeps serving",
+        ),
+        FaultSpec(
+            "store-corrupt-generation",
+            site="store",
+            description="the newest store generation is garbled right "
+                        "after a checkpoint (torn-disk stand-in)",
+            invariant="loads count the generation corrupt_skipped and "
+                      "degrade to a colder cache; results stay correct",
+        ),
+        FaultSpec(
+            "merge-error",
+            site="merge",
+            description="merging a job's cache delta back into the shared "
+                        "cache raises (poisoned-snapshot stand-in)",
+            invariant="the job's result is still answered; the delta is "
+                      "dropped and counted, the daemon keeps serving",
+        ),
+    )
+}
+
+#: every registered fault name, sorted (the CLI/docs enumeration)
+FAULT_NAMES = tuple(sorted(REGISTRY))
+
+
+def validate(name: str) -> str:
+    """Return ``name`` if registered; raise :class:`FaultError` otherwise."""
+    if name not in REGISTRY:
+        raise FaultError(
+            f"unknown fault {name!r}; registered faults: "
+            f"{', '.join(FAULT_NAMES)}"
+        )
+    return name
+
+
+def env_faults(environ: Optional[dict] = None) -> FrozenSet[str]:
+    """The set of fault names armed via :data:`ENV_VAR` (validated)."""
+    raw = (environ if environ is not None else os.environ).get(ENV_VAR, "")
+    names = frozenset(
+        part.strip() for part in raw.split(",") if part.strip()
+    )
+    for name in names:
+        validate(name)
+    return names
+
+
+def is_armed(name: str, injected: Optional[str] = None) -> bool:
+    """Is ``name`` armed — by the environment or by ``injected`` (the
+    request's validated test-only fault field)?"""
+    validate(name)
+    if injected is not None and validate(injected) == name:
+        return True
+    return name in env_faults()
+
+
+def trip(name: str, injected: Optional[str] = None) -> None:
+    """Raise :class:`InjectedFault` when fault ``name`` is armed.
+
+    Sites sprinkle this one-liner at the exact point the real failure
+    would strike; disarmed it is a set lookup and costs nothing.
+    """
+    if is_armed(name, injected):
+        raise InjectedFault(name)
+
+
+def corrupt_file(path: Union[str, Path]) -> Path:
+    """Garble ``path`` in place (flip bytes mid-file) — the
+    ``store-corrupt-generation`` payload.  The length is preserved so
+    only content addressing / digest checks can detect the damage,
+    which is exactly what the store's loader must rely on."""
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    if not data:
+        data = bytearray(b"\0")
+    mid = len(data) // 2
+    for offset in range(mid, min(mid + 16, len(data))):
+        data[offset] ^= 0xFF
+    path.write_bytes(bytes(data))
+    return path
+
+
+__all__ = [
+    "ENV_VAR",
+    "FAULT_NAMES",
+    "FaultError",
+    "FaultSpec",
+    "InjectedFault",
+    "REGISTRY",
+    "corrupt_file",
+    "env_faults",
+    "is_armed",
+    "trip",
+    "validate",
+]

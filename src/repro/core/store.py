@@ -183,6 +183,14 @@ class CacheStore:
 
         return sorted(files, key=sort_key)
 
+    def newest_generation(self) -> Optional[Path]:
+        """The most recently written generation file, or ``None`` for an
+        empty store.  The chaos harness's ``store-corrupt-generation``
+        fault garbles exactly this file to prove a later load degrades
+        instead of raising."""
+        gens = self.generations()
+        return gens[-1] if gens else None
+
     # -- save ------------------------------------------------------------------
 
     def save(self, entries: Mapping[Tuple, Any]) -> Optional[Path]:

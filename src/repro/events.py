@@ -45,7 +45,17 @@ Event kinds (``FlowEvent.kind``) and their payload keys:
 ``case_finished``         case, flow, original_area, optimized_area,
                           runtime_s
 ``suite_finished``        jobs, runtime_s
+``job_retried``           attempt, reason (``"died"`` or ``"timeout"``),
+                          backoff_s, timeout_s — the serve daemon retrying a
+                          job after its worker died or overran its budget
+``job_cancelled``         reason — the serve daemon abandoning a job at the
+                          shutdown drain deadline
 ========================  ===================================================
+
+The last two kinds are emitted by the serve layer directly onto its JSON
+response stream (shaped as ``{"type": "event", "kind": ..., ...}`` lines)
+rather than through an :class:`EventBus` — the constants live here so
+producers and consumers share one vocabulary.
 """
 
 from __future__ import annotations
@@ -72,6 +82,8 @@ SUITE_STARTED = "suite_started"
 CASE_STARTED = "case_started"
 CASE_FINISHED = "case_finished"
 SUITE_FINISHED = "suite_finished"
+JOB_RETRIED = "job_retried"
+JOB_CANCELLED = "job_cancelled"
 
 
 @dataclass(frozen=True)
@@ -230,6 +242,8 @@ __all__ = [
     "FLOW_SKIPPED",
     "FLOW_STARTED",
     "FlowEvent",
+    "JOB_CANCELLED",
+    "JOB_RETRIED",
     "JsonLinesObserver",
     "Observer",
     "PASS_FINISHED",

@@ -29,6 +29,7 @@ from .sweep import (
     preset_workloads,
     run_sweep,
 )
+from .workers import JobOutcome, WorkerPool, run_job
 
 __all__ = [
     "EquivalenceError",
@@ -36,6 +37,7 @@ __all__ = [
     "FlowScriptError",
     "FlowServer",
     "FlowSpec",
+    "JobOutcome",
     "OPTIMIZERS",
     "PRESETS",
     "PRESET_NAMES",
@@ -48,6 +50,7 @@ __all__ = [
     "SuiteReport",
     "SweepPoint",
     "SweepReport",
+    "WorkerPool",
     "expand_grid",
     "optimize",
     "preset_workloads",
@@ -57,6 +60,7 @@ __all__ = [
     "render_table3",
     "resolve_flow",
     "run_flow",
+    "run_job",
     "serve_socket",
     "serve_stdin",
     "suite_cases",

@@ -1,28 +1,59 @@
-"""The serve daemon: optimization-as-a-service over JSON lines.
+"""The serve daemon: fault-tolerant optimization-as-a-service over JSON lines.
 
 :class:`FlowServer` is a long-lived loop that accepts flow jobs as
 JSON-lines requests — over stdin (``smartly serve``) or a localhost TCP
-socket (``smartly serve --port N``) — multiplexes them onto the same
-thread-pool executor discipline :meth:`~repro.flow.session.Session.
-run_suite` uses (each job runs in a private warm-started sub-session,
-deltas merge back into the shared cache), and streams the session event
-channel back as JSON lines, so a client watches pass-level progress of
-every job it submitted while other jobs run concurrently.
+socket (``smartly serve --port N``) — runs them against one shared warm
+structural cache, and streams the session event channel back as JSON
+lines, so a client watches pass-level progress of every job it submitted
+while other jobs run concurrently.
+
+The daemon is built to survive its jobs.  SAT calls in the redundancy
+ladder and in verified equivalence checks have heavy-tailed runtimes,
+and a service holding the only warm cache cannot afford to die with one
+of them:
+
+* **Isolation** (``isolation=``): ``"process"`` executes each job in a
+  bounded pool of worker subprocesses (:class:`~repro.flow.workers.
+  WorkerPool`) — a worker that segfaults, OOMs or is killed answers a
+  structured ``{"type": "error", "retryable": true, ...}`` and is
+  replaced, with the daemon and its warm cache intact.  ``"thread"``
+  (the default) keeps the historic in-process path.
+* **Budgets** — a per-job wall-clock timeout (request ``"timeout_s"``,
+  else the server's ``default_timeout_s``) enforced by a watchdog that
+  kills the worker.  Enforced under process isolation only: a thread
+  cannot be killed, which is precisely why the worker pool exists.
+* **Retry** — retryable failures (worker death; timeouts, re-run under
+  a doubled budget) are retried up to ``max_retries`` times with
+  exponential backoff, surfaced as ``attempts`` on the final response
+  and as ``job_retried`` event lines in between.
+* **Admission control** — at most ``queue_limit`` jobs may be in flight
+  or queued (and at most ``per_client_limit`` per ``"client"`` key);
+  overload answers ``{"type": "busy", "queue_depth": ...}`` instead of
+  accepting silently.
+* **Graceful degradation** — ``shutdown`` (and plain end-of-input)
+  drains in-flight jobs up to ``drain_timeout_s`` (request ``"drain_s"``
+  overrides); stragglers are cancelled — process workers killed — and
+  reported in the final ``bye`` as ``cancelled``.
+* **Fault injection** — every failure mode above is provable on demand
+  through the :mod:`repro.core.faults` registry: armed via the
+  ``SMARTLY_FAULTS`` env var, or per request through the test-only
+  ``"inject"`` field when the server allows it
+  (``allow_fault_injection=True`` / ``--allow-fault-injection``).
 
 With ``store_path=`` the shared cache is backed by the on-disk
 :class:`~repro.core.store.CacheStore`: the daemon warm-starts from every
-generation previous daemons (or CI runs, or plain sessions) persisted,
-and checkpoints its own delta on ``flush`` and at shutdown — jobs the
-service proved once are replayed from the ``suite_job`` cache forever
-after, across restarts and machines sharing the directory.
+generation previous daemons persisted, and checkpoints its own delta on
+``flush`` and at shutdown — jobs the service proved once are replayed
+from the ``suite_job`` cache forever after, across restarts and machines
+sharing the directory.
 
 **Request protocol** — one JSON object per line; every request may carry
 an ``id`` (echoed verbatim on every related response so interleaved
-streams demultiplex):
+streams demultiplex) and a ``client`` key (the admission-quota bucket):
 
 ``{"op": "run", "source": <verilog or yosys json>, "flow": <preset or
 script>, "check": bool, "top": <name>, "events": bool,
-"format": "auto"|"verilog"|"json"}``
+"format": "auto"|"verilog"|"json", "timeout_s": <seconds>}``
     Compile ``source`` — Verilog text, or a Yosys ``write_json`` netlist
     when ``format`` is ``"json"`` (``"auto"``, the default, sniffs a
     leading ``{``) — and run ``flow`` (default ``"smartly"``) over the
@@ -30,7 +61,8 @@ script>, "check": bool, "top": <name>, "events": bool,
     the job runs (suppressed with ``"events": false``), then one
     ``result`` carrying the :class:`~repro.flow.session.RunReport` dict
     plus ``replayed`` — whether the whole job was answered from the
-    shared ``suite_job`` cache without running a single pass.
+    shared ``suite_job`` cache without running a single pass — and
+    ``attempts``.
 
 ``{"op": "hier", ...}``
     Same, but :meth:`~repro.flow.session.Session.run_hierarchy` over the
@@ -38,11 +70,15 @@ script>, "check": bool, "top": <name>, "events": bool,
     :class:`~repro.flow.session.HierarchyReport` dict.
 
 ``{"op": "ping"}`` / ``{"op": "stats"}`` / ``{"op": "flush"}``
-    Liveness probe; shared-cache counter snapshot; checkpoint the store
-    (one new generation) without shutting down.
+    Liveness probe; shared-cache + supervision counter snapshot;
+    checkpoint the store.  ``flush`` is non-blocking: it persists the
+    delta already merged into the shared cache immediately and reports
+    the ``in_flight`` job count — entries still computing land in the
+    next checkpoint.
 
-``{"op": "shutdown"}``
-    Drain in-flight jobs, checkpoint the store, answer ``bye``, stop.
+``{"op": "shutdown", "drain_s": <seconds>}``
+    Drain in-flight jobs (up to the deadline), checkpoint the store,
+    answer ``bye``, stop.
 
 Malformed lines and failing jobs answer ``{"type": "error", ...}`` —
 the loop itself never dies on bad input (a daemon serving many clients
@@ -55,42 +91,58 @@ from __future__ import annotations
 import json
 import sys
 import threading
-from concurrent.futures import Future, ThreadPoolExecutor
+import time
+from concurrent.futures import Future, ThreadPoolExecutor, wait
 from typing import Any, Callable, Dict, IO, Iterable, List, Optional
 
+from ..core import faults
 from ..core.cache import ResultCache
 from ..core.smartly import SmartlyOptions
 from ..core.store import DEFAULT_KEEP_GENERATIONS, CacheStore
-from ..events import EventBus
-from .session import Session, _run_suite_job
-from .spec import FlowScriptError, resolve_flow
+from ..events import JOB_CANCELLED, JOB_RETRIED
+from .spec import FlowScriptError
+from .workers import (
+    DIED,
+    ERROR,
+    RESULT,
+    TIMEOUT,
+    WorkerPool,
+    run_job,
+)
 
 #: response writer: one JSON-serializable dict per call, one line each
 Writer = Callable[[Dict[str, Any]], None]
 
+#: default admission bound: jobs in flight or queued before ``busy``
+DEFAULT_QUEUE_LIMIT = 256
 
-def _compile_source(source: str, top: Optional[str], fmt: str):
-    """Compile a job's design text: Verilog, or a Yosys JSON netlist when
-    the request says ``"format": "json"`` (or the text looks like one)."""
-    from ..frontend import compile_verilog, read_yosys_json
+#: default worker subprocesses under ``isolation="process"``
+DEFAULT_PROCESS_WORKERS = 2
 
-    if fmt == "auto":
-        fmt = "json" if source.lstrip().startswith("{") else "verilog"
-    if fmt == "json":
-        return read_yosys_json(source, top=top)
-    if fmt == "verilog":
-        return compile_verilog(source, top=top)
-    raise ValueError(f"unknown source format {fmt!r}")
+#: first retry backoff; doubles per attempt
+DEFAULT_RETRY_BACKOFF_S = 0.05
+
+
+def _client_key(request: Dict[str, Any]) -> str:
+    """The admission-quota bucket of one request (``"client"`` field)."""
+    client = request.get("client")
+    return str(client) if client not in (None, "") else "anon"
 
 
 class FlowServer:
     """Shared state of one serve daemon: the warm cache, its optional
-    on-disk store, and the tuning options every job runs under.
+    on-disk store, the worker pool, and the robustness knobs every job
+    runs under.
 
     The server object is transport-free — :meth:`serve_lines` drives it
     from any iterable of request lines and any response writer, which is
     what the tests and the two CLI transports (:func:`serve_stdin`,
     :func:`serve_socket`) do.
+
+    ``isolation`` selects job execution: ``"thread"`` (in-process, the
+    historic path) or ``"process"`` (supervised worker subprocesses —
+    crash/hang/OOM survivable, budgets enforceable).  ``max_workers``
+    bounds concurrent jobs in either mode.
     """
 
     def __init__(
@@ -101,10 +153,37 @@ class FlowServer:
         engine: str = "incremental",
         max_workers: Optional[int] = None,
         keep_generations: int = DEFAULT_KEEP_GENERATIONS,
+        isolation: str = "thread",
+        default_timeout_s: Optional[float] = None,
+        max_retries: int = 2,
+        retry_backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
+        queue_limit: Optional[int] = DEFAULT_QUEUE_LIMIT,
+        per_client_limit: Optional[int] = None,
+        drain_timeout_s: Optional[float] = None,
+        allow_fault_injection: bool = False,
     ):
+        if isolation not in ("thread", "process"):
+            raise ValueError(
+                f"unknown isolation {isolation!r}; choose 'thread' or "
+                f"'process'"
+            )
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if queue_limit is not None and queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1 (or None)")
+        if per_client_limit is not None and per_client_limit < 1:
+            raise ValueError("per_client_limit must be >= 1 (or None)")
         self.options = options
         self.engine = engine
         self.max_workers = max_workers
+        self.isolation = isolation
+        self.default_timeout_s = default_timeout_s
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
+        self.queue_limit = queue_limit
+        self.per_client_limit = per_client_limit
+        self.drain_timeout_s = drain_timeout_s
+        self.allow_fault_injection = allow_fault_injection
         self._cache = ResultCache(
             structural=options.structural_keys if options is not None
             else True
@@ -124,90 +203,227 @@ class FlowServer:
         #: count on it" sequences keeps per-job replay flags coherent
         self._merge_lock = threading.Lock()
         self.jobs_run = 0
+        self._counters: Dict[str, int] = {}
+        self._counters_lock = threading.Lock()
+        #: the worker pool, created lazily on the first process-isolated
+        #: job so thread-mode servers never spawn a subprocess
+        self._pool: Optional[WorkerPool] = None
+        self._pool_lock = threading.Lock()
+        #: set while the drain deadline has passed: in-flight retry loops
+        #: must convert their next failure into a cancellation instead of
+        #: backing off onto a replacement worker
+        self._draining = threading.Event()
+
+    # -- counters --------------------------------------------------------------
+
+    def _bump(self, name: str, amount: int = 1) -> None:
+        with self._counters_lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
 
     # -- persistence -----------------------------------------------------------
 
-    def flush(self) -> int:
+    def flush(self, injected: Optional[str] = None) -> int:
         """Checkpoint the shared cache's unpersisted delta as one store
-        generation (0 without a store or when nothing new was learned)."""
+        generation (0 without a store or when nothing new was learned).
+        Non-blocking: only entries already merged back by finished jobs
+        are persisted — in-flight work lands in the next checkpoint.
+
+        ``injected`` is the request's validated test-only fault name;
+        the ``store-corrupt-generation`` site fires here, garbling the
+        generation just written (what torn disk state would leave).
+        """
         if self._store is None or not self._cache.structural:
             return 0
         delta = self._cache.export(exclude=self._known)
         if not delta:
             return 0
-        self._store.save(delta)
+        path = self._store.save(delta)
         self._known |= set(delta)
+        try:
+            faults.trip("store-corrupt-generation", injected)
+        except faults.InjectedFault:
+            if path is not None:
+                faults.corrupt_file(path)
+                self._bump("store_corrupted")
         self._store.gc(keep_generations=self._keep_generations)
         return len(delta)
 
-    def stats(self) -> Dict[str, int]:
-        totals = dict(self._cache.counters)
+    def stats(self) -> Dict[str, Any]:
+        totals: Dict[str, Any] = dict(self._cache.counters)
         totals["entries"] = len(self._cache)
         totals["jobs_run"] = self.jobs_run
+        totals["isolation"] = self.isolation
+        with self._counters_lock:
+            totals.update(self._counters)
         if self._store is not None:
             for key, value in self._store.counters.items():
                 totals[f"store_{key}"] = value
+        pool = self._pool
+        if pool is not None:
+            for key, value in pool.counters.items():
+                totals[f"pool_{key}"] = value
         return totals
+
+    def close(self) -> None:
+        """Retire the worker pool (if one was ever spawned).  The server
+        stays usable — a later process-isolated job lazily builds a
+        fresh pool.  Transports call this when they stop."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
 
     # -- one job ---------------------------------------------------------------
 
-    def _execute(self, request: Dict[str, Any], emit: Writer) -> Dict[str, Any]:
-        """Run one ``run``/``hier`` job in a private warm-started
-        sub-session; returns the ``result`` payload (exceptions are the
-        caller's to convert into ``error`` responses)."""
-        rid = request.get("id")
-        op = request["op"]
-        source = request.get("source")
-        if not isinstance(source, str) or not source.strip():
-            raise ValueError("missing 'source' (Verilog or Yosys JSON text)")
-        flow = request.get("flow", "smartly")
-        check = bool(request.get("check", False))
-        top = request.get("top")
-        spec = resolve_flow(flow, options=self.options)
-        design = _compile_source(source, top, request.get("format", "auto"))
-        bus = EventBus()
-        if request.get("events", True):
-            bus.subscribe(
-                lambda event: emit(
-                    {"type": "event", "id": rid, **event.to_dict()}
+    def _worker_pool(self) -> WorkerPool:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = WorkerPool(
+                    self.max_workers or DEFAULT_PROCESS_WORKERS
                 )
+            return self._pool
+
+    def _validated_inject(self, request: Dict[str, Any]) -> Optional[str]:
+        """The request's test-only fault name, validated and authorized
+        (:class:`~repro.core.faults.FaultError` otherwise)."""
+        injected = request.get("inject")
+        if injected is None:
+            return None
+        faults.validate(injected)
+        if not self.allow_fault_injection:
+            raise faults.FaultError(
+                "fault injection is disabled on this server; start it "
+                "with allow_fault_injection=True (--allow-fault-injection)"
             )
+        return injected
+
+    def _job_timeout(self, request: Dict[str, Any]) -> Optional[float]:
+        raw = request.get("timeout_s")
+        if raw is None:
+            return self.default_timeout_s
+        timeout = float(raw)
+        if timeout <= 0:
+            raise ValueError("'timeout_s' must be a positive number")
+        return timeout
+
+    def _merge_delta(self, delta, injected: Optional[str] = None) -> int:
+        """Adopt one finished job's cache delta; the ``merge-error``
+        fault site.  A failing merge never fails the job — the result is
+        already computed; only the shared warmth is lost (counted as
+        ``merge_errors``)."""
+        try:
+            faults.trip("merge-error", injected)
+            with self._merge_lock:
+                return self._cache.merge(delta)
+        except Exception:
+            self._bump("merge_errors")
+            return 0
+
+    def _execute(self, request: Dict[str, Any], emit: Writer) -> Dict[str, Any]:
+        """Run one ``run``/``hier`` job under the server's isolation
+        mode; returns the ``result`` (or structured ``error``) payload.
+        Exceptions are the caller's to convert into ``error`` responses."""
+        injected = self._validated_inject(request)
+        timeout = self._job_timeout(request)
+        if self.isolation == "process":
+            return self._execute_process(request, emit, injected, timeout)
+        return self._execute_thread(request, emit, injected)
+
+    def _execute_thread(
+        self,
+        request: Dict[str, Any],
+        emit: Writer,
+        injected: Optional[str],
+    ) -> Dict[str, Any]:
+        """The in-process path: the historic thread-isolation execution
+        (no preemption, so crash/hang faults are refused rather than
+        honored — honoring them would kill the daemon itself)."""
+        if injected is not None and faults.REGISTRY[injected].site == "worker":
+            raise faults.FaultError(
+                f"fault {injected!r} requires --isolation process "
+                f"(a thread-isolated daemon would die with its job)"
+            )
+        rid = request.get("id")
         snapshot = self._cache.export()
-        with Session(design, options=self.options, events=bus,
-                     engine=self.engine) as session:
-            if snapshot:
-                session._result_cache.merge(snapshot)
-            if op == "hier":
-                report = session.run_hierarchy(spec, top=top, check=check)
-                payload = report.to_dict()
-                replayed = sorted(report.replayed)
-                job_replayed = bool(replayed) and not report.replay_fallbacks
-            else:
-                module = design.top
-                report = _run_suite_job(
-                    session, module, spec, check, self.engine,
-                    memoize=self._cache.structural,
-                )
-                payload = report.to_dict()
-                # the private session makes exactly one suite_job lookup
-                # (its own module's signature); a hit means the whole job
-                # replayed from the shared cache without running a pass
-                job_replayed = (
-                    session._result_cache.counters.get("suite_job_hits", 0)
-                    > 0
-                )
-            delta = session._result_cache.export(exclude=snapshot)
-        with self._merge_lock:
-            self._cache.merge(delta)
+        payload, delta = run_job(
+            request, options=self.options, engine=self.engine,
+            snapshot=snapshot, emit_event=emit,
+        )
+        self._merge_delta(delta, injected)
+        with self._counters_lock:
             self.jobs_run += 1
         return {
-            "type": "result",
-            "id": rid,
-            "op": op,
-            "flow": spec.label,
-            "replayed": job_replayed,
-            "report": payload,
+            "type": "result", "id": rid, "attempts": 1,
+            "isolation": "thread", **payload,
         }
+
+    def _execute_process(
+        self,
+        request: Dict[str, Any],
+        emit: Writer,
+        injected: Optional[str],
+        timeout: Optional[float],
+    ) -> Dict[str, Any]:
+        """The supervised path: ship the job to a worker subprocess,
+        enforce the wall-clock budget, and retry retryable failures
+        (worker death; timeouts under a doubled budget) with
+        exponential backoff up to ``max_retries``."""
+        rid = request.get("id")
+        pool = self._worker_pool()
+        attempts = 0
+        max_attempts = 1 + self.max_retries
+        backoff = self.retry_backoff_s
+        while True:
+            attempts += 1
+            outcome = pool.run_job(
+                request,
+                options=self.options,
+                engine=self.engine,
+                snapshot=self._cache.export(),
+                timeout_s=timeout,
+                on_event=emit,
+                fault=injected,
+                attempt=attempts,
+            )
+            if outcome.kind == RESULT:
+                self._merge_delta(outcome.delta, injected)
+                with self._counters_lock:
+                    self.jobs_run += 1
+                return {
+                    "type": "result", "id": rid, "attempts": attempts,
+                    "isolation": "process", **outcome.payload,
+                }
+            if outcome.kind == ERROR:
+                return {
+                    "type": "error", "id": rid, "error": outcome.message,
+                    "retryable": False, "attempts": attempts,
+                }
+            # DIED / TIMEOUT: environmental, retryable
+            self._bump("worker_failures")
+            if self._draining.is_set():
+                return {
+                    "type": "error", "id": rid,
+                    "error": "cancelled: shutdown drain deadline reached",
+                    "kind": "cancelled", "retryable": True,
+                    "attempts": attempts,
+                }
+            if attempts >= max_attempts:
+                return {
+                    "type": "error", "id": rid, "error": outcome.message,
+                    "kind": outcome.kind, "retryable": True,
+                    "attempts": attempts,
+                }
+            if outcome.kind == TIMEOUT and timeout is not None:
+                timeout *= 2  # retry under a raised budget
+            self._bump("retries")
+            emit({
+                "type": "event", "id": rid, "kind": JOB_RETRIED,
+                "attempt": attempts, "reason": outcome.kind,
+                "backoff_s": backoff,
+                "timeout_s": timeout,
+            })
+            time.sleep(backoff)
+            backoff *= 2
 
     # -- the loop --------------------------------------------------------------
 
@@ -221,34 +437,61 @@ class FlowServer:
         Returns ``True`` when the stream ended with an explicit
         ``shutdown`` (the daemon should stop accepting transports),
         ``False`` on plain end-of-input (a socket client disconnecting —
-        the daemon keeps serving).  Either way, all in-flight jobs are
-        drained and the store is checkpointed before returning.
+        the daemon keeps serving).  Either way, in-flight jobs are
+        drained up to the drain deadline — stragglers cancelled and
+        reported — and the store is checkpointed before returning.
         """
         lock = threading.Lock()
+        closed = threading.Event()
 
         def emit(payload: Dict[str, Any]) -> None:
+            if closed.is_set():
+                return  # a straggler outliving the session; drop its line
             with lock:
                 write(payload)
 
         shutdown = False
-        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-            pending: List[Future] = []
+        drain_s = self.drain_timeout_s
+        state = threading.Lock()
+        pending: Dict[Future, Dict[str, Any]] = {}
+        inflight: Dict[str, int] = {}
+        pool = ThreadPoolExecutor(max_workers=self.max_workers)
 
-            def submit(request: Dict[str, Any]) -> None:
-                rid = request.get("id")
+        def reap() -> int:
+            """Drop completed futures (a long-lived daemon must not leak
+            one per job) and return the surviving in-flight count."""
+            with state:
+                for future in [f for f in pending if f.done()]:
+                    del pending[future]
+                return len(pending)
 
-                def job() -> None:
-                    try:
-                        emit(self._execute(request, emit))
-                    except FlowScriptError as exc:
-                        emit({"type": "error", "id": rid,
-                              "error": f"bad flow: {exc}"})
-                    except Exception as exc:
-                        emit({"type": "error", "id": rid,
-                              "error": f"{type(exc).__name__}: {exc}"})
+        def submit(request: Dict[str, Any]) -> None:
+            rid = request.get("id")
+            client = _client_key(request)
 
-                pending.append(pool.submit(job))
+            def job() -> None:
+                try:
+                    emit(self._execute(request, emit))
+                except FlowScriptError as exc:
+                    emit({"type": "error", "id": rid,
+                          "error": f"bad flow: {exc}", "retryable": False})
+                except Exception as exc:
+                    emit({"type": "error", "id": rid,
+                          "error": f"{type(exc).__name__}: {exc}",
+                          "retryable": False})
+                finally:
+                    with state:
+                        inflight[client] = max(
+                            0, inflight.get(client, 1) - 1
+                        )
 
+            with state:
+                inflight[client] = inflight.get(client, 0) + 1
+            future = pool.submit(job)
+            with state:
+                pending[future] = {"id": rid, "client": client}
+
+        try:
             for line in lines:
                 line = line.strip()
                 if not line:
@@ -266,6 +509,28 @@ class FlowServer:
                 op = request.get("op")
                 rid = request.get("id")
                 if op in ("run", "hier"):
+                    depth = reap()
+                    if (
+                        self.queue_limit is not None
+                        and depth >= self.queue_limit
+                    ):
+                        self._bump("busy_rejected")
+                        emit({"type": "busy", "id": rid, "reason": "queue",
+                              "queue_depth": depth,
+                              "limit": self.queue_limit})
+                        continue
+                    client = _client_key(request)
+                    if self.per_client_limit is not None:
+                        with state:
+                            mine = inflight.get(client, 0)
+                        if mine >= self.per_client_limit:
+                            self._bump("busy_rejected")
+                            emit({"type": "busy", "id": rid,
+                                  "reason": "client", "client": client,
+                                  "queue_depth": depth,
+                                  "in_flight": mine,
+                                  "limit": self.per_client_limit})
+                            continue
                     emit({"type": "accepted", "id": rid, "op": op})
                     submit(request)
                 elif op == "ping":
@@ -273,29 +538,105 @@ class FlowServer:
                 elif op == "stats":
                     emit({"type": "stats", "id": rid, "stats": self.stats()})
                 elif op == "flush":
-                    # drain first: in-flight jobs are still computing the
-                    # entries the caller wants on disk
-                    for future in pending:
-                        future.result()
-                    pending.clear()
+                    # non-blocking: persist what finished jobs already
+                    # merged; in-flight work lands in the next checkpoint
+                    try:
+                        injected = self._validated_inject(request)
+                    except faults.FaultError as exc:
+                        emit({"type": "error", "id": rid,
+                              "error": str(exc)})
+                        continue
                     emit({"type": "flushed", "id": rid,
-                          "entries": self.flush()})
+                          "entries": self.flush(injected),
+                          "in_flight": reap()})
                 elif op == "shutdown":
                     shutdown = True
+                    if "drain_s" in request:
+                        raw = request["drain_s"]
+                        try:
+                            drain_s = (
+                                None if raw is None else max(0.0, float(raw))
+                            )
+                        except (TypeError, ValueError):
+                            emit({"type": "error", "id": rid,
+                                  "error": "'drain_s' must be a number "
+                                           "or null"})
+                            shutdown = False
+                            continue
                     break
                 else:
                     emit({"type": "error", "id": rid,
                           "error": f"unknown op {op!r}"})
-            for future in pending:
-                future.result()
+            cancelled = self._drain(pending, state, drain_s, emit)
+        finally:
+            self._draining.clear()
+            pool.shutdown(wait=False)
         flushed = self.flush()
         emit({
             "type": "bye",
             "jobs_run": self.jobs_run,
             "flushed_entries": flushed,
             "cache_entries": len(self._cache),
+            "cancelled": cancelled,
         })
+        closed.set()
         return shutdown
+
+    def _drain(
+        self,
+        pending: Dict[Future, Dict[str, Any]],
+        state: threading.Lock,
+        drain_s: Optional[float],
+        emit: Writer,
+    ) -> List[Any]:
+        """Wait for in-flight jobs up to the drain deadline; past it,
+        cancel queued jobs, kill process-isolated stragglers, and return
+        the cancelled/abandoned job ids (reported in ``bye``)."""
+        with state:
+            futures = dict(pending)
+        if not futures:
+            return []
+        done, not_done = wait(list(futures), timeout=drain_s)
+        if not not_done:
+            return []
+        self._draining.set()
+        cancelled: List[Any] = []
+        killable = []
+        for future in list(not_done):
+            rid = futures[future].get("id")
+            if future.cancel():  # queued, never started: drop outright
+                cancelled.append(rid)
+                self._bump("cancelled")
+                emit({"type": "error", "id": rid,
+                      "error": "cancelled: shutdown drain deadline "
+                               "reached before the job started",
+                      "kind": "cancelled", "retryable": True,
+                      "attempts": 0})
+            else:
+                killable.append(future)
+        pool = self._pool
+        if pool is not None and killable:
+            # running process-isolated jobs: kill their workers; the
+            # supervising threads observe the death, see _draining, and
+            # answer their own cancellation errors
+            pool.kill_active()
+        if killable:
+            grace = 30.0 if self.isolation == "process" else 0.5
+            _done, abandoned = wait(killable, timeout=grace)
+            for future in abandoned:
+                # thread-isolated stragglers cannot be killed; their ids
+                # are reported and any late output is dropped at close
+                rid = futures[future].get("id")
+                cancelled.append(rid)
+                self._bump("cancelled")
+                emit({"type": "event", "id": rid, "kind": JOB_CANCELLED,
+                      "reason": "drain deadline; job still running "
+                                "(thread isolation cannot preempt)"})
+            for future in _done:
+                rid = futures[future].get("id")
+                if self.isolation == "process":
+                    cancelled.append(rid)
+        return cancelled
 
 
 def _json_line(payload: Dict[str, Any]) -> str:
@@ -314,7 +655,10 @@ def serve_stdin(
     def write(payload: Dict[str, Any]) -> None:
         print(_json_line(payload), file=out_stream, flush=True)
 
-    server.serve_lines(in_stream, write)
+    try:
+        server.serve_lines(in_stream, write)
+    finally:
+        server.close()
     return 0
 
 
@@ -324,44 +668,77 @@ def serve_socket(
     port: int = 0,
     *,
     on_listening: Optional[Callable[[int], None]] = None,
+    on_error: Optional[Callable[[BaseException], None]] = None,
 ) -> int:
     """Serve JSON-lines sessions over a localhost TCP socket.
 
     Connections are served one at a time (each gets the full shared
     cache warmth); ``port=0`` binds an ephemeral port, reported through
     ``on_listening`` before the first ``accept``.  A client ``shutdown``
-    stops the daemon; a disconnect just ends that client's session.
+    stops the daemon; a disconnect just ends that client's session — and
+    a connection whose session *raises* (a transport error, a client
+    speaking garbage at the socket layer) is logged through ``on_error``
+    (default: a stderr line) and the accept loop keeps serving.  One bad
+    connection must never stop the daemon.
     """
     import socket
 
-    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
-        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        sock.bind((host, port))
-        sock.listen()
-        if on_listening is not None:
-            on_listening(sock.getsockname()[1])
-        while True:
-            conn, _addr = sock.accept()
-            with conn:
-                rfile = conn.makefile("r", encoding="utf-8", newline="\n")
-                wfile = conn.makefile("w", encoding="utf-8", newline="\n")
+    def report(exc: BaseException) -> None:
+        if on_error is not None:
+            on_error(exc)
+        else:
+            print(f"serve: connection failed: {type(exc).__name__}: {exc}",
+                  file=sys.stderr, flush=True)
 
-                def write(payload: Dict[str, Any]) -> None:
-                    try:
-                        wfile.write(_json_line(payload) + "\n")
-                        wfile.flush()
-                    except (BrokenPipeError, ConnectionResetError, OSError):
-                        pass  # client went away; the job still merges back
-                try:
-                    stopped = server.serve_lines(rfile, write)
-                finally:
-                    for handle in (rfile, wfile):
+    try:
+        with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind((host, port))
+            sock.listen()
+            if on_listening is not None:
+                on_listening(sock.getsockname()[1])
+            while True:
+                conn, _addr = sock.accept()
+                # initialized before the session runs: an exception mid-
+                # session used to leave this unbound and the `if stopped`
+                # check below killed the whole accept loop with a
+                # NameError — one bad connection took the daemon down
+                stopped = False
+                with conn:
+                    rfile = conn.makefile("r", encoding="utf-8",
+                                          newline="\n")
+                    wfile = conn.makefile("w", encoding="utf-8",
+                                          newline="\n")
+
+                    def write(payload: Dict[str, Any]) -> None:
                         try:
-                            handle.close()
-                        except OSError:
-                            pass
-            if stopped:
-                return 0
+                            wfile.write(_json_line(payload) + "\n")
+                            wfile.flush()
+                        except (BrokenPipeError, ConnectionResetError,
+                                OSError):
+                            pass  # client went away; the job still merges
+
+                    try:
+                        stopped = server.serve_lines(rfile, write)
+                    except Exception as exc:
+                        report(exc)  # log-and-continue: daemon survives
+                    finally:
+                        for handle in (rfile, wfile):
+                            try:
+                                handle.close()
+                            except OSError:
+                                pass
+                if stopped:
+                    return 0
+    finally:
+        server.close()
 
 
-__all__ = ["FlowServer", "Writer", "serve_socket", "serve_stdin"]
+__all__ = [
+    "DEFAULT_PROCESS_WORKERS",
+    "DEFAULT_QUEUE_LIMIT",
+    "FlowServer",
+    "Writer",
+    "serve_socket",
+    "serve_stdin",
+]

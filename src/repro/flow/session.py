@@ -560,6 +560,22 @@ class Session:
         self._store.gc(keep_generations=self._store_keep)
         return len(delta)
 
+    def export_cache(self, exclude=None) -> Dict[Tuple, Any]:
+        """Snapshot this session's structural-cache entries (pure data,
+        picklable; empty for identity-keyed sessions).  ``exclude`` drops
+        keys the receiver already holds, so workers return just their
+        delta.  The public face of the warm-start plumbing
+        :meth:`run_suite`, the serve daemon and its process-isolated
+        workers ride (see :meth:`~repro.core.cache.ResultCache.export`).
+        """
+        return self._result_cache.export(exclude=exclude)
+
+    def merge_cache(self, entries: Mapping[Tuple, Any]) -> int:
+        """Adopt another session's :meth:`export_cache` snapshot
+        (existing keys win; returns the number of entries added) — how
+        serve workers and suite jobs warm-start from a shared cache."""
+        return self._result_cache.merge(entries)
+
     def __enter__(self) -> "Session":
         return self
 
@@ -1126,14 +1142,14 @@ class Session:
                          engine=self.engine) as sub:
                 sub._baselines[module.name] = baseline
                 if snapshot:
-                    sub._result_cache.merge(snapshot)
+                    sub.merge_cache(snapshot)
                 report = _run_suite_job(
                     sub, module, spec, check, self.engine,
                     memoize=snapshot is not None,
                 )
                 if snapshot is not None:
                     self._result_cache.merge(
-                        sub._result_cache.export(exclude=snapshot)
+                        sub.export_cache(exclude=snapshot)
                     )
             self.events.emit(
                 "case_finished",
@@ -1332,12 +1348,12 @@ def _suite_process_job(
     module = source() if callable(source) else source
     session = Session(module, options=options, engine=engine)
     if snapshot:
-        session._result_cache.merge(snapshot)
+        session.merge_cache(snapshot)
     report = _run_suite_job(
         session, module, spec, check, engine, memoize=snapshot is not None,
     )
     delta = (
-        session._result_cache.export(exclude=snapshot)
+        session.export_cache(exclude=snapshot)
         if snapshot is not None else {}
     )
     return report, delta

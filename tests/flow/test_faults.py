@@ -1,0 +1,278 @@
+"""Chaos suite: every registered fault injected through a live daemon.
+
+For each fault in :data:`repro.core.faults.REGISTRY` the suite arms it
+against a serve daemon and asserts the registry's survival invariant:
+the affected job answers a structured (usually retryable) error — or
+recovers through retry — every subsequent job is answered byte-identical
+to an undisturbed daemon's, and the daemon itself never exits.  Both
+isolation modes are covered where the fault applies; ``worker-crash`` /
+``worker-hang`` are process-only by design (a thread-isolated daemon
+refuses them instead of dying).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import FlowServer
+from repro.core import faults
+
+MUX_SOURCE = (
+    "module m(input [1:0] s, input [3:0] a, b, output reg [3:0] y);"
+    " always @* begin case (s) 2'b00: y = a; 2'b01: y = b;"
+    " default: y = a; endcase end endmodule"
+)
+
+
+def request(**fields) -> str:
+    return json.dumps(fields)
+
+
+def drive(server, lines):
+    responses = []
+    stopped = server.serve_lines(lines, responses.append)
+    return responses, stopped
+
+
+def by_type(responses, kind):
+    return [r for r in responses if r["type"] == kind]
+
+
+def functional(value):
+    """Drop per-session instrumentation (lookup counters, timings — at
+    every nesting level) so two reports compare on what the flow
+    actually produced: areas, netlist stats, pass outcomes."""
+    if isinstance(value, dict):
+        return {
+            k: functional(v) for k, v in value.items()
+            if k not in ("cache_stats", "runtime_s")
+        }
+    if isinstance(value, list):
+        return [functional(v) for v in value]
+    return value
+
+
+def run_line(rid, **extra):
+    return request(op="run", id=rid, source=MUX_SOURCE, flow="smartly",
+                   events=False, **extra)
+
+
+def make_server(**kw):
+    kw.setdefault("max_workers", 1)
+    kw.setdefault("isolation", "process")
+    kw.setdefault("allow_fault_injection", True)
+    return FlowServer(**kw)
+
+
+@pytest.fixture()
+def undisturbed_report():
+    """The reference result: what an undisturbed daemon answers."""
+    server = FlowServer(max_workers=1)
+    try:
+        responses, _ = drive(server, [run_line("ref")])
+    finally:
+        server.close()
+    (result,) = by_type(responses, "result")
+    return functional(result["report"])
+
+
+class TestRegistry:
+    def test_registry_names_and_sites(self):
+        assert faults.FAULT_NAMES == (
+            "merge-error", "store-corrupt-generation", "worker-crash",
+            "worker-hang",
+        )
+        assert {spec.site for spec in faults.REGISTRY.values()} == {
+            "worker", "store", "merge",
+        }
+
+    def test_validate_rejects_unknown_names(self):
+        with pytest.raises(faults.FaultError):
+            faults.validate("cosmic-ray")
+
+    def test_env_faults_parses_and_validates(self):
+        assert faults.env_faults({"SMARTLY_FAULTS": ""}) == frozenset()
+        assert faults.env_faults(
+            {"SMARTLY_FAULTS": "worker-crash, merge-error"}
+        ) == {"worker-crash", "merge-error"}
+        with pytest.raises(faults.FaultError):
+            faults.env_faults({"SMARTLY_FAULTS": "typo-fault"})
+
+    def test_trip_fires_only_when_armed(self):
+        faults.trip("worker-crash")  # disarmed: a no-op
+        with pytest.raises(faults.InjectedFault) as exc:
+            faults.trip("worker-crash", injected="worker-crash")
+        assert exc.value.fault == "worker-crash"
+        # a different injected fault does not arm this site
+        faults.trip("worker-crash", injected="merge-error")
+
+    def test_corrupt_file_preserves_length(self, tmp_path):
+        target = tmp_path / "gen"
+        target.write_bytes(b"x" * 64)
+        faults.corrupt_file(target)
+        garbled = target.read_bytes()
+        assert len(garbled) == 64 and garbled != b"x" * 64
+
+
+class TestWorkerCrash:
+    def test_without_retries_answers_retryable_error(self,
+                                                     undisturbed_report):
+        server = make_server(max_retries=0)
+        try:
+            responses, stopped = drive(server, [
+                run_line("doomed", inject="worker-crash"),
+                run_line("next"),
+            ])
+        finally:
+            server.close()
+        assert stopped is False  # the daemon never exited
+        (error,) = by_type(responses, "error")
+        assert error["id"] == "doomed"
+        assert error["retryable"] is True
+        assert error["kind"] == "died"
+        assert error["attempts"] == 1
+        # the replacement worker serves the next job byte-identically
+        (result,) = by_type(responses, "result")
+        assert result["id"] == "next"
+        assert functional(result["report"]) == undisturbed_report
+
+    def test_retry_recovers_on_replacement_worker(self, undisturbed_report):
+        server = make_server(max_retries=2)
+        try:
+            responses, _ = drive(server, [
+                run_line("bumpy", inject="worker-crash"),
+            ])
+        finally:
+            server.close()
+        # injected faults fire on attempt 1 only: attempt 2 succeeds
+        (result,) = by_type(responses, "result")
+        assert result["id"] == "bumpy" and result["attempts"] == 2
+        assert functional(result["report"]) == undisturbed_report
+        retried = [e for e in by_type(responses, "event")
+                   if e.get("kind") == "job_retried"]
+        assert retried and retried[0]["reason"] == "died"
+
+    def test_env_armed_crash_exhausts_retries(self, monkeypatch,
+                                              undisturbed_report):
+        server = make_server(max_retries=1)
+        monkeypatch.setenv(faults.ENV_VAR, "worker-crash")
+        try:
+            responses, _ = drive(server, [run_line("cursed")])
+            # env-armed faults fire on *every* attempt: retries exhaust
+            (error,) = by_type(responses, "error")
+            assert error["retryable"] is True and error["attempts"] == 2
+            # disarm; the daemon (and its pool) keeps serving
+            monkeypatch.delenv(faults.ENV_VAR)
+            responses, _ = drive(server, [run_line("after")])
+        finally:
+            server.close()
+        (result,) = by_type(responses, "result")
+        assert functional(result["report"]) == undisturbed_report
+
+
+class TestWorkerHang:
+    def test_watchdog_times_out_hung_worker(self, undisturbed_report):
+        server = make_server(max_retries=0, default_timeout_s=1.0)
+        try:
+            responses, stopped = drive(server, [
+                run_line("stuck", inject="worker-hang"),
+                run_line("next"),
+            ])
+        finally:
+            server.close()
+        assert stopped is False
+        (error,) = by_type(responses, "error")
+        assert error["id"] == "stuck"
+        assert error["retryable"] is True and error["kind"] == "timeout"
+        (result,) = by_type(responses, "result")
+        assert result["id"] == "next"
+        assert functional(result["report"]) == undisturbed_report
+
+    def test_retry_raises_budget_and_recovers(self):
+        server = make_server(max_retries=1)
+        try:
+            responses, _ = drive(server, [
+                run_line("slow", inject="worker-hang", timeout_s=1.0),
+            ])
+        finally:
+            server.close()
+        (result,) = by_type(responses, "result")
+        assert result["attempts"] == 2
+        (retried,) = [e for e in by_type(responses, "event")
+                      if e.get("kind") == "job_retried"]
+        assert retried["reason"] == "timeout"
+        assert retried["timeout_s"] == 2.0  # the doubled budget
+
+
+class TestMergeError:
+    @pytest.mark.parametrize("isolation", ["thread", "process"])
+    def test_result_survives_dropped_delta(self, isolation,
+                                           undisturbed_report):
+        server = make_server(isolation=isolation)
+        try:
+            responses, _ = drive(server, [
+                run_line("poisoned", inject="merge-error"),
+                run_line("after"),
+            ])
+            stats = server.stats()
+        finally:
+            server.close()
+        results = {r["id"]: r for r in by_type(responses, "result")}
+        # the poisoned job still answered; only its delta was dropped,
+        # so the follow-up could not replay — but computes identically
+        assert functional(results["poisoned"]["report"]) == (
+            undisturbed_report
+        )
+        assert results["after"]["replayed"] is False
+        assert functional(results["after"]["report"]) == undisturbed_report
+        assert stats["merge_errors"] == 1
+
+
+class TestStoreCorruptGeneration:
+    def test_load_degrades_to_cold_cache(self, tmp_path,
+                                         undisturbed_report):
+        import time
+
+        store_dir = tmp_path / "store"
+        server = make_server(store_path=store_dir)
+
+        def lines():
+            yield run_line("warmup")
+            # flush is non-blocking: wait for the job's delta to merge so
+            # the injected checkpoint deterministically has something to
+            # write (and corrupt)
+            deadline = time.monotonic() + 120
+            while server.jobs_run < 1:
+                assert time.monotonic() < deadline, "job never finished"
+                time.sleep(0.01)
+            yield request(op="flush", id="f",
+                          inject="store-corrupt-generation")
+            yield request(op="shutdown")
+
+        try:
+            responses, _ = drive(server, lines())
+            stats = server.stats()
+        finally:
+            server.close()
+        (flushed,) = by_type(responses, "flushed")
+        assert flushed["entries"] > 0
+        assert stats["store_corrupted"] == 1
+        (bye,) = by_type(responses, "bye")
+        assert bye["flushed_entries"] == 0  # nothing left to checkpoint
+
+        # a reborn daemon warm-starts from whatever survived: the
+        # garbled generation is skipped, never raised on, and the job
+        # recomputes byte-identically (cold, since the warmth rotted)
+        reborn = make_server(store_path=store_dir)
+        try:
+            responses, stopped = drive(reborn, [run_line("reborn")])
+            stats = reborn.stats()
+        finally:
+            reborn.close()
+        assert stopped is False
+        (result,) = by_type(responses, "result")
+        assert functional(result["report"]) == undisturbed_report
+        assert stats.get("store_corrupt_skipped", 0) >= 1
+        assert result["replayed"] is False

@@ -16,6 +16,7 @@ import socket
 import subprocess
 import sys
 import threading
+import time
 from pathlib import Path
 
 import pytest
@@ -169,9 +170,10 @@ class TestProtocol:
         assert stats["id"] == "s"
         assert isinstance(stats["stats"], dict)
         (flushed,) = by_type(responses, "flushed")
-        # flush drains the in-flight job first, but without a store there
-        # is nothing to persist
+        # flush is non-blocking: it checkpoints what finished jobs have
+        # merged (nothing, without a store) and reports in-flight work
         assert flushed["entries"] == 0
+        assert "in_flight" in flushed
         assert server.jobs_run == 1
 
     def test_eof_drains_and_says_bye_without_shutdown(self):
@@ -257,12 +259,21 @@ class TestStoreBackedServe:
 
         store_dir = tmp_path / "store"
         server = FlowServer(store_path=store_dir, max_workers=1)
-        responses, _ = drive(server, [
-            request(op="run", id="j", source=MUX_SOURCE, events=False),
-            request(op="flush", id="f"),
-        ])
+
+        def lines():
+            yield request(op="run", id="j", source=MUX_SOURCE, events=False)
+            # flush is non-blocking, so wait for the job's delta to merge
+            # before asking for the checkpoint
+            deadline = time.monotonic() + 60
+            while server.jobs_run < 1:
+                assert time.monotonic() < deadline, "job never finished"
+                time.sleep(0.01)
+            yield request(op="flush", id="f")
+
+        responses, _ = drive(server, lines())
         (flushed,) = by_type(responses, "flushed")
         assert flushed["entries"] > 0
+        assert flushed["in_flight"] == 0
         assert CacheStore(store_dir).load()  # durable before shutdown
         (bye,) = by_type(responses, "bye")
         assert bye["flushed_entries"] == 0  # the delta was already flushed
@@ -275,6 +286,176 @@ class TestStoreBackedServe:
         )
         server = FlowServer(store_path=store_dir, max_workers=1)
         assert server.stats().get("store_loaded_files", 0) >= 1
+
+
+class TestAdmissionControl:
+    """Overload must shed with ``busy``, never queue unboundedly."""
+
+    @staticmethod
+    def _gated_run_job(monkeypatch):
+        """Replace the job body with one that blocks on a gate, so jobs
+        stay deterministically in flight while the loop reads on."""
+        import repro.flow.serve as serve_mod
+
+        gate = threading.Event()
+
+        def slow_job(request, **kwargs):
+            assert gate.wait(timeout=60), "test gate never opened"
+            return (
+                {"op": "run", "flow": "stub", "replayed": False,
+                 "report": {}},
+                {},
+            )
+
+        monkeypatch.setattr(serve_mod, "run_job", slow_job)
+        return gate
+
+    def test_queue_limit_sheds_with_busy(self, monkeypatch):
+        gate = self._gated_run_job(monkeypatch)
+        server = FlowServer(max_workers=1, queue_limit=1)
+
+        def lines():
+            yield request(op="run", id="a", source="stub", events=False)
+            yield request(op="run", id="b", source="stub", events=False)
+            gate.set()
+
+        responses, _ = drive(server, lines())
+        (busy,) = by_type(responses, "busy")
+        assert busy["id"] == "b" and busy["reason"] == "queue"
+        assert busy["queue_depth"] >= 1 and busy["limit"] == 1
+        # the admitted job still completed normally
+        (result,) = by_type(responses, "result")
+        assert result["id"] == "a"
+        assert server.stats()["busy_rejected"] == 1
+
+    def test_per_client_quota(self, monkeypatch):
+        gate = self._gated_run_job(monkeypatch)
+        server = FlowServer(max_workers=4, per_client_limit=1)
+
+        def lines():
+            yield request(op="run", id="a1", source="stub", events=False,
+                          client="alice")
+            yield request(op="run", id="a2", source="stub", events=False,
+                          client="alice")
+            yield request(op="run", id="b1", source="stub", events=False,
+                          client="bob")
+            gate.set()
+
+        responses, _ = drive(server, lines())
+        (busy,) = by_type(responses, "busy")
+        # alice's second job is shed; bob is unaffected by her quota
+        assert busy["id"] == "a2"
+        assert busy["reason"] == "client" and busy["client"] == "alice"
+        assert {r["id"] for r in by_type(responses, "result")} == {
+            "a1", "b1"
+        }
+
+    def test_flush_reports_in_flight_jobs(self, monkeypatch):
+        gate = self._gated_run_job(monkeypatch)
+        server = FlowServer(max_workers=1)
+
+        def lines():
+            yield request(op="run", id="j", source="stub", events=False)
+            yield request(op="flush", id="f")
+            gate.set()
+
+        responses, _ = drive(server, lines())
+        (flushed,) = by_type(responses, "flushed")
+        # non-blocking: the flush answered while the job was still running
+        assert flushed["in_flight"] == 1
+
+
+class TestDrainDeadline:
+    def test_stragglers_are_cancelled_and_reported(self, monkeypatch):
+        import repro.flow.serve as serve_mod
+
+        gate = threading.Event()
+
+        def stuck_job(request, **kwargs):
+            assert gate.wait(timeout=60)
+            return ({"op": "run", "flow": "stub", "replayed": False,
+                     "report": {}}, {})
+
+        monkeypatch.setattr(serve_mod, "run_job", stuck_job)
+        server = FlowServer(max_workers=1, drain_timeout_s=0.2)
+        try:
+            responses, stopped = drive(server, [
+                request(op="run", id="stuck", source="stub", events=False),
+                request(op="shutdown", id="s"),
+            ])
+        finally:
+            gate.set()  # release the abandoned worker thread
+        assert stopped is True
+        (bye,) = by_type(responses, "bye")
+        assert bye["cancelled"] == ["stuck"]
+        cancelled_events = [
+            e for e in by_type(responses, "event")
+            if e.get("kind") == "job_cancelled"
+        ]
+        assert cancelled_events and cancelled_events[0]["id"] == "stuck"
+
+    def test_request_drain_s_overrides_server_default(self, monkeypatch):
+        import repro.flow.serve as serve_mod
+
+        gate = threading.Event()
+
+        def stuck_job(request, **kwargs):
+            assert gate.wait(timeout=60)
+            return ({"op": "run", "flow": "stub", "replayed": False,
+                     "report": {}}, {})
+
+        monkeypatch.setattr(serve_mod, "run_job", stuck_job)
+        # server default would wait forever; the request bounds it
+        server = FlowServer(max_workers=1, drain_timeout_s=None)
+        try:
+            responses, stopped = drive(server, [
+                request(op="run", id="stuck", source="stub", events=False),
+                request(op="shutdown", id="s", drain_s=0.2),
+            ])
+        finally:
+            gate.set()
+        assert stopped is True
+        (bye,) = by_type(responses, "bye")
+        assert bye["cancelled"] == ["stuck"]
+
+
+class TestFaultInjectionGate:
+    def test_inject_refused_unless_enabled(self):
+        server = FlowServer(max_workers=1)
+        responses, _ = drive(server, [
+            request(op="run", id="x", source=MUX_SOURCE,
+                    inject="merge-error", events=False),
+        ])
+        (error,) = by_type(responses, "error")
+        assert "disabled" in error["error"]
+        assert by_type(responses, "result") == []
+
+    def test_unknown_fault_name_is_an_error(self):
+        server = FlowServer(max_workers=1, allow_fault_injection=True)
+        responses, _ = drive(server, [
+            request(op="run", id="x", source=MUX_SOURCE,
+                    inject="cosmic-ray", events=False),
+        ])
+        (error,) = by_type(responses, "error")
+        assert "unknown fault" in error["error"]
+
+    def test_worker_faults_require_process_isolation(self):
+        server = FlowServer(max_workers=1, allow_fault_injection=True)
+        responses, _ = drive(server, [
+            request(op="run", id="x", source=MUX_SOURCE,
+                    inject="worker-crash", events=False),
+        ])
+        (error,) = by_type(responses, "error")
+        assert "isolation process" in error["error"]
+
+    def test_result_carries_attempts_and_isolation(self):
+        server = FlowServer(max_workers=1)
+        responses, _ = drive(server, [
+            request(op="run", id="j", source=MUX_SOURCE, events=False),
+        ])
+        (result,) = by_type(responses, "result")
+        assert result["attempts"] == 1
+        assert result["isolation"] == "thread"
 
 
 class TestSocketTransport:
@@ -314,6 +495,52 @@ class TestSocketTransport:
         assert kinds == ["pong", "accepted", "result", "bye"]
         assert responses[2]["report"]["converged"] is True
 
+    def test_bad_connection_does_not_kill_daemon(self):
+        # a session that *raises* (undecodable bytes blow up the text
+        # stream) must be logged and survived, not stop the accept loop
+        # (this used to die on an unbound `stopped` NameError)
+        server = FlowServer(max_workers=1)
+        ready = threading.Event()
+        port_box = {}
+        errors = []
+
+        def listening(port):
+            port_box["port"] = port
+            ready.set()
+
+        daemon = threading.Thread(
+            target=serve_socket, args=(server,),
+            kwargs={"on_listening": listening, "on_error": errors.append},
+            daemon=True,
+        )
+        daemon.start()
+        assert ready.wait(timeout=10)
+
+        with socket.create_connection(
+            ("127.0.0.1", port_box["port"]), timeout=30
+        ) as conn:
+            conn.sendall(b"\xff\xfe garbage that is not utf-8\n")
+            conn.shutdown(socket.SHUT_WR)
+            conn.settimeout(30)
+            while conn.recv(4096):  # drain until the server closes us
+                pass
+        assert errors, "the failed session must be reported"
+
+        # the daemon must still accept and serve the next connection
+        with socket.create_connection(
+            ("127.0.0.1", port_box["port"]), timeout=30
+        ) as conn:
+            rfile = conn.makefile("r", encoding="utf-8")
+            wfile = conn.makefile("w", encoding="utf-8")
+            wfile.write(request(op="ping", id="p") + "\n")
+            wfile.write(request(op="shutdown") + "\n")
+            wfile.flush()
+            conn.shutdown(socket.SHUT_WR)
+            responses = [json.loads(line) for line in rfile]
+        daemon.join(timeout=30)
+        assert not daemon.is_alive()
+        assert [r["type"] for r in responses] == ["pong", "bye"]
+
 
 class TestCliSubprocess:
     def test_cli_serve_over_stdin_pipes(self, tmp_path):
@@ -345,8 +572,12 @@ class TestCliSubprocess:
         assert result["report"]["optimized_area"] <= (
             result["report"]["original_area"]
         )
+        # flush is non-blocking: with all requests piped up front it may
+        # checkpoint before the job's delta lands, in which case the
+        # shutdown-time flush picks it up — one of the two must persist
         (flushed,) = by_type(responses, "flushed")
-        assert flushed["entries"] > 0
+        (bye,) = by_type(responses, "bye")
+        assert flushed["entries"] + bye["flushed_entries"] > 0
 
         # a second daemon process warm-starts from the store and replays
         proc2 = subprocess.run(

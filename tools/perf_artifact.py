@@ -3,10 +3,10 @@
 Runs the standalone benchmark entry points —
 ``benchmarks/bench_structhash.py``, ``benchmarks/bench_incremental.py``,
 ``benchmarks/bench_design.py``, ``benchmarks/bench_hierarchy.py``,
-``benchmarks/bench_store.py``, ``benchmarks/bench_ingest.py`` and
-``benchmarks/bench_reduce.py`` — each
+``benchmarks/bench_store.py``, ``benchmarks/bench_ingest.py``,
+``benchmarks/bench_reduce.py`` and ``benchmarks/bench_faults.py`` — each
 with ``--json`` into a temporary file, and folds their payloads into a
-single artifact (``BENCH_9.json``
+single artifact (``BENCH_10.json``
 at the repo root by default).  CI regenerates and
 uploads it on every run, and the committed copy records the perf
 trajectory per PR; timings are recorded, never gated here (each bench's
@@ -15,7 +15,7 @@ its *correctness* gates — area parity, hit rates — fails this tool too.
 
 Usage::
 
-    PYTHONPATH=src python tools/perf_artifact.py [--output BENCH_9.json]
+    PYTHONPATH=src python tools/perf_artifact.py [--output BENCH_10.json]
 """
 
 from __future__ import annotations
@@ -38,6 +38,7 @@ BENCHES = (
     ("store", "benchmarks/bench_store.py"),
     ("ingest", "benchmarks/bench_ingest.py"),
     ("reduce", "benchmarks/bench_reduce.py"),
+    ("faults", "benchmarks/bench_faults.py"),
 )
 
 
@@ -68,20 +69,21 @@ def run_bench(script: str, tmpdir: str) -> dict:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--output", default=str(REPO / "BENCH_9.json"),
-                        help="artifact path (default: BENCH_9.json at the "
+    parser.add_argument("--output", default=str(REPO / "BENCH_10.json"),
+                        help="artifact path (default: BENCH_10.json at the "
                              "repo root)")
     args = parser.parse_args(argv)
 
     artifact = {
-        "artifact": "BENCH_9",
+        "artifact": "BENCH_10",
         "description": "per-PR perf trajectory: structural-signature "
                        "caching, incremental engine, design-scope "
                        "incrementality, hierarchical instance replay, "
                        "persistent cache store + serve daemon, "
                        "Yosys-JSON ingestion parity + DSE sweep runner, "
                        "delta-debugging case reducer on the injected-bug "
-                       "corpus",
+                       "corpus, fault-injection survival of the "
+                       "process-isolated serve daemon",
         "benches": {},
     }
     with tempfile.TemporaryDirectory() as tmpdir:
@@ -122,6 +124,12 @@ def main(argv=None) -> int:
             ["reduce"]["reduce"]["all_labels_preserved"],
         "repro_corpus_live": artifact["benches"]
             ["reduce"]["corpus"]["all_live"],
+        "faults_survival_rate_pct": artifact["benches"]
+            ["faults"]["survival"]["survival_rate_pct"],
+        "faults_retry_attempts": artifact["benches"]
+            ["faults"]["retry"]["crash_attempts"],
+        "faults_overload_busy_responses": artifact["benches"]
+            ["faults"]["overload"]["busy_responses"],
     }
     artifact["headlines"] = headlines
 
